@@ -1,0 +1,56 @@
+"""Ablation: selective vs full first-tier read in the two-tier protocol.
+
+Equation 1 charges the whole first tier (L_I); the Section 3.1 packing
+enables a *selective* read touching only the packets the query's walk
+needs.  This bench quantifies the gap -- and shows the two-tier protocol
+beats one-tier under either reading discipline.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR
+
+from repro.client.protocol import FirstTierRead
+from repro.experiments.report import format_table
+
+
+def _read_mode_rows(context):
+    rows = []
+    for mode in (FirstTierRead.SELECTIVE, FirstTierRead.FULL):
+        from repro.sim.simulation import Simulation
+
+        config = context.base_config()
+        result = Simulation(
+            config, documents=context.documents, first_tier_read=mode
+        ).run()
+        rows.append(
+            (
+                mode.value,
+                result.mean_index_lookup_bytes("two-tier"),
+                result.mean_index_lookup_bytes("one-tier"),
+            )
+        )
+    return rows
+
+
+def test_first_tier_read_ablation(benchmark, context):
+    rows = benchmark.pedantic(lambda: _read_mode_rows(context), rounds=1, iterations=1)
+    text = format_table(
+        "Ablation: first-tier read discipline",
+        ("mode", "two-tier lookup B", "one-tier lookup B"),
+        rows,
+        note="FULL is the literal Equation-1 L_I charge; SELECTIVE uses packing.",
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_first_tier_read.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+
+    by_mode = {row[0]: row for row in rows}
+    selective = by_mode["selective"]
+    full = by_mode["full"]
+    # Selective reading can only help, and two-tier wins either way.
+    assert selective[1] <= full[1]
+    assert selective[1] < selective[2]
+    assert full[1] < full[2]

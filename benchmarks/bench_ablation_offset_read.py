@@ -1,0 +1,77 @@
+"""Ablation: full vs selective second-tier (offset list) reads.
+
+Equation (1) charges the whole L_O per cycle; because the offset list is
+sorted by document ID, a client can binary-search just the packets
+holding its own entries.  At the paper's scale L_O is a handful of
+packets so the saving is modest -- this bench measures exactly how
+modest, and confirms the optimisation never changes what gets delivered.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR
+
+from repro.broadcast.server import BroadcastServer
+from repro.client.protocol import OffsetRead
+from repro.client.twotier import TwoTierClient
+from repro.experiments.report import format_table
+from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig
+
+
+def _offset_read_rows(context):
+    store = context.store
+    queries = QueryGenerator(
+        context.documents, QueryWorkloadConfig(seed=11)
+    ).generate_many(context.scale.n_q_default)
+
+    def run(offset_read):
+        server = BroadcastServer(
+            store, cycle_data_capacity=context.scale.cycle_data_capacity
+        )
+        sample = queries[:40]
+        clients = [
+            TwoTierClient(query, 0, offset_read=offset_read) for query in sample
+        ]
+        for query in queries:
+            server.submit(query, 0)
+        for _ in range(200):
+            cycle = server.build_cycle()
+            if cycle is None:
+                break
+            for client in clients:
+                client.on_cycle(cycle)
+        assert all(client.satisfied for client in clients)
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        return (
+            mean([c.metrics.offset_bytes for c in clients]),
+            mean([c.metrics.index_lookup_bytes for c in clients]),
+            {frozenset(c.received_doc_ids) for c in clients},
+        )
+
+    full_offsets, full_lookup, full_docs = run(OffsetRead.FULL)
+    sel_offsets, sel_lookup, sel_docs = run(OffsetRead.SELECTIVE)
+    assert full_docs == sel_docs  # delivery is identical
+    return [
+        ("full (Eq. 1)", full_offsets, full_lookup),
+        ("selective", sel_offsets, sel_lookup),
+    ]
+
+
+def test_offset_read_ablation(benchmark, context):
+    rows = benchmark.pedantic(
+        lambda: _offset_read_rows(context), rounds=1, iterations=1
+    )
+    text = format_table(
+        "Ablation: second-tier read discipline",
+        ("mode", "mean offset bytes", "mean index-lookup bytes"),
+        rows,
+        note="Selective = binary-searched packets of the sorted offset list.",
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_offset_read.txt").write_text(text + "\n", encoding="utf-8")
+
+    full = rows[0]
+    selective = rows[1]
+    assert selective[1] <= full[1]
+    assert selective[2] <= full[2]

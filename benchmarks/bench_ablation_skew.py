@@ -1,0 +1,52 @@
+"""Ablation: skewed query patterns (the paper's stated future work).
+
+Section 5: "we plan to study the impact of user query pattern on the
+system performance".  This bench does it: Zipf-skewed source-document
+popularity versus the uniform default.  Skew concentrates requests on
+fewer documents and paths, so pruning bites harder (smaller PCI) and the
+broadcast drains faster.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.report import format_table
+
+
+def _skew_rows(context):
+    rows = []
+    for theta in (0.0, 0.5, 1.0, 1.5):
+        config = context.base_config(zipf_theta=theta)
+        result = context.run_simulation(config)
+        rows.append(
+            (
+                theta,
+                result.mean_pci_bytes(),
+                result.mean_index_lookup_bytes("two-tier"),
+                result.mean_cycles_listened("two-tier"),
+                len(result.cycles),
+            )
+        )
+    return rows
+
+
+def test_query_skew_ablation(benchmark, context):
+    rows = benchmark.pedantic(lambda: _skew_rows(context), rounds=1, iterations=1)
+    text = format_table(
+        "Ablation: Zipf query skew (paper future work)",
+        ("theta", "mean PCI bytes", "two-tier lookup B", "mean cycles", "cycles run"),
+        rows,
+        note="theta=0 is the paper's uniform workload.",
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_skew.txt").write_text(text + "\n", encoding="utf-8")
+
+    uniform = rows[0]
+    heaviest = rows[-1]
+    # Heavy skew must not inflate the index: fewer distinct requested
+    # paths can only shrink (or hold) the PCI.
+    assert heaviest[1] <= uniform[1] * 1.05
+    # And the broadcast should not get slower to drain.
+    assert heaviest[4] <= uniform[4] * 1.5

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the core operations (real timing rounds).
+
+These are the per-cycle costs the broadcast server pays: filtering the
+collection through the query NFA, building the CI, pruning it, packing
+it and encoding it -- plus a client-side lookup.  Useful for regression
+tracking; no paper figure corresponds to them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.server import build_ci_from_store
+from repro.filtering.yfilter import YFilterEngine
+from repro.index.encoding import LabelTable, encode_index
+from repro.index.packing import pack_index
+from repro.index.pruning import prune_to_pci
+from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload(context):
+    documents = context.documents
+    queries = QueryGenerator(
+        documents, QueryWorkloadConfig(seed=11)
+    ).generate_many(context.scale.n_q_default)
+    engine = YFilterEngine.from_queries(queries)
+    requested = engine.filter_collection(documents).requested_doc_ids
+    ci = build_ci_from_store(context.store, requested)
+    pci, _ = prune_to_pci(ci, queries)
+    return documents, queries, engine, requested, ci, pci
+
+
+def test_filter_collection(benchmark, context, workload):
+    documents, queries, _engine, _req, _ci, _pci = workload
+    benchmark(
+        lambda: YFilterEngine.from_queries(queries).filter_collection(documents)
+    )
+
+
+def test_build_ci(benchmark, context, workload):
+    _docs, _queries, _engine, requested, _ci, _pci = workload
+    benchmark(lambda: build_ci_from_store(context.store, requested))
+
+
+def test_prune_to_pci(benchmark, workload):
+    _docs, queries, _engine, _req, ci, _pci = workload
+    benchmark(lambda: prune_to_pci(ci, queries))
+
+
+def test_pack_index(benchmark, workload):
+    *_rest, pci = workload
+    benchmark(lambda: pack_index(pci, one_tier=False))
+
+
+def test_encode_index(benchmark, workload):
+    *_rest, pci = workload
+    table = LabelTable.from_index(pci)
+    benchmark(lambda: encode_index(pci, table, one_tier=False))
+
+
+def test_client_lookup(benchmark, workload):
+    _docs, queries, *_mid, pci = workload
+    query = queries[0]
+    benchmark(lambda: pci.lookup(query))

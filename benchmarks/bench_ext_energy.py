@@ -1,0 +1,27 @@
+"""Extended figure: per-session energy under a WNIC power profile.
+
+Cashes the paper's tuning-time-as-energy proxy out in Joules (1 W
+active / 50 mW doze / 1 Mbit/s) across the three client strategies, and
+asserts the energy ordering the whole paper is about.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.extensions import ext_energy
+
+
+def test_ext_energy(benchmark, context, record_figure):
+    figure = benchmark.pedantic(lambda: ext_energy(context), rounds=1, iterations=1)
+    record_figure(figure)
+
+    totals = {row[0]: row[3] for row in figure.rows}
+    actives = {row[0]: row[1] for row in figure.rows}
+    # The motivating ordering: no index > one-tier > two-tier, on both the
+    # active term and the total.
+    assert actives["naive"] > actives["one-tier"] > actives["two-tier"]
+    assert totals["naive"] > totals["one-tier"] > totals["two-tier"]
+    # Document downloads dominate: the index can only shave the active
+    # term, never make it vanish.
+    assert actives["two-tier"] > 0.25 * actives["one-tier"]

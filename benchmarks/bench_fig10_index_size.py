@@ -1,0 +1,28 @@
+"""Figure 10: one-tier vs two-tier index size across load.
+
+Shape: the two-tier representation (first tier + one cycle's offset list)
+is significantly smaller than the one-tier index at every load level --
+the removed ``<doc, pointer>`` duplication dominates the added L_O.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_fig10_one_tier_vs_two_tier(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.fig10(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    for row in figure.rows:
+        n_q, one_tier, two_tier, l_i, l_o, saving = row
+        assert two_tier < one_tier, f"two-tier must win at N_Q={n_q}"
+        assert two_tier == l_i + l_o
+        # "Significantly reduces": at least a quarter off, every point.
+        assert saving > 0.25, f"saving {saving:.2f} too small at N_Q={n_q}"
+    # Both layouts grow with load, the gap persists at scale.
+    one_tiers = [row[1] for row in figure.rows]
+    two_tiers = [row[2] for row in figure.rows]
+    assert one_tiers[-1] > one_tiers[0]
+    assert two_tiers[-1] > two_tiers[0]

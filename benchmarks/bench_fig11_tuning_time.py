@@ -1,0 +1,58 @@
+"""Figure 11: index-lookup tuning time, one-tier vs two-tier protocol.
+
+Shapes asserted per panel (the paper's two observations in 4.2(3)):
+
+1. "two-tier scheme outperforms one-tier scheme significantly" -- the
+   two-tier lookup cost is strictly below one-tier at every point;
+2. "parameters have a less significant impact on two-tier scheme which is
+   much more stable" -- the two-tier series' relative spread is well
+   below the one-tier series' spread in the panels where one-tier moves.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_strictly_cheaper, relative_spread
+
+from repro.experiments import figures
+
+
+def _series(figure):
+    one = [row[1] for row in figure.rows]
+    two = [row[2] for row in figure.rows]
+    return one, two
+
+
+def test_fig11a_tuning_vs_nq(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.fig11a(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    one, two = _series(figure)
+    assert_strictly_cheaper(two, one)
+    # One-tier pays the per-cycle search on a load-growing index.
+    assert one[-1] > one[0]
+    # Stability: two-tier varies far less than one-tier.
+    assert relative_spread(two) < relative_spread(one)
+
+
+def test_fig11b_tuning_vs_p(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.fig11b(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    one, two = _series(figure)
+    assert_strictly_cheaper(two, one)
+    assert one[-1] > one[0]  # wider queries -> bigger walks, every cycle
+    assert relative_spread(two) < relative_spread(one)
+
+
+def test_fig11c_tuning_vs_dq(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.fig11c(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    one, two = _series(figure)
+    assert_strictly_cheaper(two, one)
+    # D_Q moves both series little; two-tier must stay the stabler one
+    # (or both are already essentially flat).
+    assert relative_spread(two) < max(relative_spread(one), 0.15)

@@ -1,0 +1,35 @@
+"""The Section 1 / 4.2 headline size claims.
+
+Paper: per-document embedded indexes cost ~10% of the data; the CI is
+~1.5%; the final two-tier index 0.1%-0.5%.  Our synthetic collection is
+structurally denser than the authors' (more distinct paths per byte), so
+the absolute percentages sit higher across the board -- the asserted
+shape is the *ordering* and the order-of-magnitude gaps between schemes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_headline_ratios(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.headline_ratios(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    ratios = {row[0]: row[2] for row in figure.rows}
+
+    perdoc = ratios["per-document baseline"]
+    ci = ratios["CI (one-tier)"]
+    pci = ratios["PCI (one-tier)"]
+    two_tier = ratios["two-tier (L_I + L_O)"]
+
+    # Strict ordering of the schemes.
+    assert perdoc > ci > two_tier
+    assert pci <= ci
+    # Order-of-magnitude gaps: embedded indexes vs the compact index, and
+    # the one-tier CI vs the final two-tier structure.
+    assert perdoc / ci > 3
+    assert ci / two_tier > 2.5
+    # The final index stays a small fraction of the data.
+    assert two_tier < 2.0  # percent

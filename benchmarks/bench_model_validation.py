@@ -1,0 +1,62 @@
+"""Equation (1) at scale: analytical model vs discrete-event simulation.
+
+The paper analyses the two-tier protocol as ``TT = L_I + n * L_O +
+download``.  This bench runs the closed-form model of
+:mod:`repro.analysis` against full simulations across the N_Q sweep and
+asserts the predictions stay within a tight band of the measurements --
+simulator and analysis validating each other.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.model import validate_against_simulation
+from repro.experiments.report import format_table
+
+
+def _validation_rows(context):
+    rows = []
+    for n_q in context.scale.n_q_sweep:
+        config = context.base_config(n_q=n_q)
+        result = context.run_simulation(config)
+        validation = validate_against_simulation(result, config.cycle_data_capacity)
+        rows.append(
+            (
+                n_q,
+                validation.predicted.cycles,
+                validation.measured_cycles,
+                validation.predicted.two_tier_lookup,
+                validation.measured_two_tier,
+                validation.max_error,
+            )
+        )
+    return rows
+
+
+def test_model_validation(benchmark, context):
+    rows = benchmark.pedantic(
+        lambda: _validation_rows(context), rounds=1, iterations=1
+    )
+    text = format_table(
+        "Analytical model vs simulation (Equation 1 at scale)",
+        (
+            "N_Q",
+            "pred cycles",
+            "meas cycles",
+            "pred 2-tier B",
+            "meas 2-tier B",
+            "max rel err",
+        ),
+        rows,
+        note="Model: n = ceil(requested air bytes / capacity); TT per Eq. (1).",
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "model_validation.txt").write_text(text + "\n", encoding="utf-8")
+
+    # The closed forms must track the simulator at every load level.
+    assert all(row[5] < 0.35 for row in rows), rows
+    # And the mean error should be distinctly tighter.
+    mean_error = sum(row[5] for row in rows) / len(rows)
+    assert mean_error < 0.25

@@ -1,0 +1,65 @@
+"""Scaling behaviour of the per-cycle server pipeline.
+
+The server rebuilds filter results, the CI and the PCI every cycle, so
+their cost as the collection grows bounds how large a deployment one
+broadcast server can index.  This bench measures the full per-cycle
+pipeline at 1x / 2x / 4x the bench collection and asserts sub-quadratic
+growth (the structures are trie-shaped: work is near-linear in total
+document size).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.broadcast.server import DocumentStore, build_ci_from_store
+from repro.experiments.report import format_table
+from repro.filtering.yfilter import YFilterEngine
+from repro.index.packing import pack_index
+from repro.index.pruning import prune_to_pci
+from repro.sim.simulation import build_collection
+from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig
+
+
+def _pipeline_seconds(documents, n_q: int) -> float:
+    queries = QueryGenerator(
+        documents, QueryWorkloadConfig(seed=11)
+    ).generate_many(n_q)
+    store = DocumentStore(documents)
+    started = time.perf_counter()
+    engine = YFilterEngine.from_queries(queries)
+    requested = engine.filter_collection(documents).requested_doc_ids
+    ci = build_ci_from_store(store, requested)
+    pci, _ = prune_to_pci(ci, queries)
+    pack_index(pci, one_tier=False)
+    return time.perf_counter() - started
+
+
+def _scaling_rows(context):
+    base = context.base_config()
+    rows = []
+    for factor in (1, 2, 4):
+        config = base.with_(document_count=base.document_count * factor)
+        documents = build_collection(config)
+        seconds = _pipeline_seconds(documents, context.scale.n_q_default)
+        rows.append((factor, len(documents), round(seconds, 3)))
+    return rows
+
+
+def test_pipeline_scaling(benchmark, context):
+    rows = benchmark.pedantic(lambda: _scaling_rows(context), rounds=1, iterations=1)
+    text = format_table(
+        "Per-cycle pipeline cost vs collection size",
+        ("scale factor", "documents", "filter+CI+PCI+pack seconds"),
+        rows,
+        note="One full server-side cycle preparation, cold caches.",
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "substrate_scaling.txt").write_text(text + "\n", encoding="utf-8")
+
+    # Sub-quadratic: 4x the documents must cost well under 16x the time.
+    t1, t4 = rows[0][2], rows[2][2]
+    assert t4 < max(t1, 0.01) * 12, rows

@@ -1,0 +1,23 @@
+"""Table 2: the experimental setup, validated against the generated
+collection and printed for the record."""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_table2_setup(benchmark, context, record_figure):
+    figure = benchmark.pedantic(
+        lambda: figures.table2(context), rounds=1, iterations=1
+    )
+    record_figure(figure)
+    values = dict(figure.rows)
+    # Paper constants survive verbatim.
+    assert values["doc id bytes"] == 2
+    assert values["pointer bytes"] == 4
+    assert values["packet bytes"] == 128
+    assert values["P (wildcard/descendant prob.)"] == 0.1
+    # Collection facts are plausible for the Table 2 profile.
+    assert values["documents"] == context.scale.document_count
+    assert values["mean document bytes"] > 500
+    assert values["distinct label paths"] > 100

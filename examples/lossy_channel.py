@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Error-prone channel: how the two-tier protocol degrades under loss.
+
+Extension beyond the paper (which assumes a reliable channel): packets
+are erased i.i.d.; the server runs acknowledged delivery so unreceived
+documents stay scheduled.  A lost first-tier packet costs the client a
+retry cycle; a lost offset list blinds it for one cycle; a lost document
+frame costs a rebroadcast -- and since a document spans dozens of
+128-byte frames, document erasures dominate even at sub-percent rates.
+
+Run:  python examples/lossy_channel.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.report import print_table
+
+
+def main() -> None:
+    base = SimulationConfig(
+        document_count=200,
+        n_q=80,
+        arrival_cycles=2,
+        cycle_data_capacity=120_000,
+        max_cycles=400,
+    )
+    print(
+        f"workload: {base.total_queries()} queries over "
+        f"{base.document_count} documents; two-tier protocol with "
+        "acknowledged delivery\n"
+    )
+
+    rows = []
+    for loss in (0.0, 0.001, 0.002, 0.005):
+        result = run_simulation(base.with_(loss_prob=loss))
+        per_doc_frames = 40  # ~5 KB documents in 128 B frames
+        doc_survival = (1 - loss) ** per_doc_frames
+        rows.append(
+            (
+                f"{loss:.3f}",
+                f"{100 * doc_survival:.1f}%",
+                len(result.cycles),
+                result.mean_cycles_listened("two-tier"),
+                result.mean_index_lookup_bytes("two-tier"),
+                result.mean_tuning_bytes("two-tier"),
+                "yes" if result.completed else "no",
+            )
+        )
+
+    print_table(
+        "Two-tier protocol under packet erasures",
+        (
+            "loss/packet",
+            "~doc survival",
+            "cycles run",
+            "cycles/query",
+            "lookup B",
+            "tuning B",
+            "drained",
+        ),
+        rows,
+        note=(
+            "Document frames dominate: at 0.5% per-packet loss a ~40-frame "
+            "document only survives ~82% of broadcasts, so rebroadcasts, "
+            "not index retries, drive the extra cycles."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

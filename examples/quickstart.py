@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: one index, one broadcast cycle, one client.
+
+Builds a small NITF-like collection, admits a handful of XPath queries to
+the broadcast server, assembles a two-tier cycle and walks a client
+through the improved access protocol -- printing each step's byte cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BroadcastServer,
+    DocumentStore,
+    TwoTierClient,
+    generate_collection,
+    generate_workload,
+    nitf_like_dtd,
+)
+
+
+def main() -> None:
+    # 1. The server's document collection (the paper generates 1000 NITF
+    #    documents; 50 keep this example instant).
+    docs = generate_collection(nitf_like_dtd(), 50, seed=7)
+    store = DocumentStore(docs)
+    print(f"collection: {len(docs)} documents, {store.total_data_bytes():,} bytes")
+
+    # 2. Mobile clients submit XPath queries over the uplink.
+    queries = generate_workload(docs, 8, seed=11)
+    server = BroadcastServer(store, cycle_data_capacity=60_000)
+    for query in queries:
+        pending = server.submit(query, arrival_time=0)
+        print(f"  submitted {str(query):45s} -> {len(pending.result_doc_ids)} docs")
+
+    # 3. The server assembles the first broadcast cycle: pruned compact
+    #    index (first tier), offset list (second tier), then documents.
+    cycle = server.build_cycle()
+    print(
+        f"\ncycle 0: {cycle.total_bytes:,} bytes on air "
+        f"(L_I={cycle.first_tier_bytes:,} B, "
+        f"L_O={cycle.offset_list.size_bytes} B, "
+        f"{len(cycle.doc_ids)} documents)"
+    )
+    print(f"  PCI: {cycle.pci.node_count} nodes, pruned from the requested set")
+
+    # 4. A client runs the improved two-tier protocol on that cycle.
+    client = TwoTierClient(queries[0], arrival_time=0)
+    client.on_cycle(cycle)
+    while not client.satisfied:
+        next_cycle = server.build_cycle()
+        assert next_cycle is not None
+        client.on_cycle(next_cycle)
+
+    m = client.metrics
+    print(f"\nclient for {queries[0]}:")
+    print(f"  initial probe      : {m.probe_bytes:>8,} B")
+    print(f"  first-tier search  : {m.index_bytes:>8,} B (read once)")
+    print(f"  second-tier reads  : {m.offset_bytes:>8,} B over {m.cycles_listened} cycles")
+    print(f"  documents          : {m.doc_bytes:>8,} B ({m.result_doc_count} docs)")
+    print(f"  tuning time        : {m.tuning_bytes:>8,} B total")
+    print(f"  access time        : {m.access_bytes:>8,} B of broadcast elapsed")
+
+
+if __name__ == "__main__":
+    main()

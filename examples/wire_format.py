@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Inspect the on-air byte format of the two-tier index.
+
+Builds a pruned compact index over the paper's running example (the five
+documents d1..d5 of Figure 2), encodes both tiers to their wire format,
+hexdumps the leading packets and decodes them back -- demonstrating that
+a client can reconstruct the index from the broadcast bytes alone.
+
+Run:  python examples/wire_format.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BroadcastServer,
+    DocumentStore,
+    XMLDocument,
+    parse_query,
+)
+from repro.index.encoding import (
+    LabelTable,
+    decode_index,
+    decode_offset_list,
+    encode_index,
+    encode_offset_list,
+)
+from repro.xmlkit.model import build_element
+
+
+def paper_documents():
+    """The running example's five documents (Figure 2(a) reconstruction)."""
+    return [
+        XMLDocument(0, build_element("a", build_element("b", build_element("a")))),
+        XMLDocument(
+            1,
+            build_element(
+                "a",
+                build_element("b", build_element("a"), build_element("c")),
+                build_element("c", build_element("b")),
+            ),
+        ),
+        XMLDocument(2, build_element("a", build_element("b"), build_element("c"))),
+        XMLDocument(3, build_element("a", build_element("c", build_element("a")))),
+        XMLDocument(
+            4,
+            build_element(
+                "a", build_element("b"), build_element("c", build_element("a"))
+            ),
+        ),
+    ]
+
+
+def hexdump(blob: bytes, limit: int = 96) -> str:
+    lines = []
+    for offset in range(0, min(len(blob), limit), 16):
+        chunk = blob[offset : offset + 16]
+        hexes = " ".join(f"{byte:02x}" for byte in chunk)
+        lines.append(f"  {offset:04x}  {hexes}")
+    if len(blob) > limit:
+        lines.append(f"  ... ({len(blob) - limit} more bytes)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    docs = paper_documents()
+    server = BroadcastServer(DocumentStore(docs), cycle_data_capacity=10_000)
+    for text in ("/a/b/a", "/a//c", "/a/c/*"):
+        server.submit(parse_query(text), 0)
+    cycle = server.build_cycle()
+    pci = cycle.pci
+
+    print(f"PCI: {pci.node_count} nodes over labels "
+          f"{sorted({n.label for n in pci.nodes})}")
+    for node in pci.nodes:
+        print(f"  n{node.node_id} {'/'.join(node.path_from_root()):12s} "
+              f"kind={node.kind.value:8s} docs={list(node.doc_ids)}")
+
+    table = LabelTable.from_index(pci)
+    first_tier = encode_index(pci, table, one_tier=False)
+    print(f"\nfirst tier on air: {len(first_tier)} bytes "
+          f"({pci.size_model.packets_for(len(first_tier))} packet(s) of 128 B)")
+    print(hexdump(first_tier))
+
+    second_tier = encode_offset_list(cycle.offset_list)
+    print(f"\nsecond tier on air: {len(second_tier)} bytes, "
+          f"{cycle.offset_list.doc_count} (doc, offset) entries")
+    print(hexdump(second_tier))
+
+    # A client decodes the broadcast bytes and answers a query locally.
+    decoded, _ = decode_index(
+        first_tier, table, one_tier=False, root_label=pci.root.label
+    )
+    offsets = decode_offset_list(second_tier)
+    query = parse_query("/a//c")
+    ids = decoded.lookup(query).doc_ids
+    print(f"\ndecoded lookup {query}: result doc ids {list(ids)}")
+    print(f"second-tier join: {offsets.lookup(ids)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Workload analysis: redundancy, containment and the energy bill.
+
+Two analyses the broadcast operator would actually run:
+
+1. **containment analysis** -- how much of the pending workload is
+   duplicated or subsumed by wider queries (exact regular-language
+   inclusion on the paper's linear fragment);
+2. **energy accounting** -- what a session costs a handset in Joules
+   under a realistic WNIC power profile, per protocol.
+
+Run:  python examples/workload_insights.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SimulationConfig,
+    generate_collection,
+    generate_workload,
+    nitf_like_dtd,
+    parse_query,
+    run_simulation,
+)
+from repro.analysis.energy import PowerProfile, mean_energy_by_protocol
+from repro.experiments.report import print_table
+from repro.xpath.containment import analyse_workload, contains
+
+
+def main() -> None:
+    docs = generate_collection(nitf_like_dtd(), 150, seed=7)
+
+    # --- 1. Containment / redundancy -------------------------------------
+    workload = generate_workload(docs, 60, seed=11, wildcard_descendant_prob=0.2)
+    workload += [parse_query("//title"), parse_query("/nitf//title")]
+    analysis = analyse_workload(workload)
+    print(f"workload: {analysis.total} queries")
+    print(f"  distinct effective : {len(analysis.effective)}")
+    print(f"  duplicates         : {len(analysis.duplicates_of)}")
+    print(f"  subsumed by wider  : {len(analysis.subsumed_by)}")
+    print(f"  redundant fraction : {analysis.redundant_fraction:.0%}\n")
+
+    shown = 0
+    for narrow, wide in analysis.subsumed_by.items():
+        print(f"  {str(workload[narrow]):45.45s} ⊆ {workload[wide]}")
+        shown += 1
+        if shown == 5:
+            break
+    assert contains(parse_query("//title"), parse_query("/nitf//title"))
+
+    # --- 2. Energy accounting ---------------------------------------------
+    config = SimulationConfig(
+        document_count=150,
+        n_q=60,
+        arrival_cycles=2,
+        cycle_data_capacity=100_000,
+        track_naive_baseline=True,
+    )
+    result = run_simulation(config, documents=docs)
+    profile = PowerProfile()  # 1 W active / 50 mW doze / 1 Mbit/s
+    energies = mean_energy_by_protocol(result, profile)
+    rows = [
+        (
+            protocol,
+            energy.active_joules,
+            energy.doze_joules,
+            energy.total_joules,
+            f"{energy.active_fraction:.0%}",
+        )
+        for protocol, energy in energies.items()
+    ]
+    print()
+    print_table(
+        "Mean per-session energy (1W active / 50mW doze / 1Mbit/s)",
+        ("protocol", "active J", "doze J", "total J", "active share"),
+        rows,
+        note=(
+            "Document downloads dominate everyone's active term; the index "
+            "scheme decides the rest -- and lets the handset doze through it."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

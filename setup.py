@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build the
+editable wheel.  ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation`` on newer setuptools) uses this shim instead.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

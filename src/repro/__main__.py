@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``generate``  -- emit a synthetic XML collection to a directory;
+* ``workload``  -- print a synthetic XPath workload for a collection;
+* ``index``     -- build CI -> PCI -> two-tier over a collection and a
+  workload, print the size breakdown;
+* ``simulate``  -- run one end-to-end broadcast simulation and print the
+  summary;
+* ``figures``   -- alias of ``python -m repro.experiments``.
+
+Everything is seeded and offline; see ``--help`` of each subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.broadcast.program import IndexScheme
+from repro.broadcast.server import DocumentStore, build_ci_from_store
+from repro.experiments.report import print_table
+from repro.filtering.yfilter import YFilterEngine
+from repro.index.pruning import prune_to_pci
+from repro.index.twotier import split_two_tier
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import run_simulation
+from repro.tools.persist import (
+    load_collection,
+    load_workload,
+    save_collection,
+    save_workload,
+)
+from repro.tools.trace import export_trace
+from repro.xmlkit.generator import (
+    GeneratorConfig,
+    dblp_like_dtd,
+    generate_collection,
+    nasa_like_dtd,
+    nitf_like_dtd,
+)
+from repro.xmlkit.stats import collection_stats
+from repro.xpath.generator import generate_workload
+
+
+def _dtd(name: str):
+    return {"nitf": nitf_like_dtd, "nasa": nasa_like_dtd, "dblp": dblp_like_dtd}[name]()
+
+
+def _add_collection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dtd", choices=("nitf", "nasa", "dblp"), default="nitf")
+    parser.add_argument("--count", type=int, default=100, help="documents")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_generate(args) -> int:
+    documents = generate_collection(
+        _dtd(args.dtd), args.count, config=GeneratorConfig(seed=args.seed)
+    )
+    for doc in documents:
+        doc.name = f"{args.dtd}-{doc.doc_id:05d}"
+    stats = collection_stats(documents)
+    out_dir = save_collection(documents, args.out)
+    print(f"wrote {stats.document_count} documents (+ manifest.json) to {out_dir}/")
+    print(stats.summary())
+    return 0
+
+
+def _collection_for(args):
+    """Load a saved collection when --collection is given, else generate."""
+    if getattr(args, "collection", None):
+        return load_collection(args.collection)
+    return generate_collection(
+        _dtd(args.dtd), args.count, config=GeneratorConfig(seed=args.seed)
+    )
+
+
+def cmd_workload(args) -> int:
+    documents = _collection_for(args)
+    queries = generate_workload(
+        documents,
+        args.queries,
+        seed=args.query_seed,
+        wildcard_descendant_prob=args.p,
+        max_depth=args.dq,
+    )
+    if args.out:
+        save_workload(queries, args.out)
+        print(f"wrote {len(queries)} queries to {args.out}")
+        return 0
+    for query in queries:
+        print(query)
+    return 0
+
+
+def cmd_index(args) -> int:
+    documents = _collection_for(args)
+    store = DocumentStore(documents)
+    if args.workload:
+        queries = load_workload(args.workload)
+    else:
+        queries = generate_workload(
+            documents,
+            args.queries,
+            seed=args.query_seed,
+            wildcard_descendant_prob=args.p,
+            max_depth=args.dq,
+        )
+    engine = YFilterEngine.from_queries(queries)
+    result = engine.filter_collection(documents)
+    ci = build_ci_from_store(store, result.requested_doc_ids)
+    pci, stats = prune_to_pci(ci, queries)
+    two_tier = split_two_tier(pci)
+    data = store.total_data_bytes()
+    print_table(
+        f"Index sizes ({args.count} docs, {args.queries} queries)",
+        ("structure", "nodes", "bytes", "% of data"),
+        [
+            ("CI (one-tier)", stats.nodes_before, stats.bytes_before,
+             100 * stats.bytes_before / data),
+            ("PCI (one-tier)", stats.nodes_after, stats.bytes_after,
+             100 * stats.bytes_after / data),
+            ("first tier (L_I)", stats.nodes_after, two_tier.first_tier_bytes,
+             100 * two_tier.first_tier_bytes / data),
+        ],
+        note=f"collection: {data:,} bytes; requested docs: "
+        f"{len(result.requested_doc_ids)}",
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = SimulationConfig(
+        dtd=args.dtd,
+        document_count=args.count,
+        collection_seed=args.seed,
+        n_q=args.queries,
+        wildcard_prob=args.p,
+        max_query_depth=args.dq,
+        cycle_data_capacity=args.capacity,
+        scheduler=args.scheduler,
+        scheme=IndexScheme(args.scheme),
+        loss_prob=args.loss,
+        arrival_cycles=args.arrival_cycles,
+    )
+    documents = load_collection(args.collection) if args.collection else None
+    result = run_simulation(config, documents=documents)
+    if args.trace:
+        export_trace(result, args.trace)
+        print(f"trace written to {args.trace}")
+    rows = [(key, value) for key, value in result.summary().items()]
+    rows.append(("completed", int(result.completed)))
+    if args.loss == 0:
+        rows.append(
+            (
+                "improvement (1-tier/2-tier lookup)",
+                result.mean_index_lookup_bytes("one-tier")
+                / max(1.0, result.mean_index_lookup_bytes("two-tier")),
+            )
+        )
+    print_table("Simulation summary", ("metric", "value"), rows)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="emit a synthetic collection")
+    _add_collection_args(generate)
+    generate.add_argument("--out", default="collection", help="output directory")
+    generate.set_defaults(func=cmd_generate)
+
+    workload = commands.add_parser("workload", help="print a query workload")
+    _add_collection_args(workload)
+    workload.add_argument("--queries", type=int, default=20)
+    workload.add_argument("--query-seed", type=int, default=11)
+    workload.add_argument("--p", type=float, default=0.1)
+    workload.add_argument("--dq", type=int, default=10)
+    workload.add_argument("--collection", help="load a saved collection directory")
+    workload.add_argument("--out", help="write the workload to a file")
+    workload.set_defaults(func=cmd_workload)
+
+    index = commands.add_parser("index", help="build CI/PCI/two-tier and size them")
+    _add_collection_args(index)
+    index.add_argument("--queries", type=int, default=100)
+    index.add_argument("--query-seed", type=int, default=11)
+    index.add_argument("--p", type=float, default=0.1)
+    index.add_argument("--dq", type=int, default=10)
+    index.add_argument("--collection", help="load a saved collection directory")
+    index.add_argument("--workload", help="load a saved workload file")
+    index.set_defaults(func=cmd_index)
+
+    simulate = commands.add_parser("simulate", help="run one broadcast simulation")
+    _add_collection_args(simulate)
+    simulate.add_argument("--queries", type=int, default=100, help="N_Q per cycle")
+    simulate.add_argument("--p", type=float, default=0.1)
+    simulate.add_argument("--dq", type=int, default=10)
+    simulate.add_argument("--capacity", type=int, default=200_000)
+    simulate.add_argument("--arrival-cycles", type=int, default=2)
+    simulate.add_argument(
+        "--scheduler", choices=("leelo", "fcfs", "mrf", "rxw"), default="leelo"
+    )
+    simulate.add_argument(
+        "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
+    )
+    simulate.add_argument("--loss", type=float, default=0.0)
+    simulate.add_argument("--collection", help="load a saved collection directory")
+    simulate.add_argument("--trace", help="export the run as a JSONL trace")
+    simulate.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figures":  # pragma: no cover - alias note only
+        print("use: python -m repro.experiments")
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

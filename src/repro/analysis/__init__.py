@@ -1,0 +1,43 @@
+"""Analytical cost models for the two-tier air index.
+
+The paper analyses the improved protocol with Equation (1),
+``TT = L_I + n * L_O + download``.  This package turns that analysis
+into executable predictions -- expected cycle counts from capacity and
+demand, expected index-lookup tuning per protocol -- and validates them
+against the discrete-event simulation (tests + the model-validation
+bench), so the simulator and the closed forms keep each other honest.
+"""
+
+from repro.analysis.energy import (
+    PowerProfile,
+    SessionEnergy,
+    energy_saving,
+    mean_energy_by_protocol,
+    session_energy,
+)
+from repro.analysis.model import (
+    CostModelInputs,
+    ModelValidation,
+    TuningPrediction,
+    inputs_from_simulation,
+    predict_cycles_to_drain,
+    predict_one_tier_lookup,
+    predict_two_tier_lookup,
+    validate_against_simulation,
+)
+
+__all__ = [
+    "PowerProfile",
+    "SessionEnergy",
+    "energy_saving",
+    "mean_energy_by_protocol",
+    "session_energy",
+    "CostModelInputs",
+    "ModelValidation",
+    "TuningPrediction",
+    "inputs_from_simulation",
+    "predict_cycles_to_drain",
+    "predict_one_tier_lookup",
+    "predict_two_tier_lookup",
+    "validate_against_simulation",
+]

@@ -1,0 +1,113 @@
+"""Energy accounting on top of the byte-level tuning metrics.
+
+The paper uses tuning time as an energy *proxy* ("the main concerns ...
+include access efficiency and energy consumption", Section 2.2).  This
+module makes the proxy concrete: given a wireless-interface power
+profile (active vs doze draw and a channel bandwidth), a client session's
+byte counts convert to Joules.
+
+The default profile uses the figures common in the air-indexing
+literature (Imielinski et al.-era WNICs): ~1 W active, ~50 mW doze,
+with a 1 Mbit/s broadcast channel.  Absolute Joules scale linearly with
+the profile; the *ratios* between protocols equal the tuning-time ratios
+whenever doze draw is negligible -- which the validation test checks, so
+the proxy's soundness is itself pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.results import ClientRecord, SimulationResult
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Wireless interface power draw and channel speed."""
+
+    active_watts: float = 1.0
+    doze_watts: float = 0.05
+    bandwidth_bytes_per_second: float = 125_000.0  # 1 Mbit/s
+
+    def __post_init__(self) -> None:
+        if self.active_watts <= 0 or self.doze_watts < 0:
+            raise ValueError("power draws must be positive (doze may be 0)")
+        if self.doze_watts >= self.active_watts:
+            raise ValueError("doze draw must be below active draw")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def seconds_for(self, byte_count: float) -> float:
+        return byte_count / self.bandwidth_bytes_per_second
+
+
+@dataclass(frozen=True)
+class SessionEnergy:
+    """Energy decomposition of one client session."""
+
+    active_joules: float
+    doze_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.active_joules + self.doze_joules
+
+    @property
+    def active_fraction(self) -> float:
+        total = self.total_joules
+        return self.active_joules / total if total else 0.0
+
+
+def session_energy(
+    record: ClientRecord, profile: PowerProfile = PowerProfile()
+) -> SessionEnergy:
+    """Energy of one completed session.
+
+    Active time covers the bytes the client listened to (tuning);
+    everything else until completion is spent dozing.
+    """
+    active_seconds = profile.seconds_for(record.tuning_bytes)
+    total_seconds = profile.seconds_for(record.access_bytes)
+    doze_seconds = max(0.0, total_seconds - active_seconds)
+    return SessionEnergy(
+        active_joules=active_seconds * profile.active_watts,
+        doze_joules=doze_seconds * profile.doze_watts,
+    )
+
+
+def mean_energy_by_protocol(
+    result: SimulationResult, profile: PowerProfile = PowerProfile()
+) -> Dict[str, SessionEnergy]:
+    """Mean per-session energy for every protocol in a finished run."""
+    energies: Dict[str, SessionEnergy] = {}
+    protocols = {record.protocol for record in result.clients}
+    for protocol in sorted(protocols):
+        records = result.records_for(protocol)
+        actives = []
+        dozes = []
+        for record in records:
+            energy = session_energy(record, profile)
+            actives.append(energy.active_joules)
+            dozes.append(energy.doze_joules)
+        energies[protocol] = SessionEnergy(
+            active_joules=sum(actives) / len(actives),
+            doze_joules=sum(dozes) / len(dozes),
+        )
+    return energies
+
+
+def energy_saving(
+    result: SimulationResult,
+    baseline: str = "one-tier",
+    improved: str = "two-tier",
+    profile: PowerProfile = PowerProfile(),
+) -> float:
+    """Fractional total-energy saving of *improved* over *baseline*."""
+    energies = mean_energy_by_protocol(result, profile)
+    if baseline not in energies or improved not in energies:
+        raise ValueError(f"run lacks records for {baseline!r} or {improved!r}")
+    base = energies[baseline].total_joules
+    if base == 0:
+        return 0.0
+    return 1.0 - energies[improved].total_joules / base

@@ -1,0 +1,189 @@
+"""Closed-form tuning-time predictions (Equation 1 made executable).
+
+Inputs are averages any deployment can estimate up front (index sizes,
+offset-list size, per-cycle document count, demand volume); outputs are
+expected per-query costs.  The model's purpose is *validation*: the
+predictions must land near the discrete-event simulation's measurements
+(``validate_against_simulation``), which pins both the simulator's
+accounting and the paper's analysis at once.
+
+Model
+-----
+
+A client that needs its documents spread over ``n`` cycles pays:
+
+* two-tier:  ``probe + first_tier_read + n * L_O_air``  (Equation 1);
+* one-tier:  ``probe + n * per_cycle_search``            (Section 3.1),
+
+with ``n ~ cycles_to_drain = ceil(total requested air bytes / cycle
+capacity)`` under a scheduler that keeps every cycle full until the
+requested set is flushed -- which completion-oriented scheduling
+approximates whenever demand is shared (the paper's regime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+
+
+def predict_cycles_to_drain(requested_air_bytes: int, cycle_capacity: int) -> int:
+    """Cycles needed to flush the requested document mass."""
+    if cycle_capacity <= 0:
+        raise ValueError("cycle_capacity must be positive")
+    if requested_air_bytes < 0:
+        raise ValueError("requested_air_bytes must be non-negative")
+    return max(1, math.ceil(requested_air_bytes / cycle_capacity))
+
+
+def predict_two_tier_lookup(
+    first_tier_read_bytes: float,
+    cycles: float,
+    offset_list_air_bytes: float,
+    packet_bytes: int,
+) -> float:
+    """Equation (1)'s index-lookup term, packet probe included."""
+    return packet_bytes + first_tier_read_bytes + cycles * offset_list_air_bytes
+
+
+def predict_one_tier_lookup(
+    per_cycle_search_bytes: float,
+    cycles: float,
+    packet_bytes: int,
+) -> float:
+    """The baseline protocol: one search per cycle, every cycle."""
+    return packet_bytes + cycles * per_cycle_search_bytes
+
+
+@dataclass(frozen=True)
+class CostModelInputs:
+    """Everything the closed forms need, typically measured or estimated."""
+
+    packet_bytes: int
+    cycle_capacity: int
+    requested_air_bytes: int
+    first_tier_read_bytes: float  #: mean selective first-tier read
+    one_tier_search_bytes: float  #: mean selective one-tier search
+    offset_list_air_bytes: float  #: mean per-cycle L_O on air
+
+
+@dataclass(frozen=True)
+class TuningPrediction:
+    """Model outputs for one configuration."""
+
+    cycles: float
+    two_tier_lookup: float
+    one_tier_lookup: float
+
+    @property
+    def improvement(self) -> float:
+        return (
+            self.one_tier_lookup / self.two_tier_lookup
+            if self.two_tier_lookup
+            else float("inf")
+        )
+
+
+def predict(inputs: CostModelInputs) -> TuningPrediction:
+    """Run the full model."""
+    cycles = predict_cycles_to_drain(inputs.requested_air_bytes, inputs.cycle_capacity)
+    return TuningPrediction(
+        cycles=cycles,
+        two_tier_lookup=predict_two_tier_lookup(
+            inputs.first_tier_read_bytes,
+            cycles,
+            inputs.offset_list_air_bytes,
+            inputs.packet_bytes,
+        ),
+        one_tier_lookup=predict_one_tier_lookup(
+            inputs.one_tier_search_bytes, cycles, inputs.packet_bytes
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation against the simulator
+# ----------------------------------------------------------------------
+
+
+def inputs_from_simulation(
+    result: SimulationResult, cycle_capacity: int, packet_bytes: int = 128
+) -> CostModelInputs:
+    """Estimate the model's inputs from a finished run's records.
+
+    Per-protocol mean search costs are backed out of the measured
+    components: the two-tier client's ``index_bytes`` is its one
+    first-tier read; the one-tier client's ``index_bytes / cycles`` is
+    its per-cycle search.
+    """
+    two = result.records_for("two-tier")
+    one = result.records_for("one-tier")
+    if not two or not one:
+        raise ValueError("need completed sessions for both protocols")
+    total_data = sum(cycle.data_bytes for cycle in result.cycles)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - local shorthand
+    return CostModelInputs(
+        packet_bytes=packet_bytes,
+        cycle_capacity=cycle_capacity,
+        requested_air_bytes=total_data,
+        first_tier_read_bytes=mean([r.index_bytes for r in two]),
+        one_tier_search_bytes=mean(
+            [r.index_bytes / max(1, r.cycles_listened) for r in one]
+        ),
+        offset_list_air_bytes=mean(
+            [r.offset_bytes / max(1, r.cycles_listened) for r in two]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ModelValidation:
+    """Prediction vs measurement, with relative errors."""
+
+    predicted: TuningPrediction
+    measured_cycles: float
+    measured_two_tier: float
+    measured_one_tier: float
+
+    @staticmethod
+    def _relative_error(predicted: float, measured: float) -> float:
+        if measured == 0:
+            return 0.0 if predicted == 0 else float("inf")
+        return abs(predicted - measured) / measured
+
+    @property
+    def cycles_error(self) -> float:
+        return self._relative_error(self.predicted.cycles, self.measured_cycles)
+
+    @property
+    def two_tier_error(self) -> float:
+        return self._relative_error(
+            self.predicted.two_tier_lookup, self.measured_two_tier
+        )
+
+    @property
+    def one_tier_error(self) -> float:
+        return self._relative_error(
+            self.predicted.one_tier_lookup, self.measured_one_tier
+        )
+
+    @property
+    def max_error(self) -> float:
+        return max(self.cycles_error, self.two_tier_error, self.one_tier_error)
+
+
+def validate_against_simulation(
+    result: SimulationResult,
+    cycle_capacity: int,
+    packet_bytes: int = 128,
+) -> ModelValidation:
+    """Predict from the run's own aggregates and compare to measurements."""
+    inputs = inputs_from_simulation(result, cycle_capacity, packet_bytes)
+    return ModelValidation(
+        predicted=predict(inputs),
+        measured_cycles=result.mean_cycles_listened("two-tier"),
+        measured_two_tier=result.mean_index_lookup_bytes("two-tier"),
+        measured_one_tier=result.mean_index_lookup_bytes("one-tier"),
+    )

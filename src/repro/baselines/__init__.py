@@ -1,0 +1,30 @@
+"""Baselines the paper positions itself against (Section 1).
+
+* :mod:`repro.baselines.perdoc` -- the per-document embedded index of
+  prior work (Chung & Lee 2007, Park et al. 2006): every document carries
+  its own structural index, costing ~10% of the data size and giving
+  clients no global picture of the result set;
+* :mod:`repro.baselines.naive` -- no index at all: exhaustive listening;
+* :mod:`repro.baselines.signature` -- superimposed-coding signature index
+  (the "conventional signature indexes" Section 3.1 contrasts DataGuides
+  with): compact but inaccurate, paying false-drop downloads.
+"""
+
+from repro.baselines.perdoc import PerDocumentIndexBaseline, PerDocumentIndexStats
+from repro.baselines.naive import exhaustive_listening_bound
+from repro.baselines.signature import (
+    SignatureAccuracy,
+    SignatureConfig,
+    SignatureIndex,
+    signature_tuning_bytes,
+)
+
+__all__ = [
+    "PerDocumentIndexBaseline",
+    "PerDocumentIndexStats",
+    "exhaustive_listening_bound",
+    "SignatureAccuracy",
+    "SignatureConfig",
+    "SignatureIndex",
+    "signature_tuning_bytes",
+]

@@ -1,0 +1,45 @@
+"""Exhaustive-listening bound: what no-index clients pay.
+
+Without an air index (or with only per-document indexes and no global
+picture), a client must stay in active mode through every data segment
+because it can never rule out that a matching document is coming.  The
+:class:`~repro.client.naive.NaiveClient` measures this inside a
+simulation; this module provides the closed-form lower bound used by the
+headline-ratio bench: a client that arrives at time 0 and whose last
+result document completes at channel time T has listened to at least the
+entire data broadcast up to T.
+"""
+
+from __future__ import annotations
+
+
+from repro.sim.results import SimulationResult
+
+
+def exhaustive_listening_bound(result: SimulationResult) -> float:
+    """Mean lower-bound tuning bytes for index-less clients.
+
+    For each completed two-tier client session (whose completion time is
+    protocol-independent: documents arrive when they arrive), charge the
+    total data-segment bytes broadcast between its arrival and completion.
+    """
+    records = result.records_for("two-tier")
+    if not records:
+        return 0.0
+    spans = [
+        (cycle.start_time, cycle.start_time + cycle.total_bytes, cycle.data_bytes)
+        for cycle in sorted(result.cycles, key=lambda c: c.start_time)
+    ]
+
+    def data_between(start: int, end: int) -> int:
+        return sum(
+            data
+            for cycle_start, cycle_end, data in spans
+            if cycle_end > start and cycle_start < end
+        )
+
+    bounds = [
+        data_between(record.arrival_time, record.arrival_time + record.access_bytes)
+        for record in records
+    ]
+    return sum(bounds) / len(bounds)

@@ -1,0 +1,218 @@
+"""Signature-based air index baseline (paper Section 3.1's contrast).
+
+"Unlike conventional signature indexes [12], DataGuides is accurate."
+Signature schemes from the data-broadcast literature hash each data
+item's attributes into a fixed-width bit vector and broadcast the
+signatures ahead of the items; clients match their query's signature
+against each item's and download on a hit.  Superimposed coding makes
+signatures small but *inaccurate*: unrelated attribute combinations can
+set the same bits (false drops), costing wasted downloads.
+
+Here each document's signature superimposes the hashes of its distinct
+label paths (and, to let `//`-queries probe, all suffixes of those
+paths).  A query maps to the bits of its own concrete path fragments; a
+document whose signature covers the query's bits is a *candidate*.
+Containment of real matches is guaranteed (no false negatives) for
+child-axis queries and for the descendant/wildcard fragments we encode;
+precision is what the paper's comparison is about.
+
+The broadcast layout is a flat signature table: ``doc_count`` entries of
+``(doc_id, signature, offset)``.  Clients read the whole table (it has
+no structure to navigate), then download every candidate document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
+from repro.xmlkit.model import XMLDocument
+from repro.xpath.ast import Axis, WILDCARD, XPathQuery
+
+
+def _hash_bits(fragment: Tuple[str, ...], signature_bits: int, bits_per_key: int) -> Set[int]:
+    """The bit positions a path fragment sets (superimposed coding)."""
+    positions: Set[int] = set()
+    material = "/".join(fragment).encode("utf-8")
+    counter = 0
+    while len(positions) < bits_per_key:
+        digest = hashlib.blake2b(
+            material + counter.to_bytes(2, "big"), digest_size=8
+        ).digest()
+        positions.add(int.from_bytes(digest, "big") % signature_bits)
+        counter += 1
+    return positions
+
+
+@dataclass(frozen=True)
+class SignatureConfig:
+    """Superimposed-coding parameters."""
+
+    signature_bits: int = 512
+    bits_per_key: int = 3
+
+    def __post_init__(self) -> None:
+        if self.signature_bits < 8 or self.signature_bits % 8:
+            raise ValueError("signature_bits must be a positive multiple of 8")
+        if not 1 <= self.bits_per_key <= self.signature_bits:
+            raise ValueError("bits_per_key out of range")
+
+    @property
+    def signature_bytes(self) -> int:
+        return self.signature_bits // 8
+
+
+class SignatureIndex:
+    """Per-document path signatures over a collection."""
+
+    def __init__(
+        self,
+        documents: Sequence[XMLDocument],
+        config: SignatureConfig = SignatureConfig(),
+        size_model: SizeModel = PAPER_SIZE_MODEL,
+    ) -> None:
+        if not documents:
+            raise ValueError("cannot index an empty collection")
+        self.config = config
+        self.size_model = size_model
+        self.doc_ids: Tuple[int, ...] = tuple(doc.doc_id for doc in documents)
+        self._signatures: Dict[int, int] = {}
+        self._bit_cache: Dict[Tuple[str, ...], FrozenSet[int]] = {}
+        for doc in documents:
+            self._signatures[doc.doc_id] = self._document_signature(doc)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _fragment_bits(self, fragment: Tuple[str, ...]) -> FrozenSet[int]:
+        cached = self._bit_cache.get(fragment)
+        if cached is None:
+            cached = frozenset(
+                _hash_bits(fragment, self.config.signature_bits, self.config.bits_per_key)
+            )
+            self._bit_cache[fragment] = cached
+        return cached
+
+    def _document_signature(self, document: XMLDocument) -> int:
+        signature = 0
+        for path in document.distinct_label_paths():
+            # Encode every suffix of every distinct path so descendant-
+            # anchored query fragments can probe the signature.
+            for start in range(len(path)):
+                for bit in self._fragment_bits(path[start:]):
+                    signature |= 1 << bit
+        return signature
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _query_fragments(query: XPathQuery) -> List[Tuple[str, ...]]:
+        """Concrete label runs of the query (wildcards/axes break runs).
+
+        Each run of child-axis steps with concrete tests forms a fragment
+        that must appear contiguously in any matching document, hence its
+        bits must be present in the signature.
+        """
+        fragments: List[Tuple[str, ...]] = []
+        run: List[str] = []
+        for step in query.steps:
+            if step.axis is Axis.DESCENDANT or step.test == WILDCARD:
+                if run:
+                    fragments.append(tuple(run))
+                    run = []
+                if step.test != WILDCARD:
+                    run.append(step.test)
+            else:
+                run.append(step.test)
+        if run:
+            fragments.append(tuple(run))
+        return fragments
+
+    def query_bits(self, query: XPathQuery) -> FrozenSet[int]:
+        bits: Set[int] = set()
+        for fragment in self._query_fragments(query):
+            bits.update(self._fragment_bits(fragment))
+        return frozenset(bits)
+
+    def candidates(self, query: XPathQuery) -> FrozenSet[int]:
+        """Documents whose signature covers the query's bits."""
+        bits = self.query_bits(query)
+        if not bits:
+            # All-wildcard/descendant query: everything is a candidate.
+            return frozenset(self.doc_ids)
+        mask = 0
+        for bit in bits:
+            mask |= 1 << bit
+        return frozenset(
+            doc_id
+            for doc_id, signature in self._signatures.items()
+            if signature & mask == mask
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    @property
+    def table_bytes(self) -> int:
+        """On-air size of the signature table."""
+        model = self.size_model
+        entry = model.doc_id_bytes + self.config.signature_bytes + model.pointer_bytes
+        return model.count_bytes + len(self.doc_ids) * entry
+
+    def accuracy(
+        self, query: XPathQuery, true_matches: FrozenSet[int]
+    ) -> "SignatureAccuracy":
+        """Candidate quality against the ground truth."""
+        candidates = self.candidates(query)
+        false_drops = candidates - true_matches
+        missed = true_matches - candidates
+        return SignatureAccuracy(
+            candidate_count=len(candidates),
+            true_count=len(true_matches),
+            false_drop_count=len(false_drops),
+            missed_count=len(missed),
+        )
+
+
+@dataclass(frozen=True)
+class SignatureAccuracy:
+    """Candidate-set quality of one signature probe."""
+
+    candidate_count: int
+    true_count: int
+    false_drop_count: int
+    missed_count: int
+
+    @property
+    def precision(self) -> float:
+        if not self.candidate_count:
+            return 1.0
+        return (self.candidate_count - self.false_drop_count) / self.candidate_count
+
+    @property
+    def is_sound(self) -> bool:
+        """No false negatives (the scheme's containment guarantee)."""
+        return self.missed_count == 0
+
+
+def signature_tuning_bytes(
+    index: SignatureIndex,
+    query: XPathQuery,
+    doc_air_bytes: Dict[int, int],
+) -> int:
+    """Tuning cost of one signature-indexed retrieval: the whole table
+    plus every candidate document (false drops included)."""
+    model = index.size_model
+    table = model.packet_aligned_bytes(index.table_bytes)
+    downloads = sum(
+        doc_air_bytes[doc_id]
+        for doc_id in index.candidates(query)
+        if doc_id in doc_air_bytes
+    )
+    return table + downloads

@@ -1,0 +1,52 @@
+"""Broadcast server substrate: packets, schedulers, cycle programs, server.
+
+An on-demand broadcast server (paper Figure 1) accumulates XPath queries
+in a pending queue, resolves each to its result documents, and assembles
+*broadcast cycles*: an air index segment followed by the cycle's document
+segment.  The scheduling algorithm decides which requested documents each
+cycle carries; the paper adopts Lee & Lo's allocation for multi-item
+requests [8], re-implemented here along with simpler baselines.
+
+* :mod:`repro.broadcast.packets` -- packet and segment primitives;
+* :mod:`repro.broadcast.scheduling` -- document schedulers (Lee-Lo-style,
+  FCFS, most-requested-first, RxW);
+* :mod:`repro.broadcast.program` -- cycle assembly with byte-exact
+  offsets for one-tier and two-tier index schemes;
+* :mod:`repro.broadcast.server` -- the server loop: query admission,
+  resolution, per-cycle PCI construction and program emission.
+"""
+
+from repro.broadcast.packets import PacketKind, CycleLayout
+from repro.broadcast.scheduling import (
+    FCFSScheduler,
+    LeeLoScheduler,
+    MostRequestedFirstScheduler,
+    RxWScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.broadcast.program import BroadcastCycle, IndexScheme, build_cycle_program
+from repro.broadcast.server import BroadcastServer, DocumentStore, PendingQuery
+from repro.broadcast.loss import LOSSLESS, PacketLossModel
+from repro.broadcast.validate import CycleValidationError, validate_cycle
+
+__all__ = [
+    "PacketKind",
+    "CycleLayout",
+    "Scheduler",
+    "FCFSScheduler",
+    "LeeLoScheduler",
+    "MostRequestedFirstScheduler",
+    "RxWScheduler",
+    "make_scheduler",
+    "BroadcastCycle",
+    "IndexScheme",
+    "build_cycle_program",
+    "BroadcastServer",
+    "DocumentStore",
+    "PendingQuery",
+    "LOSSLESS",
+    "PacketLossModel",
+    "CycleValidationError",
+    "validate_cycle",
+]

@@ -1,0 +1,70 @@
+"""Packet-loss model for error-prone broadcast channels (extension).
+
+The paper assumes a reliable channel; the air-indexing literature it
+builds on (e.g. the distributed-index work for error-prone broadcast)
+does not.  This module adds an i.i.d. per-packet erasure model so the
+simulation can measure how the two-tier protocol degrades: a lost
+first-tier packet forces the client to retry the index read next cycle,
+a lost offset-list packet blinds it for one cycle, and a lost document
+packet costs a rebroadcast.
+
+Losses are *deterministic* given (seed, client, cycle, packet): each
+decision hashes its coordinates into a fresh PRNG, so runs reproduce
+exactly and two clients experience independent channels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class PacketLossModel:
+    """I.i.d. packet erasures at a fixed probability."""
+
+    loss_prob: float
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+    @property
+    def is_lossless(self) -> bool:
+        return self.loss_prob == 0.0
+
+    def packet_lost(self, client_key: int, cycle_number: int, packet_index: int) -> bool:
+        """Was this packet erased for this client in this cycle?"""
+        if self.is_lossless:
+            return False
+        rng = random.Random(f"{self.seed}:{client_key}:{cycle_number}:{packet_index}")
+        return rng.random() < self.loss_prob
+
+    def any_lost(
+        self, client_key: int, cycle_number: int, packet_indices: Iterable[int]
+    ) -> bool:
+        """Did the client lose at least one of these packets?"""
+        return any(
+            self.packet_lost(client_key, cycle_number, index)
+            for index in packet_indices
+        )
+
+    def span_lost(
+        self, client_key: int, cycle_number: int, start_packet: int, packet_count: int
+    ) -> bool:
+        """Loss over a contiguous packet run (a document's frames).
+
+        Sampled as a single draw over the run's survival probability
+        rather than per frame, so big documents stay cheap to simulate
+        while keeping the correct per-run loss probability.
+        """
+        if self.is_lossless or packet_count <= 0:
+            return False
+        rng = random.Random(f"{self.seed}:{client_key}:{cycle_number}:run:{start_packet}")
+        survive = (1.0 - self.loss_prob) ** packet_count
+        return rng.random() >= survive
+
+
+LOSSLESS = PacketLossModel(loss_prob=0.0)

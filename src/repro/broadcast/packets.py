@@ -1,0 +1,101 @@
+"""Packet and cycle-segment primitives.
+
+Everything on the broadcast channel is framed into fixed-size packets
+(128 bytes in the paper).  The simulation accounts tuning time in bytes
+at packet granularity, so what it mostly needs from this module is the
+:class:`CycleLayout` arithmetic mapping cycle segments to byte ranges;
+:class:`Packet` objects themselves are materialised only by tests,
+examples and the program dumper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class PacketKind(enum.Enum):
+    """What a packet carries."""
+
+    FIRST_TIER_INDEX = "index-1"
+    SECOND_TIER_INDEX = "index-2"
+    ONE_TIER_INDEX = "index"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One fixed-size frame of the broadcast."""
+
+    kind: PacketKind
+    #: packet sequence number within the cycle
+    seq: int
+    #: byte offset of the packet start within the cycle
+    offset: int
+    #: payload description (node ids / doc id), for debugging and tests
+    payload: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous byte range of a cycle devoted to one kind of content."""
+
+    kind: PacketKind
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+
+@dataclass(frozen=True)
+class CycleLayout:
+    """Byte layout of one broadcast cycle.
+
+    Segments appear in broadcast order.  All segment boundaries are
+    packet-aligned; the builders guarantee that by rounding each segment
+    up to whole packets.
+    """
+
+    segments: Tuple[Segment, ...]
+    packet_bytes: int
+
+    def __post_init__(self) -> None:
+        position = 0
+        for segment in self.segments:
+            if segment.start != position:
+                raise ValueError(
+                    f"segment {segment.kind.value} starts at {segment.start}, "
+                    f"expected {position}"
+                )
+            if segment.length % self.packet_bytes:
+                raise ValueError(
+                    f"segment {segment.kind.value} is not packet aligned "
+                    f"({segment.length} bytes, packet={self.packet_bytes})"
+                )
+            position = segment.end
+
+    @property
+    def total_bytes(self) -> int:
+        return self.segments[-1].end if self.segments else 0
+
+    @property
+    def total_packets(self) -> int:
+        return self.total_bytes // self.packet_bytes
+
+    def segment(self, kind: PacketKind) -> Optional[Segment]:
+        for segment in self.segments:
+            if segment.kind is kind:
+                return segment
+        return None
+
+    def kind_at(self, offset: int) -> PacketKind:
+        for segment in self.segments:
+            if segment.contains(offset):
+                return segment.kind
+        raise ValueError(f"offset {offset} outside cycle of {self.total_bytes} bytes")

@@ -1,0 +1,165 @@
+"""Broadcast cycle assembly (paper Figure 8).
+
+A cycle's on-air layout is::
+
+    two-tier:  [ first-tier index | second-tier offset list | documents ]
+    one-tier:  [ one-tier index               | documents ]
+
+All segments are packet-aligned.  Document offsets (cycle-relative byte
+positions) feed the second-tier offset list, or the ``<doc, pointer>``
+entries of the one-tier index.
+
+Because the paper compares the two index schemes **on the same document
+schedule** ("for a given scheduling algorithm, the broadcast of XML
+documents is independent of the index structure"), every cycle carries
+*both* packings of its PCI; the ``scheme`` chooses which one defines the
+actual air layout, while tuning-time accounting can interrogate either.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.broadcast.packets import CycleLayout, PacketKind, Segment
+from repro.index.ci import CompactIndex, LookupResult
+from repro.index.packing import PackedIndex, PackingStrategy, pack_index
+from repro.index.sizes import SizeModel
+from repro.index.twotier import OffsetList, split_two_tier
+from repro.xpath.ast import XPathQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.broadcast.server import DocumentStore
+
+
+class IndexScheme(enum.Enum):
+    ONE_TIER = "one-tier"
+    TWO_TIER = "two-tier"
+
+
+@dataclass
+class BroadcastCycle:
+    """One fully assembled broadcast cycle."""
+
+    cycle_number: int
+    scheme: IndexScheme
+    pci: CompactIndex
+    packed_one_tier: PackedIndex
+    packed_first_tier: PackedIndex
+    offset_list: OffsetList
+    #: documents in broadcast order
+    doc_ids: Tuple[int, ...]
+    #: cycle-relative byte offset of each document's first packet
+    doc_offsets: Dict[int, int]
+    #: on-air bytes of each document (packet aligned, including header)
+    doc_air_bytes: Dict[int, int]
+    layout: CycleLayout
+    #: channel byte-time at which the cycle starts (set by the server)
+    start_time: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.layout.total_bytes
+
+    @property
+    def end_time(self) -> int:
+        return self.start_time + self.total_bytes
+
+    @property
+    def data_bytes(self) -> int:
+        segment = self.layout.segment(PacketKind.DATA)
+        return segment.length if segment else 0
+
+    @property
+    def first_tier_bytes(self) -> int:
+        """L_I: on-air bytes of the first-tier index segment."""
+        return self.packed_first_tier.total_bytes
+
+    @property
+    def one_tier_index_bytes(self) -> int:
+        return self.packed_one_tier.total_bytes
+
+    @property
+    def offset_list_air_bytes(self) -> int:
+        """L_O: on-air (packet aligned) bytes of the second tier."""
+        return self.offset_list.packet_count * self.offset_list.size_model.packet_bytes
+
+    def packed(self, scheme: IndexScheme) -> PackedIndex:
+        return (
+            self.packed_one_tier
+            if scheme is IndexScheme.ONE_TIER
+            else self.packed_first_tier
+        )
+
+    def lookup(self, query: XPathQuery) -> LookupResult:
+        """Client-side index search on this cycle's PCI."""
+        return self.pci.lookup(query)
+
+    def index_lookup_bytes(self, lookup: LookupResult, scheme: IndexScheme) -> int:
+        """Tuning bytes for a *selective* index search under *scheme*."""
+        return self.packed(scheme).tuning_bytes_for_nodes(lookup.visited_node_ids)
+
+
+def build_cycle_program(
+    cycle_number: int,
+    pci: CompactIndex,
+    scheduled_doc_ids: Sequence[int],
+    store: "DocumentStore",
+    scheme: IndexScheme = IndexScheme.TWO_TIER,
+    packing: PackingStrategy = PackingStrategy.GREEDY_DFS,
+) -> BroadcastCycle:
+    """Assemble a cycle from the PCI and the scheduler's document pick."""
+    size_model: SizeModel = pci.size_model
+    packed_one = pack_index(pci, one_tier=True, strategy=packing)
+    packed_first = pack_index(pci, one_tier=False, strategy=packing)
+
+    # Index segment length under the chosen on-air scheme.
+    if scheme is IndexScheme.ONE_TIER:
+        index_air = packed_one.total_bytes
+    else:
+        index_air = packed_first.total_bytes
+
+    two_tier = split_two_tier(pci)
+    # Provisional second tier sized on the doc count (its byte length does
+    # not depend on the offsets themselves).
+    offset_air = (
+        size_model.packets_for(size_model.offset_list_bytes(len(scheduled_doc_ids)))
+        * size_model.packet_bytes
+        if scheme is IndexScheme.TWO_TIER
+        else 0
+    )
+
+    data_start = index_air + offset_air
+    doc_offsets: Dict[int, int] = {}
+    doc_air: Dict[int, int] = {}
+    position = data_start
+    for doc_id in scheduled_doc_ids:
+        doc_offsets[doc_id] = position
+        air = store.air_bytes(doc_id)
+        doc_air[doc_id] = air
+        position += air
+
+    offset_list = two_tier.make_offset_list(doc_offsets)
+
+    segments: List[Segment] = []
+    if scheme is IndexScheme.ONE_TIER:
+        segments.append(Segment(PacketKind.ONE_TIER_INDEX, 0, index_air))
+    else:
+        segments.append(Segment(PacketKind.FIRST_TIER_INDEX, 0, index_air))
+        segments.append(Segment(PacketKind.SECOND_TIER_INDEX, index_air, offset_air))
+    segments.append(Segment(PacketKind.DATA, data_start, position - data_start))
+    layout = CycleLayout(tuple(segments), packet_bytes=size_model.packet_bytes)
+
+    return BroadcastCycle(
+        cycle_number=cycle_number,
+        scheme=scheme,
+        pci=pci,
+        packed_one_tier=packed_one,
+        packed_first_tier=packed_first,
+        offset_list=offset_list,
+        doc_ids=tuple(scheduled_doc_ids),
+        doc_offsets=doc_offsets,
+        doc_air_bytes=doc_air,
+        layout=layout,
+    )

@@ -1,0 +1,426 @@
+"""The on-demand broadcast server (paper Figure 1, Section 2.1).
+
+The server owns the document collection, accumulates XPath queries in a
+pending queue, resolves each query to its result documents (via the
+filtering substrate over the collection's combined DataGuide), and emits
+broadcast cycles: per cycle it
+
+1. gathers the still-unsatisfied pending queries,
+2. builds the CI over the union of their remaining result documents,
+3. prunes it against the pending query set (PCI),
+4. asks the scheduler which documents fill the cycle's data capacity,
+5. assembles the cycle program and advances per-query bookkeeping.
+
+A query leaves the pending queue once every document of its result set
+has been broadcast since its arrival (the client listening for it has had
+the chance to download everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.broadcast.program import (
+    BroadcastCycle,
+    IndexScheme,
+    build_cycle_program,
+)
+from repro.broadcast.scheduling import LeeLoScheduler, Scheduler
+from repro.dataguide.dataguide import DataGuide, build_dataguide
+from repro.dataguide.roxsum import CombinedDataGuide, build_combined_guide
+from repro.filtering.nfa import SharedPathNFA
+from repro.index.ci import CompactIndex
+from repro.index.packing import PackingStrategy
+from repro.index.pruning import PruningStats, prune_to_pci
+from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
+from repro.xmlkit.model import XMLDocument
+from repro.xpath.ast import XPathQuery
+
+
+class DocumentStore:
+    """The collection plus everything the server pre-computes about it.
+
+    Per-document DataGuides, on-air sizes and the full-collection combined
+    guide are immutable once built, so they are cached here and shared by
+    the server, the experiments and the per-document baseline.
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[XMLDocument],
+        size_model: SizeModel = PAPER_SIZE_MODEL,
+    ) -> None:
+        if not documents:
+            raise ValueError("a broadcast server needs a non-empty collection")
+        self.documents: List[XMLDocument] = list(documents)
+        self.size_model = size_model
+        self.by_id: Dict[int, XMLDocument] = {}
+        for doc in self.documents:
+            if doc.doc_id in self.by_id:
+                raise ValueError(f"duplicate doc id {doc.doc_id}")
+            self.by_id[doc.doc_id] = doc
+        self.guides: Dict[int, DataGuide] = {
+            doc.doc_id: build_dataguide(doc) for doc in self.documents
+        }
+        self._air_bytes: Dict[int, int] = {
+            doc.doc_id: size_model.document_air_bytes(doc.size_bytes)
+            for doc in self.documents
+        }
+        self.full_guide: CombinedDataGuide = build_combined_guide(
+            self.documents, [self.guides[d.doc_id] for d in self.documents]
+        )
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def air_bytes(self, doc_id: int) -> int:
+        """On-air footprint of a document (packet aligned, with header)."""
+        return self._air_bytes[doc_id]
+
+    # ------------------------------------------------------------------
+    # Incremental collection maintenance
+    # ------------------------------------------------------------------
+
+    def add_document(self, document: XMLDocument) -> None:
+        """Add a document to the live collection.
+
+        All caches (per-document guide, air size, full combined guide)
+        update incrementally -- no rebuild.
+        """
+        if document.doc_id in self.by_id:
+            raise ValueError(f"doc id {document.doc_id} already in the store")
+        from repro.dataguide.roxsum import add_document_to_guide
+
+        guide = build_dataguide(document)
+        self.full_guide = add_document_to_guide(self.full_guide, document, guide)
+        self.documents.append(document)
+        self.by_id[document.doc_id] = document
+        self.guides[document.doc_id] = guide
+        self._air_bytes[document.doc_id] = self.size_model.document_air_bytes(
+            document.size_bytes
+        )
+
+    def remove_document(self, doc_id: int) -> XMLDocument:
+        """Remove a document from the live collection; returns it."""
+        if doc_id not in self.by_id:
+            raise ValueError(f"doc id {doc_id} not in the store")
+        if len(self.documents) == 1:
+            raise ValueError("cannot remove the last document")
+        from repro.dataguide.roxsum import remove_document_from_guide
+
+        document = self.by_id[doc_id]
+        self.full_guide = remove_document_from_guide(
+            self.full_guide, document, self.guides[doc_id]
+        )
+        self.documents = [doc for doc in self.documents if doc.doc_id != doc_id]
+        del self.by_id[doc_id]
+        del self.guides[doc_id]
+        del self._air_bytes[doc_id]
+        return document
+
+    def document(self, doc_id: int) -> XMLDocument:
+        return self.by_id[doc_id]
+
+    def total_data_bytes(self) -> int:
+        """Raw serialized size of the whole collection."""
+        return sum(doc.size_bytes for doc in self.documents)
+
+    def subset(self, doc_ids: Iterable[int]) -> List[XMLDocument]:
+        wanted = set(doc_ids)
+        return [doc for doc in self.documents if doc.doc_id in wanted]
+
+    def guides_for(self, doc_ids: Iterable[int]) -> List[DataGuide]:
+        return [self.guides[doc_id] for doc_id in doc_ids]
+
+
+@dataclass
+class PendingQuery:
+    """One admitted query and its delivery bookkeeping."""
+
+    query_id: int
+    query: XPathQuery
+    arrival_time: int
+    result_doc_ids: FrozenSet[int]
+    remaining_doc_ids: Set[int] = field(default_factory=set)
+    #: cycle number at which the query was first served by an index
+    first_indexed_cycle: Optional[int] = None
+    #: cycle number whose data segment completed the result set
+    satisfied_cycle: Optional[int] = None
+    satisfied_time: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.remaining_doc_ids:
+            self.remaining_doc_ids = set(self.result_doc_ids)
+
+    @property
+    def is_satisfied(self) -> bool:
+        return not self.remaining_doc_ids
+
+    @property
+    def cycles_listened(self) -> Optional[int]:
+        """The paper's n: cycles from first index read to completion."""
+        if self.satisfied_cycle is None or self.first_indexed_cycle is None:
+            return None
+        return self.satisfied_cycle - self.first_indexed_cycle + 1
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Server-side diagnostics for one emitted cycle."""
+
+    cycle_number: int
+    pending_count: int
+    requested_docs: int
+    scheduled_docs: int
+    pci_nodes: int
+    pruning: PruningStats
+
+
+class BroadcastServer:
+    """On-demand XML broadcast server."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        scheduler: Optional[Scheduler] = None,
+        scheme: IndexScheme = IndexScheme.TWO_TIER,
+        cycle_data_capacity: int = 100_000,
+        packing: PackingStrategy = PackingStrategy.GREEDY_DFS,
+        acknowledged_delivery: bool = False,
+    ) -> None:
+        if cycle_data_capacity <= 0:
+            raise ValueError("cycle_data_capacity must be positive")
+        self.store = store
+        self.scheduler = scheduler or LeeLoScheduler(store)
+        self.scheme = scheme
+        self.cycle_data_capacity = cycle_data_capacity
+        self.packing = packing
+        #: With acknowledged delivery (error-prone channel extension) the
+        #: server does NOT assume broadcast means received: documents stay
+        #: in a query's remaining set until :meth:`confirm_delivery`
+        #: reports them received, so lost frames get rebroadcast.
+        self.acknowledged_delivery = acknowledged_delivery
+        self.pending: List[PendingQuery] = []
+        self.completed: List[PendingQuery] = []
+        self.records: List[CycleRecord] = []
+        self._next_query_id = 0
+        self._resolution_cache: Dict[str, FrozenSet[int]] = {}
+        self.clock = 0  # channel byte-time
+        self.cycle_number = 0
+
+    # ------------------------------------------------------------------
+    # Query admission
+    # ------------------------------------------------------------------
+
+    def resolve(self, query: XPathQuery) -> FrozenSet[int]:
+        """Result-document set of *query* over the full collection.
+
+        Runs the query automaton over the combined DataGuide: the matched
+        guide nodes' containment sets union to exactly the documents the
+        naive evaluator returns (tested).  Cached per query string.
+        """
+        if query.has_predicates():
+            raise ValueError(
+                "the air index is purely structural: predicate queries are "
+                "supported by the filtering engine (YFilterEngine) but not "
+                "by the broadcast protocol -- the paper's experiments use "
+                "simple queries without predicates (Section 4.1)"
+            )
+        key = str(query)
+        cached = self._resolution_cache.get(key)
+        if cached is not None:
+            return cached
+        nfa = SharedPathNFA()
+        nfa.add_query(0, query)
+        nfa.freeze()
+        guide = self.store.full_guide
+        result: Set[int] = set()
+        initial = nfa.initial_states()
+        if guide.virtual_root:
+            stack = [
+                (child, nfa.move(initial, child.label))
+                for child in guide.root.children.values()
+            ]
+        else:
+            stack = [(guide.root, nfa.move(initial, guide.root.label))]
+        while stack:
+            node, configuration = stack.pop()
+            if not configuration:
+                continue
+            if nfa.is_accepting(configuration):
+                result.update(node.containing_docs())
+                continue  # descendants' containment is already included
+            for child in node.children.values():
+                stack.append((child, nfa.move(configuration, child.label)))
+        resolved = frozenset(result)
+        self._resolution_cache[key] = resolved
+        return resolved
+
+    def submit(self, query: XPathQuery, arrival_time: int) -> PendingQuery:
+        """Admit a query; resolution happens immediately.
+
+        Queries with empty result sets are rejected (the paper assumes
+        non-empty result sets; the workload generator guarantees it).
+        """
+        result = self.resolve(query)
+        if not result:
+            raise ValueError(f"query {query} has an empty result set")
+        pending = PendingQuery(
+            query_id=self._next_query_id,
+            query=query,
+            arrival_time=arrival_time,
+            result_doc_ids=result,
+        )
+        self._next_query_id += 1
+        self.pending.append(pending)
+        return pending
+
+    # ------------------------------------------------------------------
+    # Cycle construction
+    # ------------------------------------------------------------------
+
+    def active_pending(self, now: int) -> List[PendingQuery]:
+        """Queries admitted by *now* and not yet satisfied."""
+        return [
+            q
+            for q in self.pending
+            if q.arrival_time <= now and not q.is_satisfied
+        ]
+
+    def build_cycle(self, now: Optional[int] = None) -> Optional[BroadcastCycle]:
+        """Assemble and "broadcast" the next cycle; ``None`` when idle.
+
+        Advances the server clock past the emitted cycle and updates the
+        pending queries' remaining sets.
+        """
+        if now is None:
+            now = self.clock
+        active = self.active_pending(now)
+        if not active:
+            return None
+
+        requested: Set[int] = set()
+        for query in active:
+            requested.update(query.remaining_doc_ids)
+        queries = [query.query for query in active]
+
+        ci = build_ci_from_store(self.store, requested)
+        pci, pruning_stats = prune_to_pci(ci, queries)
+
+        scheduled = self.scheduler.select(
+            active, self.store, self.cycle_data_capacity, now
+        )
+        cycle = build_cycle_program(
+            cycle_number=self.cycle_number,
+            pci=pci,
+            scheduled_doc_ids=scheduled,
+            store=self.store,
+            scheme=self.scheme,
+            packing=self.packing,
+        )
+        cycle.start_time = now
+
+        broadcast_set = set(scheduled)
+        for query in active:
+            if query.first_indexed_cycle is None:
+                query.first_indexed_cycle = cycle.cycle_number
+            if self.acknowledged_delivery:
+                continue  # remaining shrinks only on confirm_delivery()
+            before = len(query.remaining_doc_ids)
+            query.remaining_doc_ids -= broadcast_set
+            if before and not query.remaining_doc_ids:
+                query.satisfied_cycle = cycle.cycle_number
+                query.satisfied_time = cycle.end_time
+        self._reap_satisfied()
+
+        self.records.append(
+            CycleRecord(
+                cycle_number=cycle.cycle_number,
+                pending_count=len(active),
+                requested_docs=len(requested),
+                scheduled_docs=len(scheduled),
+                pci_nodes=pci.node_count,
+                pruning=pruning_stats,
+            )
+        )
+        self.cycle_number += 1
+        self.clock = cycle.end_time
+        return cycle
+
+
+    # ------------------------------------------------------------------
+    # Live collection changes
+    # ------------------------------------------------------------------
+
+    def add_document(self, document: XMLDocument) -> None:
+        """Add a document to the broadcast collection between cycles.
+
+        Resolution caches are dropped (new structure can match old query
+        strings); already-admitted queries keep their admission-time
+        result sets, exactly as a real server that resolved them on
+        arrival would.
+        """
+        self.store.add_document(document)
+        self._resolution_cache.clear()
+
+    def remove_document(self, doc_id: int) -> XMLDocument:
+        """Remove a document; pending queries stop waiting for it.
+
+        Any pending query whose remaining set contained the document has
+        it dropped (it can never be broadcast again); queries fully
+        satisfied by the removal leave the queue.
+        """
+        document = self.store.remove_document(doc_id)
+        self._resolution_cache.clear()
+        for pending in self.pending:
+            pending.remaining_doc_ids.discard(doc_id)
+            if pending.is_satisfied and pending.satisfied_time is None:
+                pending.satisfied_cycle = max(0, self.cycle_number - 1)
+                pending.satisfied_time = self.clock
+        self._reap_satisfied()
+        return document
+
+    def confirm_delivery(
+        self,
+        pending: PendingQuery,
+        received_doc_ids: Set[int],
+        cycle: BroadcastCycle,
+    ) -> None:
+        """Acknowledged-delivery feedback from a client (uplink ACK).
+
+        Only meaningful with ``acknowledged_delivery=True``: the query's
+        remaining set shrinks to the documents its client has actually
+        received, so erased frames stay scheduled for rebroadcast.
+        """
+        if not self.acknowledged_delivery:
+            raise RuntimeError(
+                "confirm_delivery requires acknowledged_delivery=True"
+            )
+        before = len(pending.remaining_doc_ids)
+        pending.remaining_doc_ids = set(pending.result_doc_ids) - set(
+            received_doc_ids
+        )
+        if before and not pending.remaining_doc_ids:
+            pending.satisfied_cycle = cycle.cycle_number
+            pending.satisfied_time = cycle.end_time
+        self._reap_satisfied()
+
+    def _reap_satisfied(self) -> None:
+        newly_done = [q for q in self.pending if q.is_satisfied]
+        if newly_done:
+            self.completed.extend(newly_done)
+            self.pending = [q for q in self.pending if not q.is_satisfied]
+
+
+def build_ci_from_store(
+    store: DocumentStore, requested_doc_ids: Iterable[int]
+) -> CompactIndex:
+    """CI over the requested documents, reusing the store's cached guides."""
+    requested = sorted(set(requested_doc_ids))
+    if not requested:
+        raise ValueError("no requested documents -- nothing to index")
+    subset = [store.by_id[doc_id] for doc_id in requested]
+    guides = [store.guides[doc_id] for doc_id in requested]
+    guide = build_combined_guide(subset, guides)
+    return CompactIndex.from_guide(guide, size_model=store.size_model)

@@ -1,0 +1,119 @@
+"""Two-tier client on an error-prone channel (extension).
+
+Same protocol as :class:`~repro.client.twotier.TwoTierClient`, with the
+erasures of a :class:`~repro.sim.loss.PacketLossModel` applied to every
+read:
+
+* **first tier** -- if any packet of the (selective) index read is lost,
+  the result-ID set cannot be trusted; the client charges the bytes it
+  listened to and retries the whole first-tier read next cycle;
+* **offset list** -- a lost second-tier packet blinds the client for the
+  cycle: it downloads nothing and waits for the next offset list;
+* **documents** -- a document is received only if all its frames arrive;
+  a lost one is picked up at a later rebroadcast (the server keeps it
+  scheduled until the client acknowledges it -- acknowledged-delivery
+  mode).
+
+Under losses the protocol stays safe (never records a wrong result set)
+and live as long as the server rebroadcasts unacknowledged documents.
+"""
+
+from __future__ import annotations
+
+from repro.broadcast.program import BroadcastCycle, IndexScheme
+from repro.client.protocol import AccessProtocol, LookupFn, default_lookup
+from repro.broadcast.loss import LOSSLESS, PacketLossModel
+from repro.xpath.ast import XPathQuery
+
+
+class LossyTwoTierClient(AccessProtocol):
+    """Two-tier client with per-packet erasures."""
+
+    scheme = IndexScheme.TWO_TIER
+
+    def __init__(
+        self,
+        query: XPathQuery,
+        arrival_time: int,
+        client_key: int,
+        loss_model: PacketLossModel = LOSSLESS,
+        lookup_fn: LookupFn = default_lookup,
+    ) -> None:
+        super().__init__(query, arrival_time, lookup_fn)
+        self.client_key = client_key
+        self.loss_model = loss_model
+        #: cycles in which a loss forced a retry (diagnostics)
+        self.index_retries = 0
+        self.blind_cycles = 0
+
+    def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
+        index_bytes = 0
+        if self.expected_doc_ids is None:
+            lookup = self._lookup(cycle)
+            packed = cycle.packed_first_tier
+            needed_packets = packed.packets_for_nodes(lookup.visited_node_ids)
+            index_bytes = len(needed_packets) * packed.packet_bytes
+            if self.loss_model.any_lost(
+                self.client_key, cycle.cycle_number, needed_packets
+            ):
+                # Incomplete index read: charge it, retry next cycle.
+                self.index_retries += 1
+                self.metrics.merge_cycle(probe=probe_bytes, index=index_bytes)
+                return
+            self.expected_doc_ids = frozenset(lookup.doc_ids)
+
+        offset_bytes = cycle.offset_list_air_bytes
+        if self._offsets_lost(cycle):
+            # Blind cycle: the offsets never arrived intact.
+            self.blind_cycles += 1
+            self.metrics.merge_cycle(
+                probe=probe_bytes, index=index_bytes, offsets=offset_bytes
+            )
+            return
+
+        doc_bytes = self._download_with_losses(cycle)
+        self.metrics.merge_cycle(
+            probe=probe_bytes,
+            index=index_bytes,
+            offsets=offset_bytes,
+            docs=doc_bytes,
+        )
+
+    def _offsets_lost(self, cycle: BroadcastCycle) -> bool:
+        # Offset-list packets sit right after the index segment; their
+        # identity for loss sampling is (cycle, "offset", k).
+        if self.loss_model.is_lossless:
+            return False
+        return any(
+            self.loss_model.packet_lost(
+                self.client_key, cycle.cycle_number, 1_000_000 + k
+            )
+            for k in range(cycle.offset_list.packet_count)
+        )
+
+    def _download_with_losses(self, cycle: BroadcastCycle) -> int:
+        assert self.expected_doc_ids is not None
+        wanted = set(self.expected_doc_ids)
+        doc_bytes = 0
+        last_end = None
+        for doc_id in cycle.doc_ids:
+            if doc_id not in wanted or doc_id in self.received_doc_ids:
+                continue
+            air = cycle.doc_air_bytes[doc_id]
+            doc_bytes += air  # listened either way
+            frames = air // cycle.layout.packet_bytes
+            start_packet = cycle.doc_offsets[doc_id] // cycle.layout.packet_bytes
+            if self.loss_model.span_lost(
+                self.client_key, cycle.cycle_number, start_packet, frames
+            ):
+                continue  # corrupted; wait for a rebroadcast
+            self.received_doc_ids.add(doc_id)
+            last_end = cycle.doc_offsets[doc_id] + air
+        if (
+            self.received_doc_ids >= self.expected_doc_ids
+            and self.metrics.completion_time is None
+        ):
+            end = cycle.start_time + (last_end if last_end is not None else 0)
+            self.metrics.completion_time = end
+            self.metrics.result_doc_count = len(self.expected_doc_ids)
+        return doc_bytes

@@ -1,0 +1,66 @@
+"""Tuning-time and access-time accounting for one client session.
+
+The paper measures tuning time in bytes (constant bandwidth assumption,
+Section 4.1) and, for the index comparison, reports only the bytes spent
+during *index look-up* -- document retrieval is index-independent.  The
+metrics therefore keep each component separate:
+
+* ``probe_bytes`` -- the initial probe packet(s);
+* ``index_bytes`` -- one-tier index / first-tier index packets;
+* ``offset_bytes`` -- second-tier offset-list packets (two-tier only);
+* ``doc_bytes`` -- downloaded document packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ClientMetrics:
+    """Byte-granular energy/latency accounting for one query session."""
+
+    arrival_time: int
+    probe_bytes: int = 0
+    index_bytes: int = 0
+    offset_bytes: int = 0
+    doc_bytes: int = 0
+    cycles_listened: int = 0
+    completion_time: Optional[int] = None
+    result_doc_count: int = 0
+
+    @property
+    def index_lookup_bytes(self) -> int:
+        """The paper's Figure 11 metric: tuning time during index look-up."""
+        return self.probe_bytes + self.index_bytes + self.offset_bytes
+
+    @property
+    def tuning_bytes(self) -> int:
+        """Total active-mode bytes, documents included."""
+        return self.index_lookup_bytes + self.doc_bytes
+
+    @property
+    def access_bytes(self) -> Optional[int]:
+        """Access time in bytes: arrival to completion on the channel."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion_time is not None
+
+    def merge_cycle(
+        self,
+        probe: int = 0,
+        index: int = 0,
+        offsets: int = 0,
+        docs: int = 0,
+    ) -> None:
+        """Add one cycle's worth of listening."""
+        self.probe_bytes += probe
+        self.index_bytes += index
+        self.offset_bytes += offsets
+        self.doc_bytes += docs
+        self.cycles_listened += 1

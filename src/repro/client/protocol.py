@@ -1,0 +1,139 @@
+"""Common machinery of the client access protocols.
+
+A protocol instance represents one mobile client with one query.  The
+simulation feeds it every broadcast cycle whose index the client can use
+(cycles starting at or after its arrival); the protocol decides what to
+listen to and updates its metrics.  Protocols are pure consumers -- they
+never mutate the cycle or the server state.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Callable, FrozenSet, Optional, Set
+
+from repro.broadcast.program import BroadcastCycle, IndexScheme
+from repro.client.metrics import ClientMetrics
+from repro.index.ci import LookupResult
+from repro.xpath.ast import XPathQuery
+
+#: A shared per-cycle lookup cache the simulation may inject so clients
+#: issuing the same query string reuse one index walk.
+LookupFn = Callable[[BroadcastCycle, XPathQuery], LookupResult]
+
+
+class OffsetRead(enum.Enum):
+    """How a two-tier client consumes the second-tier offset list.
+
+    ``FULL`` (the default, and the literal Equation-1 L_O term) downloads
+    the whole list each cycle; ``SELECTIVE`` exploits the sort order to
+    binary-search only the packets holding its own entries (plus the
+    header packet) -- an optimisation knob the offset-read ablation
+    bench quantifies.
+    """
+
+    FULL = "full"
+    SELECTIVE = "selective"
+
+
+class FirstTierRead(enum.Enum):
+    """How a two-tier client consumes the first-tier index.
+
+    ``SELECTIVE`` walks only the packets its query needs (the Section 3.1
+    packing exists precisely to make this cheap); ``FULL`` downloads the
+    whole first tier, which is the literal reading of Equation 1's L_I
+    term.  Both are available; the experiments default to SELECTIVE and
+    the ablation bench compares the two.
+    """
+
+    SELECTIVE = "selective"
+    FULL = "full"
+
+
+def default_lookup(cycle: BroadcastCycle, query: XPathQuery) -> LookupResult:
+    return cycle.lookup(query)
+
+
+class AccessProtocol(abc.ABC):
+    """Base class: arrival bookkeeping, probe charging, completion."""
+
+    scheme: IndexScheme
+
+    def __init__(
+        self,
+        query: XPathQuery,
+        arrival_time: int,
+        lookup_fn: LookupFn = default_lookup,
+    ) -> None:
+        self.query = query
+        self.metrics = ClientMetrics(arrival_time=arrival_time)
+        self._lookup_fn = lookup_fn
+        self._probed = False
+        #: result ids learned from the index (or injected, for the naive
+        #: client); ``None`` until the first index read.
+        self.expected_doc_ids: Optional[FrozenSet[int]] = None
+        self.received_doc_ids: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Cycle consumption
+    # ------------------------------------------------------------------
+
+    @property
+    def satisfied(self) -> bool:
+        return (
+            self.expected_doc_ids is not None
+            and self.received_doc_ids >= self.expected_doc_ids
+        )
+
+    def can_use(self, cycle: BroadcastCycle) -> bool:
+        """A client uses a cycle when it arrived before the cycle began."""
+        return cycle.start_time >= self.metrics.arrival_time
+
+    def on_cycle(self, cycle: BroadcastCycle) -> None:
+        """Listen to one broadcast cycle."""
+        if self.satisfied or not self.can_use(cycle):
+            return
+        probe = 0
+        if not self._probed:
+            # Initial probe: one packet to learn when the next index starts.
+            probe = cycle.layout.packet_bytes
+            self._probed = True
+        self._consume(cycle, probe)
+
+    @abc.abstractmethod
+    def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
+        """Protocol-specific listening within one cycle."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _lookup(self, cycle: BroadcastCycle) -> LookupResult:
+        return self._lookup_fn(cycle, self.query)
+
+    def _download_documents(self, cycle: BroadcastCycle, wanted: Set[int]) -> int:
+        """Download the wanted documents present in this cycle.
+
+        Returns the document bytes listened to and updates completion when
+        the expected set is fully received.
+        """
+        doc_bytes = 0
+        last_end = None
+        for doc_id in cycle.doc_ids:
+            if doc_id in wanted and doc_id not in self.received_doc_ids:
+                air = cycle.doc_air_bytes[doc_id]
+                doc_bytes += air
+                self.received_doc_ids.add(doc_id)
+                last_end = cycle.doc_offsets[doc_id] + air
+        if (
+            self.expected_doc_ids is not None
+            and self.received_doc_ids >= self.expected_doc_ids
+            and self.metrics.completion_time is None
+        ):
+            # Completed mid-cycle: access time ends when the last needed
+            # document finishes, not at the cycle boundary.
+            end = cycle.start_time + (last_end if last_end is not None else 0)
+            self.metrics.completion_time = end
+            self.metrics.result_doc_count = len(self.expected_doc_ids)
+        return doc_bytes

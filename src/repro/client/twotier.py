@@ -1,0 +1,68 @@
+"""The improved two-tier access protocol (paper Section 3.4).
+
+1. initial probe;
+2. **first cycle only**: search the first-tier index and record the IDs
+   of all result documents -- the first tier covers every requested
+   document, so one read suffices for the whole session;
+3. **every cycle** (including the first): read the second-tier offset
+   list to learn where this cycle's documents start, and download the
+   needed ones.
+
+Equation 1: ``TT = L_I + n * L_O`` plus document download time, with n
+the number of cycles listened to.  The first-tier read is selective by
+default (packets the query's walk touches) or FULL (the literal L_I).
+"""
+
+from __future__ import annotations
+
+from repro.broadcast.program import BroadcastCycle, IndexScheme
+from repro.client.protocol import (
+    AccessProtocol,
+    FirstTierRead,
+    LookupFn,
+    OffsetRead,
+    default_lookup,
+)
+from repro.xpath.ast import XPathQuery
+
+
+class TwoTierClient(AccessProtocol):
+    """Client running the improved two-tier protocol."""
+
+    scheme = IndexScheme.TWO_TIER
+
+    def __init__(
+        self,
+        query: XPathQuery,
+        arrival_time: int,
+        lookup_fn: LookupFn = default_lookup,
+        first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+        offset_read: OffsetRead = OffsetRead.FULL,
+    ) -> None:
+        super().__init__(query, arrival_time, lookup_fn)
+        self.first_tier_read = first_tier_read
+        self.offset_read = offset_read
+
+    def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
+        index_bytes = 0
+        if self.expected_doc_ids is None:
+            lookup = self._lookup(cycle)
+            if self.first_tier_read is FirstTierRead.FULL:
+                index_bytes = cycle.first_tier_bytes
+            else:
+                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
+                    lookup.visited_node_ids
+                )
+            self.expected_doc_ids = frozenset(lookup.doc_ids)
+        if self.offset_read is OffsetRead.SELECTIVE:
+            touched = cycle.offset_list.packets_for_docs(self.expected_doc_ids)
+            offset_bytes = len(touched) * cycle.layout.packet_bytes
+        else:
+            offset_bytes = cycle.offset_list_air_bytes
+        doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
+        self.metrics.merge_cycle(
+            probe=probe_bytes,
+            index=index_bytes,
+            offsets=offset_bytes,
+            docs=doc_bytes,
+        )

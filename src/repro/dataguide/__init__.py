@@ -1,0 +1,32 @@
+"""DataGuides and their RoXSum-style combination.
+
+A *strong DataGuide* [Goldman & Widom, VLDB 1997] records every distinct
+label path of a document exactly once -- for tree-shaped XML it is simply
+the trie of the document's label paths.  The paper merges the DataGuides
+of all documents into one structure (following RoXSum [Vagena et al.,
+ICDE 2007]) and annotates nodes with the documents they summarise; that
+combined guide is the skeleton of the Compact Index.
+
+* :mod:`repro.dataguide.dataguide` -- per-document strong DataGuides;
+* :mod:`repro.dataguide.roxsum` -- the combined, document-annotated guide.
+"""
+
+from repro.dataguide.dataguide import DataGuide, DataGuideNode, build_dataguide
+from repro.dataguide.roxsum import (
+    CombinedDataGuide,
+    CombinedGuideNode,
+    add_document_to_guide,
+    build_combined_guide,
+    remove_document_from_guide,
+)
+
+__all__ = [
+    "DataGuide",
+    "DataGuideNode",
+    "build_dataguide",
+    "CombinedDataGuide",
+    "CombinedGuideNode",
+    "add_document_to_guide",
+    "build_combined_guide",
+    "remove_document_from_guide",
+]

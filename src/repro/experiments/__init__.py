@@ -1,0 +1,33 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+* :mod:`repro.experiments.report` -- fixed-width table rendering;
+* :mod:`repro.experiments.runner` -- shared collection/workload caching
+  and the two experiment primitives (static index sizing, full
+  simulation);
+* :mod:`repro.experiments.figures` -- ``fig9a`` ... ``fig11c``,
+  ``fig10``, ``table2``, ``headline_ratios`` and ``cycles_per_query``,
+  each returning a :class:`~repro.experiments.runner.FigureResult` whose
+  rows mirror the series the paper plots.
+
+Run ``python -m repro.experiments`` to print every figure at the chosen
+scale.
+"""
+
+from repro.experiments.report import format_table, print_table
+from repro.experiments.runner import (
+    ExperimentContext,
+    FigureResult,
+    IndexSizePoint,
+    TuningPoint,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "ExperimentContext",
+    "FigureResult",
+    "IndexSizePoint",
+    "TuningPoint",
+    "figures",
+]

@@ -1,0 +1,48 @@
+"""Print every reproduced table and figure.
+
+Usage::
+
+    python -m repro.experiments [--scale paper|bench] [--dtd nitf|nasa]
+                                [--only fig9a,fig11b,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import ExperimentContext, SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="paper")
+    parser.add_argument("--dtd", choices=("nitf", "nasa", "dblp"), default="nitf")
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated figure ids (default: all): "
+        + ",".join(ALL_FIGURES),
+    )
+    args = parser.parse_args(argv)
+
+    wanted = [name.strip() for name in args.only.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; known: {sorted(ALL_FIGURES)}")
+    names = wanted or list(ALL_FIGURES)
+
+    context = ExperimentContext(scale=args.scale, dtd=args.dtd)
+    for name in names:
+        started = time.time()
+        figure = ALL_FIGURES[name](context)
+        print(figure.as_text())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment output.
+
+The paper's figures are line charts; the harness prints the underlying
+series as fixed-width tables so runs are diffable and the shape claims
+(ordering, monotonicity, stability) are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    note: str = "",
+) -> str:
+    """Render a fixed-width table with a title rule and optional footnote."""
+    body: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    rule = "-" * len(line(headers))
+    parts = [title, "=" * len(title), line(headers), rule]
+    parts.extend(line(row) for row in body)
+    if note:
+        parts.append(rule)
+        parts.append(note)
+    return "\n".join(parts)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    note: str = "",
+) -> None:
+    print(format_table(title, headers, rows, note))
+    print()

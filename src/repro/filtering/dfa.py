@@ -1,0 +1,85 @@
+"""Lazily determinised DFA over the shared-path NFA.
+
+Index pruning (paper Section 3.2) "first builds a DFA based on the set of
+queries Q pending at the server side" and then checks every Compact Index
+node against it.  Full subset construction is wasteful -- only the state
+sets actually reachable through the index's label paths matter -- so the
+DFA is determinised *lazily*: each (configuration, label) transition is
+computed once through the NFA and memoised.
+
+A DFA state is the frozen set of NFA state ids; two extra predicates are
+exposed:
+
+* ``is_accepting`` -- some pending query matches the path consumed so far
+  (the node is a *result node*);
+* ``is_live`` -- the configuration is non-empty, i.e. the path consumed so
+  far is still a viable prefix of some query match (the node may have
+  result descendants).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence, Set, Tuple
+
+from repro.filtering.nfa import SharedPathNFA
+from repro.xmlkit.model import LabelPath
+from repro.xpath.ast import XPathQuery
+
+DFAState = FrozenSet[int]
+
+
+class LazyQueryDFA:
+    """Memoised subset-construction DFA over a query-set NFA."""
+
+    def __init__(self, nfa: SharedPathNFA) -> None:
+        self.nfa = nfa.freeze()
+        self._start = nfa.initial_states()
+        self._transitions: Dict[Tuple[DFAState, str], DFAState] = {}
+
+    @classmethod
+    def from_queries(cls, queries: Sequence[XPathQuery]) -> "LazyQueryDFA":
+        nfa = SharedPathNFA()
+        nfa.add_queries(queries)
+        return cls(nfa)
+
+    @property
+    def start(self) -> DFAState:
+        return self._start
+
+    @property
+    def materialised_transitions(self) -> int:
+        """How many transitions have been determinised so far."""
+        return len(self._transitions)
+
+    def step(self, state: DFAState, label: str) -> DFAState:
+        """The (memoised) DFA transition on *label*."""
+        key = (state, label)
+        cached = self._transitions.get(key)
+        if cached is None:
+            cached = self.nfa.move(state, label)
+            self._transitions[key] = cached
+        return cached
+
+    def run(self, path: LabelPath) -> DFAState:
+        """Consume a whole label path from the start state."""
+        state = self._start
+        for label in path:
+            state = self.step(state, label)
+            if not state:
+                return state
+        return state
+
+    def is_accepting(self, state: DFAState) -> bool:
+        """Does some pending query match exactly the consumed path?"""
+        return self.nfa.is_accepting(state)
+
+    def accepted_queries(self, state: DFAState) -> Set[int]:
+        return self.nfa.accepted_queries(state)
+
+    def is_live(self, state: DFAState) -> bool:
+        """Could the consumed path still be extended into a match?"""
+        return bool(state)
+
+    def accepts_path(self, path: LabelPath) -> bool:
+        """Does some pending query match *path*?"""
+        return self.is_accepting(self.run(path))

@@ -1,0 +1,78 @@
+"""SAX-style event streams.
+
+YFilter is a streaming engine: it consumes start-element / end-element
+events rather than materialised trees.  This module turns our tree model
+into that event form (and can replay events from a serialized document via
+the parser), so the engine exercises the same code path a wire-format
+stream would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.xmlkit.model import XMLDocument, XMLElement
+
+
+class EventKind(enum.Enum):
+    START = "start"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One parsing event: the kind and the element tag."""
+
+    kind: EventKind
+    tag: str
+
+
+def element_events(element: XMLElement) -> Iterator[Event]:
+    """Depth-first start/end event stream for a subtree.
+
+    Implemented iteratively: the explicit stack interleaves descend and
+    unwind work items so arbitrarily deep documents cannot overflow the
+    Python recursion limit.
+    """
+    stack = [("start", element)]
+    while stack:
+        action, node = stack.pop()
+        if action == "start":
+            yield Event(EventKind.START, node.tag)
+            stack.append(("end", node))
+            for child in reversed(node.children):
+                stack.append(("start", child))
+        else:
+            yield Event(EventKind.END, node.tag)
+
+
+def document_events(document: XMLDocument) -> Iterator[Event]:
+    """Event stream for a whole document."""
+    return element_events(document.root)
+
+
+def validate_event_stream(events: Iterator[Event]) -> int:
+    """Check well-formedness of an event stream; return element count.
+
+    Raises ``ValueError`` on mismatched or unbalanced tags.  Used by tests
+    and by the engine's strict mode.
+    """
+    stack = []
+    count = 0
+    for event in events:
+        if event.kind is EventKind.START:
+            stack.append(event.tag)
+            count += 1
+        else:
+            if not stack:
+                raise ValueError(f"end event </{event.tag}> with no open element")
+            open_tag = stack.pop()
+            if open_tag != event.tag:
+                raise ValueError(
+                    f"end event </{event.tag}> does not close <{open_tag}>"
+                )
+    if stack:
+        raise ValueError(f"unclosed elements at end of stream: {stack}")
+    return count

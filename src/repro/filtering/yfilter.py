@@ -1,0 +1,184 @@
+"""Event-driven execution of the shared-path NFA (YFilter proper).
+
+Two execution modes are provided:
+
+* :meth:`YFilterEngine.filter_document` -- the faithful streaming mode: a
+  runtime stack of active state configurations driven by start/end events,
+  exactly as YFilter executes;
+* :meth:`YFilterEngine.filter_document_by_paths` -- an equivalent fast
+  path that runs the automaton over the document's *distinct* label paths
+  (our queries are purely structural, so repeated subtrees cannot change
+  the outcome).  The equivalence is asserted by differential tests.
+
+``filter_collection`` produces the per-query result-document table the
+broadcast server schedules from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from repro.filtering.events import Event, EventKind
+from repro.filtering.nfa import SharedPathNFA
+from repro.xmlkit.model import LabelPath, XMLDocument
+from repro.xpath.ast import XPathQuery
+
+
+@dataclass
+class FilterResult:
+    """Outcome of filtering a collection through a query set."""
+
+    #: query id -> ids of documents satisfying the query
+    docs_per_query: Dict[int, Set[int]]
+    #: doc id -> ids of queries the document satisfies (inverse mapping)
+    queries_per_doc: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.queries_per_doc:
+            inverse: Dict[int, Set[int]] = {}
+            for query_id, doc_ids in self.docs_per_query.items():
+                for doc_id in doc_ids:
+                    inverse.setdefault(doc_id, set()).add(query_id)
+            self.queries_per_doc = inverse
+
+    @property
+    def requested_doc_ids(self) -> Set[int]:
+        """Documents requested by at least one query."""
+        return set(self.queries_per_doc)
+
+    def result_size(self, query_id: int) -> int:
+        return len(self.docs_per_query.get(query_id, ()))
+
+
+class YFilterEngine:
+    """Filters documents through a shared-path NFA."""
+
+    def __init__(self, nfa: SharedPathNFA) -> None:
+        self.nfa = nfa.freeze()
+        #: query id -> original (predicated) query, for phase-two
+        #: verification; empty when every query is purely structural.
+        self._originals: Dict[int, XPathQuery] = {}
+
+    @classmethod
+    def from_queries(cls, queries: Sequence[XPathQuery]) -> "YFilterEngine":
+        """Build the engine for a workload; query ids are list positions.
+
+        Queries with predicates are evaluated in two phases (YFilter's
+        approach): the NFA matches their *structural relaxation*, and the
+        predicates are verified on each candidate document.
+        """
+        nfa = SharedPathNFA()
+        nfa.add_queries([query.structural_relaxation() for query in queries])
+        engine = cls(nfa)
+        engine._originals = {
+            index: query
+            for index, query in enumerate(queries)
+            if query.has_predicates()
+        }
+        return engine
+
+    # ------------------------------------------------------------------
+    # Streaming execution
+    # ------------------------------------------------------------------
+
+    def filter_events(self, events: Iterable[Event]) -> Set[int]:
+        """Run the automaton over an event stream; return matched query ids.
+
+        The runtime stack holds one state configuration per open element,
+        which is exactly YFilter's execution model: an end event simply
+        pops, restoring the parent configuration.
+        """
+        matched: Set[int] = set()
+        stack: List[FrozenSet[int]] = [self.nfa.initial_states()]
+        for event in events:
+            if event.kind is EventKind.START:
+                configuration = self.nfa.move(stack[-1], event.tag)
+                matched.update(self.nfa.accepted_queries(configuration))
+                stack.append(configuration)
+            else:
+                if len(stack) == 1:
+                    raise ValueError("unbalanced event stream: end without start")
+                stack.pop()
+        if len(stack) != 1:
+            raise ValueError("unbalanced event stream: unclosed elements")
+        return matched
+
+    def filter_document(self, document: XMLDocument) -> Set[int]:
+        """Streaming filter of one document (plus predicate verification)."""
+        from repro.filtering.events import document_events
+
+        matched = self.filter_events(document_events(document))
+        return self._verify_predicates(matched, document)
+
+    def _verify_predicates(self, matched: Set[int], document: XMLDocument) -> Set[int]:
+        """Phase two: drop structural candidates whose predicates fail."""
+        if not self._originals:
+            return matched
+        from repro.xpath.evaluator import evaluate_on_document
+
+        return {
+            query_id
+            for query_id in matched
+            if query_id not in self._originals
+            or evaluate_on_document(self._originals[query_id], document)
+        }
+
+    # ------------------------------------------------------------------
+    # Path-set execution (fast path)
+    # ------------------------------------------------------------------
+
+    def match_paths(self, paths: Iterable[LabelPath]) -> Set[int]:
+        """Run the automaton over a set of label paths.
+
+        Shares work across paths by walking them as a trie: paths are
+        sorted, and each path reuses the configuration of its longest
+        common prefix with its predecessor.
+        """
+        matched: Set[int] = set()
+        ordered = sorted(set(paths))
+        # configurations[d] is the configuration after consuming the first
+        # d labels of the current path.
+        configurations: List[FrozenSet[int]] = [self.nfa.initial_states()]
+        previous: LabelPath = ()
+        for path in ordered:
+            common = 0
+            limit = min(len(previous), len(path), len(configurations) - 1)
+            while common < limit and previous[common] == path[common]:
+                common += 1
+            del configurations[common + 1 :]
+            for label in path[common:]:
+                configurations.append(self.nfa.move(configurations[-1], label))
+            matched.update(self.nfa.accepted_queries(configurations[-1]))
+            previous = path
+        return matched
+
+    def filter_document_by_paths(self, document: XMLDocument) -> Set[int]:
+        """Equivalent to :meth:`filter_document`, via distinct paths."""
+        matched = self.match_paths(document.distinct_label_paths())
+        return self._verify_predicates(matched, document)
+
+    # ------------------------------------------------------------------
+    # Collection-level filtering
+    # ------------------------------------------------------------------
+
+    def filter_collection(
+        self, documents: Sequence[XMLDocument], streaming: bool = False
+    ) -> FilterResult:
+        """Filter every document; build the per-query result table.
+
+        ``streaming=True`` forces the faithful event-driven mode; the
+        default path-set mode is semantically identical and considerably
+        faster for large collections.
+        """
+        docs_per_query: Dict[int, Set[int]] = {
+            query_id: set() for query_id in self.nfa.queries()
+        }
+        for document in documents:
+            if streaming:
+                matched = self.filter_document(document)
+            else:
+                matched = self.filter_document_by_paths(document)
+            for query_id in matched:
+                docs_per_query[query_id].add(document.doc_id)
+        return FilterResult(docs_per_query=docs_per_query)

@@ -1,0 +1,299 @@
+"""Byte-exact serialisation of air-index structures.
+
+The experiments report index sizes in bytes, so the encoding here is the
+ground truth: for every structure, ``len(encode_*(x))`` equals the
+:class:`~repro.index.sizes.SizeModel` prediction (asserted by tests).
+
+Layout (all integers big-endian):
+
+* node: ``flag(2) | child_count(2) | doc_count(2)`` then child entries
+  ``label_id(2) | pointer(4)`` (pointer = byte offset of the child within
+  the index stream) then doc entries ``doc_id(2)`` plus, in the one-tier
+  layout, ``doc_offset(4)``;
+* offset list: ``count(2)`` then ``doc_id(2) | offset(4)`` entries;
+* label table: ``count(2)`` then per label ``label_id(2) | length(1) |
+  utf-8 bytes`` (the table is normally derivable from the shared DTD and
+  not broadcast; it exists for persistence and decoding).
+
+Nodes are emitted in depth-first preorder -- the packing order -- so the
+byte stream sliced into 128-byte frames is literally what goes on air.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.index.ci import CompactIndex
+from repro.index.nodes import IndexNode
+from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
+from repro.index.twotier import OffsetList
+
+
+class IndexEncodingError(ValueError):
+    """Raised when a structure cannot be encoded or decoded."""
+
+
+#: Decoding refuses trees deeper than this; real guides stay far below
+#: (document depth is generator-bounded), so only hostile streams hit it.
+_MAX_DECODE_DEPTH = 128
+
+
+@dataclass(frozen=True)
+class LabelTable:
+    """Dictionary encoding of element labels."""
+
+    labels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.labels)) != len(self.labels):
+            raise IndexEncodingError("label table has duplicate labels")
+
+    @classmethod
+    def from_index(cls, index: CompactIndex) -> "LabelTable":
+        seen = sorted({node.label for node in index.nodes})
+        return cls(tuple(seen))
+
+    def id_of(self, label: str) -> int:
+        try:
+            return self.labels.index(label)
+        except ValueError as exc:
+            raise IndexEncodingError(f"label {label!r} not in table") from exc
+
+    def label_of(self, label_id: int) -> str:
+        if not 0 <= label_id < len(self.labels):
+            raise IndexEncodingError(f"label id {label_id} out of range")
+        return self.labels[label_id]
+
+    def encode(self) -> bytes:
+        out = [struct.pack(">H", len(self.labels))]
+        for label_id, label in enumerate(self.labels):
+            raw = label.encode("utf-8")
+            if len(raw) > 255:
+                raise IndexEncodingError(f"label too long: {label!r}")
+            out.append(struct.pack(">HB", label_id, len(raw)))
+            out.append(raw)
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LabelTable":
+        try:
+            (count,) = struct.unpack_from(">H", data, 0)
+            pos = 2
+            labels: List[str] = [""] * count
+            for _ in range(count):
+                label_id, length = struct.unpack_from(">HB", data, pos)
+                pos += 3
+                if label_id >= count:
+                    raise IndexEncodingError(f"label id {label_id} out of range")
+                if pos + length > len(data):
+                    raise IndexEncodingError("truncated label table")
+                labels[label_id] = data[pos : pos + length].decode("utf-8")
+                pos += length
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise IndexEncodingError("malformed label table") from exc
+        return cls(tuple(labels))
+
+
+_WIRE_MODEL_FIELDS = {
+    "flag_bytes": 2,
+    "count_bytes": 2,
+    "label_bytes": 2,
+    "pointer_bytes": 4,
+    "doc_id_bytes": 2,
+}
+
+
+def _check_wire_model(model: SizeModel) -> None:
+    """The struct formats below are fixed; reject mismatched size models."""
+    for field_name, expected in _WIRE_MODEL_FIELDS.items():
+        actual = getattr(model, field_name)
+        if actual != expected:
+            raise IndexEncodingError(
+                f"binary encoding requires {field_name}={expected}, got {actual}; "
+                "custom size models support size accounting only"
+            )
+
+
+def _check_ranges(index: CompactIndex) -> None:
+    _check_wire_model(index.size_model)
+    for node in index.nodes:
+        for doc_id in node.doc_ids:
+            if not 0 <= doc_id <= 0xFFFF:
+                raise IndexEncodingError(
+                    f"doc id {doc_id} does not fit the 2-byte field"
+                )
+        if len(node.children) > 0xFFFF or len(node.doc_ids) > 0xFFFF:
+            raise IndexEncodingError("node counts exceed 2-byte fields")
+
+
+def encode_index(
+    index: CompactIndex,
+    label_table: Optional[LabelTable] = None,
+    one_tier: bool = True,
+    doc_offsets: Optional[Mapping[int, int]] = None,
+) -> bytes:
+    """Serialise an index tree into its on-air byte stream.
+
+    *doc_offsets* supplies the one-tier document pointers (cycle offsets);
+    documents without an entry get offset 0, which encoders of not-yet-
+    scheduled cycles use as a placeholder.
+    """
+    _check_ranges(index)
+    if label_table is None:
+        label_table = LabelTable.from_index(index)
+    model = index.size_model
+    offsets_of_nodes: Dict[int, int] = {}
+    position = 0
+    for node in index.nodes:  # preorder
+        offsets_of_nodes[node.node_id] = position
+        position += index.node_bytes(node, one_tier)
+
+    out: List[bytes] = []
+    for node in index.nodes:
+        out.append(_encode_node(node, index, label_table, one_tier, offsets_of_nodes, doc_offsets))
+    blob = b"".join(out)
+    if len(blob) != position:
+        raise IndexEncodingError(
+            f"encoded {len(blob)} bytes but size model predicted {position}"
+        )
+    return blob
+
+
+def _encode_node(
+    node: IndexNode,
+    index: CompactIndex,
+    label_table: LabelTable,
+    one_tier: bool,
+    node_offsets: Mapping[int, int],
+    doc_offsets: Optional[Mapping[int, int]],
+) -> bytes:
+    parts = [
+        struct.pack(
+            ">HHH", node.flag_value, len(node.children), len(node.doc_ids)
+        )
+    ]
+    for child in node.children:
+        parts.append(
+            struct.pack(">HI", label_table.id_of(child.label), node_offsets[child.node_id])
+        )
+    for doc_id in node.doc_ids:
+        if one_tier:
+            offset = doc_offsets.get(doc_id, 0) if doc_offsets else 0
+            parts.append(struct.pack(">HI", doc_id, offset))
+        else:
+            parts.append(struct.pack(">H", doc_id))
+    return b"".join(parts)
+
+
+def decode_index(
+    data: bytes,
+    label_table: LabelTable,
+    one_tier: bool = True,
+    size_model: SizeModel = PAPER_SIZE_MODEL,
+    root_label: Optional[str] = None,
+) -> Tuple[CompactIndex, Dict[int, int]]:
+    """Reconstruct an index tree (and one-tier doc offsets) from bytes.
+
+    The root node starts at offset 0.  Returns the rebuilt index and the
+    ``doc_id -> offset`` mapping recovered from one-tier doc pointers
+    (empty in the first-tier layout).
+    """
+    doc_offsets: Dict[int, int] = {}
+    in_progress: set = set()
+
+    def unpack(fmt: str, at: int):
+        try:
+            return struct.unpack_from(fmt, data, at)
+        except struct.error as exc:
+            raise IndexEncodingError(
+                f"truncated index stream at offset {at}"
+            ) from exc
+
+    def parse(at: int, depth: int = 0) -> IndexNode:
+        # Defend against malformed/hostile streams: a pointer cycle would
+        # otherwise recurse forever, and a long pointer chain would blow
+        # the interpreter stack before the cycle check fires.
+        if depth > _MAX_DECODE_DEPTH:
+            raise IndexEncodingError("index tree deeper than the decode limit")
+        if at in in_progress:
+            raise IndexEncodingError(f"pointer cycle through offset {at}")
+        if not 0 <= at < len(data):
+            raise IndexEncodingError(f"child pointer {at} outside the stream")
+        in_progress.add(at)
+        flag, child_count, doc_count = unpack(">HHH", at)
+        pos = at + 6
+        entries: List[Tuple[str, int]] = []
+        for _ in range(child_count):
+            label_id, pointer = unpack(">HI", pos)
+            entries.append((label_table.label_of(label_id), pointer))
+            pos += 6
+        docs: List[int] = []
+        for _ in range(doc_count):
+            if one_tier:
+                doc_id, offset = unpack(">HI", pos)
+                doc_offsets[doc_id] = offset
+                pos += 6
+            else:
+                (doc_id,) = unpack(">H", pos)
+                pos += 2
+            docs.append(doc_id)
+        if sorted(set(docs)) != sorted(docs):
+            raise IndexEncodingError(f"duplicate doc ids in node at offset {at}")
+        # The decoded node's own label is known only to its parent (labels
+        # live in the entry, not the node); fill a placeholder for the root.
+        node = IndexNode(0, "?", doc_ids=tuple(sorted(docs)))
+        for label, pointer in entries:
+            child = parse(pointer, depth + 1)
+            child.label = label
+            node.add_child(child)
+        if flag == 1 and node.children:
+            raise IndexEncodingError("leaf flag on a node with children")
+        in_progress.discard(at)
+        return node
+
+    if not data:
+        raise IndexEncodingError("empty index stream")
+    root = parse(0)
+    root.label = root_label if root_label is not None else "?"
+    from repro.dataguide.roxsum import CombinedDataGuide
+
+    virtual = root.label == CombinedDataGuide.VIRTUAL_ROOT_LABEL
+    try:
+        index = CompactIndex(root, size_model=size_model, virtual_root=virtual)
+    except ValueError as exc:
+        raise IndexEncodingError(f"decoded tree is not a valid index: {exc}") from exc
+    return index, doc_offsets
+
+
+def encode_offset_list(offset_list: OffsetList) -> bytes:
+    """Serialise a second-tier offset list."""
+    parts = [struct.pack(">H", len(offset_list.entries))]
+    for doc_id, offset in offset_list.entries:
+        parts.append(struct.pack(">HI", doc_id, offset))
+    blob = b"".join(parts)
+    if len(blob) != offset_list.size_bytes:
+        raise IndexEncodingError(
+            f"encoded {len(blob)} bytes, size model said {offset_list.size_bytes}"
+        )
+    return blob
+
+
+def decode_offset_list(
+    data: bytes, size_model: SizeModel = PAPER_SIZE_MODEL
+) -> OffsetList:
+    try:
+        (count,) = struct.unpack_from(">H", data, 0)
+        pos = 2
+        entries: List[Tuple[int, int]] = []
+        for _ in range(count):
+            doc_id, offset = struct.unpack_from(">HI", data, pos)
+            entries.append((doc_id, offset))
+            pos += 6
+    except struct.error as exc:
+        raise IndexEncodingError("truncated offset list") from exc
+    try:
+        return OffsetList(tuple(entries), size_model=size_model)
+    except ValueError as exc:
+        raise IndexEncodingError(f"malformed offset list: {exc}") from exc

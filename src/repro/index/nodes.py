@@ -1,0 +1,148 @@
+"""Index node structure (paper Figure 3(b)/(c)).
+
+A Compact Index is a tree of :class:`IndexNode` objects.  Node ids are
+assigned in depth-first preorder -- the exact order the greedy packing
+algorithm (Section 3.1) consumes nodes, and the order nodes appear on air.
+
+Per Figure 3(c), a node decomposes into three blocks: a *flag* (1 for a
+leaf node, 0 for an internal node, a magic "real index value" for the
+root), the ``<entry, pointer>`` child block, and the ``<doc, pointer>``
+document block.  Internal nodes may carry doc entries too (the paper's n3)
+-- here that happens whenever a document has a childless element at an
+internal path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.xmlkit.model import LabelPath
+
+#: The paper sets the root node's flag to "the real index value"; we use a
+#: fixed magic constant identifying the index format version.
+ROOT_FLAG_VALUE = 0x7C1
+
+
+class NodeKind(enum.Enum):
+    ROOT = "root"
+    INTERNAL = "internal"
+    LEAF = "leaf"
+
+
+@dataclass
+class IndexNode:
+    """One node of a Compact Index tree."""
+
+    node_id: int
+    label: str
+    #: child nodes in insertion (label-sorted at build time) order
+    children: List["IndexNode"] = field(default_factory=list)
+    #: annotated documents (sorted doc ids); in the one-tier layout each
+    #: entry is accompanied by a pointer on air
+    doc_ids: Tuple[int, ...] = ()
+    parent: Optional["IndexNode"] = field(default=None, repr=False, compare=False)
+
+    def add_child(self, child: "IndexNode") -> "IndexNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def child_by_label(self, label: str) -> Optional["IndexNode"]:
+        for child in self.children:
+            if child.label == label:
+                return child
+        return None
+
+    @property
+    def kind(self) -> NodeKind:
+        if self.parent is None:
+            return NodeKind.ROOT
+        return NodeKind.LEAF if not self.children else NodeKind.INTERNAL
+
+    @property
+    def flag_value(self) -> int:
+        """The flag block's value per the paper's convention."""
+        kind = self.kind
+        if kind is NodeKind.ROOT:
+            return ROOT_FLAG_VALUE
+        return 1 if kind is NodeKind.LEAF else 0
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def iter_preorder(self) -> Iterator["IndexNode"]:
+        """Depth-first preorder over the subtree (the packing order)."""
+        stack: List[IndexNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_with_paths(
+        self, prefix: LabelPath = ()
+    ) -> Iterator[Tuple["IndexNode", LabelPath]]:
+        stack: List[Tuple[IndexNode, LabelPath]] = [(self, prefix + (self.label,))]
+        while stack:
+            node, path = stack.pop()
+            yield node, path
+            for child in reversed(node.children):
+                stack.append((child, path + (child.label,)))
+
+    def path_from_root(self) -> LabelPath:
+        parts: List[str] = []
+        node: Optional[IndexNode] = self
+        while node is not None:
+            parts.append(node.label)
+            node = node.parent
+        return tuple(reversed(parts))
+
+    def subtree_doc_ids(self) -> Tuple[int, ...]:
+        """Union of doc annotations over the subtree, sorted.
+
+        This is what a client collects when a query matches this node.
+        """
+        collected: set = set()
+        for node in self.iter_preorder():
+            collected.update(node.doc_ids)
+        return tuple(sorted(collected))
+
+    def subtree_node_count(self) -> int:
+        return sum(1 for _ in self.iter_preorder())
+
+
+def assign_preorder_ids(root: IndexNode) -> List[IndexNode]:
+    """Number nodes in depth-first preorder; return them in that order."""
+    ordered = list(root.iter_preorder())
+    for position, node in enumerate(ordered):
+        node.node_id = position
+    return ordered
+
+
+def validate_tree(root: IndexNode) -> None:
+    """Structural sanity checks used by tests and the builders.
+
+    * parent/child links are consistent,
+    * node ids are the preorder positions,
+    * child labels are unique per node,
+    * doc id tuples are sorted and duplicate-free.
+    """
+    for position, node in enumerate(root.iter_preorder()):
+        if node.node_id != position:
+            raise ValueError(
+                f"node {node.label!r} has id {node.node_id}, expected preorder {position}"
+            )
+        labels = [child.label for child in node.children]
+        if len(labels) != len(set(labels)):
+            raise ValueError(f"node {node.label!r} has duplicate child labels: {labels}")
+        for child in node.children:
+            if child.parent is not node:
+                raise ValueError(
+                    f"child {child.label!r} of {node.label!r} has a broken parent link"
+                )
+        if list(node.doc_ids) != sorted(set(node.doc_ids)):
+            raise ValueError(
+                f"node {node.label!r} has unsorted or duplicated doc ids: {node.doc_ids}"
+            )

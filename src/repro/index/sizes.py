@@ -1,0 +1,130 @@
+"""Byte-size model of the air index.
+
+The paper's experimental setup (Section 4.1) fixes: 2 bytes per document
+ID, 4 bytes per pointer, 128-byte packets.  Element labels are dictionary
+encoded in 2 bytes (the label table is derivable from the DTD that both
+server and clients know; its size can still be charged explicitly via
+:meth:`SizeModel.label_table_bytes`).
+
+Every index node is serialised as::
+
+    flag (2) | child_count (2) | doc_count (2)
+    | child entries: (label_id 2 | pointer 4) * child_count
+    | doc entries:   one-tier  (doc_id 2 | pointer 4) * doc_count
+                     first-tier (doc_id 2)            * doc_count
+
+which matches the paper's Figure 3(c) three-block layout (flag block,
+``<entry, pointer>`` block, ``<doc, pointer>`` block) with explicit counts
+so packets are self-describing.  The second-tier offset list is a count
+followed by ``(doc_id 2 | offset 4)`` entries.
+
+All sizes used anywhere in the experiments come from this model, and the
+binary encoder is tested to produce exactly these byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Configurable byte sizes of on-air structures."""
+
+    flag_bytes: int = 2
+    count_bytes: int = 2
+    label_bytes: int = 2
+    pointer_bytes: int = 4
+    doc_id_bytes: int = 2
+    packet_bytes: int = 128
+    #: per-document on-air header: the "delivery time of the next index"
+    #: pointer the paper appends to each data object (Section 2.3).
+    doc_header_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "flag_bytes",
+            "count_bytes",
+            "label_bytes",
+            "pointer_bytes",
+            "doc_id_bytes",
+            "doc_header_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.packet_bytes < 8:
+            raise ValueError("packet_bytes must be at least 8")
+
+    # ------------------------------------------------------------------
+    # Node sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def node_header_bytes(self) -> int:
+        """Flag plus the two explicit counts."""
+        return self.flag_bytes + 2 * self.count_bytes
+
+    @property
+    def child_entry_bytes(self) -> int:
+        """One ``<entry, pointer>`` tuple."""
+        return self.label_bytes + self.pointer_bytes
+
+    @property
+    def doc_entry_one_tier_bytes(self) -> int:
+        """One ``<doc, pointer>`` tuple (one-tier layout)."""
+        return self.doc_id_bytes + self.pointer_bytes
+
+    @property
+    def doc_entry_first_tier_bytes(self) -> int:
+        """One document ID (two-tier first-tier layout)."""
+        return self.doc_id_bytes
+
+    def node_bytes(self, child_count: int, doc_count: int, one_tier: bool) -> int:
+        """Serialized size of one index node."""
+        doc_entry = (
+            self.doc_entry_one_tier_bytes if one_tier else self.doc_entry_first_tier_bytes
+        )
+        return (
+            self.node_header_bytes
+            + child_count * self.child_entry_bytes
+            + doc_count * doc_entry
+        )
+
+    # ------------------------------------------------------------------
+    # Second tier
+    # ------------------------------------------------------------------
+
+    @property
+    def offset_entry_bytes(self) -> int:
+        """One ``(doc_id, offset)`` entry of the second-tier list."""
+        return self.doc_id_bytes + self.pointer_bytes
+
+    def offset_list_bytes(self, doc_count: int) -> int:
+        """Serialized size of a second-tier offset list."""
+        return self.count_bytes + doc_count * self.offset_entry_bytes
+
+    # ------------------------------------------------------------------
+    # Packets and documents
+    # ------------------------------------------------------------------
+
+    def packets_for(self, byte_count: int) -> int:
+        """Packets needed to carry *byte_count* bytes."""
+        if byte_count < 0:
+            raise ValueError("byte_count must be non-negative")
+        return -(-byte_count // self.packet_bytes)
+
+    def packet_aligned_bytes(self, byte_count: int) -> int:
+        """Bytes actually occupied on air once packetised."""
+        return self.packets_for(byte_count) * self.packet_bytes
+
+    def document_air_bytes(self, document_bytes: int) -> int:
+        """On-air footprint of a document, including its header packetised."""
+        return self.packet_aligned_bytes(document_bytes + self.doc_header_bytes)
+
+    def label_table_bytes(self, label_count: int, mean_label_length: float = 8.0) -> int:
+        """Optional cost of broadcasting the label dictionary itself."""
+        return self.count_bytes + int(label_count * (self.label_bytes + mean_label_length))
+
+
+#: The configuration of the paper's experiments (Table 2 narrative).
+PAPER_SIZE_MODEL = SizeModel()

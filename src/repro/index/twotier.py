@@ -1,0 +1,151 @@
+"""The two-tier index structure (paper Section 3.3).
+
+The one-tier index stores ``<doc.id, doc.offset>`` pairs inside the index
+nodes, duplicating a document's offset once per annotation.  The two-tier
+structure normalises this (1NF -> BCNF, as the paper argues):
+
+* **first tier** -- the PCI tree with only 2-byte document *IDs* in its
+  doc blocks (schema ``S2_1(node, doc.id)``);
+* **second tier** -- one flat :class:`OffsetList` per broadcast cycle
+  mapping each document broadcast in that cycle to its byte offset
+  (schema ``S2_2(doc.id, doc.offset)``).
+
+The first tier is query-dependent but cycle-invariant (document IDs do
+not move between cycles); the second tier is rebuilt every cycle by the
+broadcast program builder.  This is exactly what enables the improved
+client protocol: read the first tier once, then only the small second
+tier of each following cycle (Equation 1: ``TT = L_I + n * L_O``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.index.ci import CompactIndex
+from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
+
+
+@dataclass(frozen=True)
+class OffsetList:
+    """Second-tier index of one broadcast cycle.
+
+    ``entries`` maps each document broadcast in the cycle to the byte
+    offset (within the cycle) where its first packet starts, sorted by
+    document ID so clients can scan or binary-search it.
+    """
+
+    entries: Tuple[Tuple[int, int], ...]
+    size_model: SizeModel = PAPER_SIZE_MODEL
+
+    def __post_init__(self) -> None:
+        doc_ids = [doc_id for doc_id, _offset in self.entries]
+        if doc_ids != sorted(doc_ids):
+            raise ValueError("offset list entries must be sorted by doc id")
+        if len(doc_ids) != len(set(doc_ids)):
+            raise ValueError("offset list entries must not repeat doc ids")
+
+    @classmethod
+    def from_mapping(
+        cls, offsets: Mapping[int, int], size_model: SizeModel = PAPER_SIZE_MODEL
+    ) -> "OffsetList":
+        return cls(tuple(sorted(offsets.items())), size_model=size_model)
+
+    @property
+    def doc_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """The paper's L_O for this cycle."""
+        return self.size_model.offset_list_bytes(len(self.entries))
+
+    @property
+    def packet_count(self) -> int:
+        return self.size_model.packets_for(self.size_bytes)
+
+    def offset_of(self, doc_id: int) -> Optional[int]:
+        for entry_id, offset in self.entries:
+            if entry_id == doc_id:
+                return offset
+        return None
+
+    def lookup(self, doc_ids: Iterable[int]) -> Dict[int, int]:
+        """Offsets of the requested documents present in this cycle."""
+        wanted = set(doc_ids)
+        return {
+            doc_id: offset for doc_id, offset in self.entries if doc_id in wanted
+        }
+
+    def packets_for_docs(self, doc_ids: Iterable[int]) -> "frozenset[int]":
+        """Offset-list packets a *selective* reader touches.
+
+        Entries are sorted by document ID, so a client can binary-search
+        instead of scanning; the packets charged are the header packet
+        (entry count, needed to bound the search) plus every packet
+        holding one of its entries.  This is the optimistic model -- a
+        real binary search may probe one or two extra packets -- and it
+        is the extension knob ``OffsetRead.SELECTIVE`` uses; the paper's
+        Equation 1 charges the full list (``OffsetRead.FULL``).
+        """
+        model = self.size_model
+        packet = model.packet_bytes
+        touched = {0}  # the count header lives in packet 0
+        wanted = set(doc_ids)
+        for position, (doc_id, _offset) in enumerate(self.entries):
+            if doc_id in wanted:
+                byte = model.count_bytes + position * model.offset_entry_bytes
+                touched.add(byte // packet)
+                # An entry may straddle a packet boundary.
+                touched.add((byte + model.offset_entry_bytes - 1) // packet)
+        return frozenset(touched)
+
+
+@dataclass
+class TwoTierIndex:
+    """First tier (PCI without pointers) plus second-tier construction."""
+
+    first_tier: CompactIndex
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self.first_tier.size_model
+
+    @property
+    def first_tier_bytes(self) -> int:
+        """The paper's L_I."""
+        return self.first_tier.size_bytes(one_tier=False)
+
+    @property
+    def first_tier_packets(self) -> int:
+        return self.size_model.packets_for(self.first_tier_bytes)
+
+    def make_offset_list(self, offsets: Mapping[int, int]) -> OffsetList:
+        """Build the second tier for one cycle's document placement."""
+        return OffsetList.from_mapping(offsets, size_model=self.size_model)
+
+    def one_tier_bytes(self) -> int:
+        """Size of the same tree in the one-tier layout (for Figure 10)."""
+        return self.first_tier.size_bytes(one_tier=True)
+
+    def savings_bytes(self, cycle_doc_count: int) -> int:
+        """One-tier size minus (first tier + one cycle's second tier).
+
+        Positive whenever pointer duplication outweighs the offset list --
+        i.e. whenever documents are annotated at more paths than they are
+        broadcast in a cycle.
+        """
+        two_tier_total = self.first_tier_bytes + self.size_model.offset_list_bytes(
+            cycle_doc_count
+        )
+        return self.one_tier_bytes() - two_tier_total
+
+
+def split_two_tier(pci: CompactIndex) -> TwoTierIndex:
+    """Wrap a PCI as a two-tier index.
+
+    The split is representational: the same tree is sized and encoded
+    without per-annotation pointers, and offsets move to per-cycle
+    :class:`OffsetList` instances produced by the program builder.
+    """
+    return TwoTierIndex(first_tier=pci)

@@ -1,0 +1,132 @@
+"""A small discrete-event simulation engine.
+
+The broadcast simulation's clock is *channel byte-time*: one unit is one
+byte broadcast on the downlink (constant-bandwidth assumption, paper
+Section 4.1).  The engine is nevertheless generic: a priority queue of
+timestamped events with stable FIFO ordering among simultaneous events,
+cancellable handles, and a run loop with optional time/step limits.
+
+SimPy would normally fill this role; it is not installed in this offline
+environment, so the needed subset is implemented here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: int
+    priority: int
+    sequence: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "priority", "callback", "cancelled", "label")
+
+    def __init__(
+        self, time: int, priority: int, callback: EventCallback, label: str = ""
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time}, {self.label or 'anon'}, {state})"
+
+
+class EventQueue:
+    """Calendar queue with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self.now = 0
+        self.processed = 0
+
+    def schedule(
+        self,
+        time: int,
+        callback: EventCallback,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule *callback* at *time*; earlier priority runs first among
+        simultaneous events, FIFO within equal (time, priority)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, clock is at {self.now}")
+        event = ScheduledEvent(time, priority, callback, label)
+        heapq.heappush(
+            self._heap, _QueueEntry(time, priority, next(self._sequence), event)
+        )
+        return event
+
+    def schedule_in(
+        self, delay: int, callback: EventCallback, priority: int = 0, label: str = ""
+    ) -> ScheduledEvent:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, callback, priority, label)
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        times = [entry.time for entry in self._heap if not entry.event.cancelled]
+        return min(times) if times else None
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def is_empty(self) -> bool:
+        return self.pending_count == 0
+
+    def step(self) -> Optional[ScheduledEvent]:
+        """Run the next non-cancelled event; return it, or ``None``."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self.now = entry.time
+            self.processed += 1
+            entry.event.callback()
+            return entry.event
+        return None
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``until`` stops before events later than the given time (the clock
+        is left at the last processed event); ``max_events`` bounds the
+        total work, protecting against runaway schedules.
+        """
+        processed = 0
+        while self._heap:
+            # Peek for the time limit without popping cancelled noise.
+            top = self._heap[0]
+            if top.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and top.time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            if self.step() is not None:
+                processed += 1
+        return processed

@@ -1,0 +1,10 @@
+"""Compatibility shim: the packet-loss model lives at the channel layer.
+
+Importing it as ``repro.sim.loss`` keeps working; the implementation is
+:mod:`repro.broadcast.loss` (the erasures are a property of the
+broadcast channel, not of the simulation harness).
+"""
+
+from repro.broadcast.loss import LOSSLESS, PacketLossModel
+
+__all__ = ["LOSSLESS", "PacketLossModel"]

@@ -1,0 +1,297 @@
+"""The end-to-end simulation orchestrator.
+
+One run wires together every subsystem: the DTD-driven collection, the
+query workload, the broadcast server (filtering, CI/PCI construction,
+scheduling, cycle assembly) and one client *per protocol per query*
+consuming the cycles.  Both index schemes are accounted on the **same**
+document schedule, mirroring the paper's observation that document
+broadcast is index-independent -- so one run yields both the one-tier and
+two-tier curves of Figure 11.
+
+The discrete-event engine drives two event types:
+
+* ``arrival`` -- a query reaches the server's uplink queue;
+* ``cycle`` -- the server assembles and broadcasts the next cycle; the
+  event then delivers the cycle to every eligible client, spawns the next
+  cycle event at the cycle's end time (cycles are back-to-back while
+  queries are pending) and draws the arrivals occurring during the
+  cycle's broadcast span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.broadcast.program import BroadcastCycle
+from repro.broadcast.scheduling import make_scheduler
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.broadcast.server import PendingQuery
+from repro.client.dualchannel import DualChannelTwoTierClient
+from repro.client.lossy import LossyTwoTierClient
+from repro.client.naive import NaiveClient
+from repro.client.onetier import OneTierClient
+from repro.client.protocol import AccessProtocol, FirstTierRead
+from repro.client.twotier import TwoTierClient
+from repro.index.ci import LookupResult
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import EventQueue
+from repro.sim.results import ClientRecord, CycleStats, SimulationResult
+from repro.sim.workload import ArrivalPlan, WorkloadBuilder
+from repro.xmlkit.generator import (
+    GeneratorConfig,
+    dblp_like_dtd,
+    generate_collection,
+    nasa_like_dtd,
+    nitf_like_dtd,
+)
+from repro.xmlkit.model import XMLDocument
+from repro.xpath.ast import XPathQuery
+
+
+def build_collection(config: SimulationConfig) -> List[XMLDocument]:
+    """The document collection a configuration describes."""
+    dtd = {
+        "nitf": nitf_like_dtd,
+        "nasa": nasa_like_dtd,
+        "dblp": dblp_like_dtd,
+    }[config.dtd]()
+    return generate_collection(
+        dtd, config.document_count, config=GeneratorConfig(seed=config.collection_seed)
+    )
+
+
+@dataclass
+class _Session:
+    """All protocol instances serving one arrived query."""
+
+    plan: ArrivalPlan
+    clients: List[AccessProtocol]
+    pending: "PendingQuery" = None
+
+    @property
+    def satisfied(self) -> bool:
+        return all(client.satisfied for client in self.clients)
+
+
+class Simulation:
+    """One configured run of the broadcast system."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        documents: Optional[Sequence[XMLDocument]] = None,
+        first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+    ) -> None:
+        self.config = config
+        self.documents = list(documents) if documents else build_collection(config)
+        self.store = DocumentStore(self.documents, size_model=config.size_model)
+        self.lossy = config.loss_prob > 0.0
+        self.server = BroadcastServer(
+            store=self.store,
+            scheduler=make_scheduler(config.scheduler, self.store),
+            scheme=config.scheme,
+            cycle_data_capacity=config.cycle_data_capacity,
+            packing=config.packing,
+            acknowledged_delivery=self.lossy,
+        )
+        if self.lossy:
+            from repro.broadcast.loss import PacketLossModel
+
+            self._loss_model = PacketLossModel(
+                loss_prob=config.loss_prob, seed=config.query_seed ^ 0xBADF
+            )
+        self.workload = WorkloadBuilder(self.documents, config)
+        self.first_tier_read = first_tier_read
+        self.sessions: List[_Session] = []
+        self._queue = EventQueue()
+        self._lookup_cache: Dict[Tuple[int, str], LookupResult] = {}
+        self._current_cycle: Optional[BroadcastCycle] = None
+
+    # ------------------------------------------------------------------
+    # Event bodies
+    # ------------------------------------------------------------------
+
+    def _cached_lookup(self, cycle: BroadcastCycle, query: XPathQuery) -> LookupResult:
+        """Per-cycle lookup cache: same query string, one index walk."""
+        key = (cycle.cycle_number, str(query))
+        result = self._lookup_cache.get(key)
+        if result is None:
+            result = cycle.lookup(query)
+            self._lookup_cache[key] = result
+        return result
+
+    def _admit(self, plan: ArrivalPlan) -> None:
+        pending = self.server.submit(plan.query, plan.arrival_time)
+        clients: List[AccessProtocol]
+        if self.lossy:
+            # Loss degradation study: one lossy two-tier client per query,
+            # driving acknowledged delivery (see SimulationConfig.loss_prob).
+            clients = [
+                LossyTwoTierClient(
+                    plan.query,
+                    plan.arrival_time,
+                    client_key=pending.query_id,
+                    loss_model=self._loss_model,
+                    lookup_fn=self._cached_lookup,
+                )
+            ]
+        else:
+            clients = [
+                OneTierClient(
+                    plan.query, plan.arrival_time, lookup_fn=self._cached_lookup
+                ),
+                TwoTierClient(
+                    plan.query,
+                    plan.arrival_time,
+                    lookup_fn=self._cached_lookup,
+                    first_tier_read=self.first_tier_read,
+                ),
+            ]
+            if self.config.track_naive_baseline:
+                clients.append(
+                    NaiveClient(plan.query, plan.arrival_time, pending.result_doc_ids)
+                )
+            if self.config.dual_channel:
+                dual = DualChannelTwoTierClient(
+                    plan.query, plan.arrival_time, lookup_fn=self._cached_lookup
+                )
+                clients.append(dual)
+                # The index channel lets a mid-cycle arrival start on the
+                # cycle currently on air.
+                if (
+                    self._current_cycle is not None
+                    and self._current_cycle.end_time > plan.arrival_time
+                ):
+                    dual.on_cycle(self._current_cycle)
+        self.sessions.append(_Session(plan=plan, clients=clients, pending=pending))
+
+    def _schedule_arrivals(self, plans: Sequence[ArrivalPlan]) -> None:
+        for plan in plans:
+            # priority 0: arrivals at time T are admitted before a cycle
+            # built at time T sees them? No -- the server filters on
+            # arrival_time <= now anyway; priority only keeps ordering
+            # deterministic.
+            self._queue.schedule(
+                plan.arrival_time, lambda p=plan: self._admit(p), priority=0, label="arrival"
+            )
+
+    def _cycle_event(self) -> None:
+        now = self._queue.now
+        cycle = self.server.build_cycle(now)
+        if cycle is None:
+            # Idle: nothing pending right now.  If arrivals are still
+            # scheduled, resume cycling right after the next one lands.
+            next_time = self._queue.next_event_time()
+            if next_time is not None:
+                self._queue.schedule(
+                    next_time, self._cycle_event, priority=1, label="cycle"
+                )
+            return
+        if self.config.validate_cycles:
+            from repro.broadcast.validate import validate_cycle
+
+            validate_cycle(cycle, self.store)
+        self._record_cycle(cycle)
+        self._current_cycle = cycle
+        # Keep only the on-air cycle's lookups: mid-cycle arrivals (dual
+        # channel) may still need them; older cycles' are dead weight.
+        self._lookup_cache = {
+            key: value
+            for key, value in self._lookup_cache.items()
+            if key[0] == cycle.cycle_number
+        }
+        self._deliver(cycle)
+        self._schedule_arrivals(
+            self.workload.arrivals_during(cycle.start_time, cycle.end_time)
+        )
+        if self.server.cycle_number < self.config.max_cycles:
+            self._queue.schedule(
+                cycle.end_time, self._cycle_event, priority=1, label="cycle"
+            )
+        else:
+            self._truncated = True
+
+    def _deliver(self, cycle: BroadcastCycle) -> None:
+        for session in self.sessions:
+            for client in session.clients:
+                client.on_cycle(cycle)
+        if self.lossy:
+            # Uplink acknowledgements: the server learns what actually
+            # arrived, so erased frames get rebroadcast.
+            for session in self.sessions:
+                if not session.pending.is_satisfied and session.clients[
+                    0
+                ].can_use(cycle):
+                    self.server.confirm_delivery(
+                        session.pending,
+                        session.clients[0].received_doc_ids,
+                        cycle,
+                    )
+
+    def _record_cycle(self, cycle: BroadcastCycle) -> None:
+        server_record = self.server.records[-1]
+        self._cycle_stats.append(
+            CycleStats(
+                cycle_number=cycle.cycle_number,
+                start_time=cycle.start_time,
+                total_bytes=cycle.total_bytes,
+                data_bytes=cycle.data_bytes,
+                doc_count=len(cycle.doc_ids),
+                pending_queries=server_record.pending_count,
+                ci_bytes_one_tier=server_record.pruning.bytes_before,
+                pci_bytes_one_tier=server_record.pruning.bytes_after,
+                pci_first_tier_bytes=cycle.pci.size_bytes(one_tier=False),
+                offset_list_bytes=cycle.offset_list.size_bytes,
+                pci_nodes=cycle.pci.node_count,
+                ci_nodes=server_record.pruning.nodes_before,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        self._cycle_stats: List[CycleStats] = []
+        self._truncated = False
+        self._schedule_arrivals(self.workload.initial_batch())
+        # Cycle events run after same-time arrivals (priority 1 > 0).
+        self._queue.schedule(0, self._cycle_event, priority=1, label="cycle")
+        self._queue.run()
+
+        result = SimulationResult(
+            collection_bytes=self.store.total_data_bytes(),
+            document_count=len(self.documents),
+            cycles=self._cycle_stats,
+            completed=not self._truncated,
+        )
+        protocol_names = {
+            OneTierClient: "one-tier",
+            TwoTierClient: "two-tier",
+            LossyTwoTierClient: "two-tier",
+            DualChannelTwoTierClient: "two-tier-dual",
+            NaiveClient: "naive",
+        }
+        for session in self.sessions:
+            for client in session.clients:
+                if not client.metrics.is_complete:
+                    result.completed = False
+                    continue
+                result.clients.append(
+                    ClientRecord.from_metrics(
+                        query_text=str(session.plan.query),
+                        protocol=protocol_names[type(client)],
+                        metrics=client.metrics,
+                    )
+                )
+        return result
+
+
+def run_simulation(
+    config: SimulationConfig,
+    documents: Optional[Sequence[XMLDocument]] = None,
+    first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+) -> SimulationResult:
+    """Convenience wrapper: configure, run, return the result."""
+    return Simulation(config, documents=documents, first_tier_read=first_tier_read).run()

@@ -1,0 +1,84 @@
+"""Query arrival workload.
+
+The paper parameterises load as N_Q, "the number of queries submitted to
+the server during the broadcasting period of each cycle".  Cycle lengths
+are only known as the simulation unfolds, so arrivals are generated
+lazily: when cycle *k* starts broadcasting, :class:`WorkloadBuilder`
+draws N_Q fresh queries with arrival times uniform over that cycle's
+byte span; they become eligible at cycle *k+1*.  An initial batch at time
+0 primes the very first cycle.
+
+Arrivals stop after the configured arrival window so a run can drain and
+every client's session completes (the experiments average over complete
+sessions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.xmlkit.model import XMLDocument
+from repro.xpath.ast import XPathQuery
+from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig
+from repro.sim.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """One scheduled query arrival."""
+
+    arrival_time: int
+    query: XPathQuery
+
+
+class WorkloadBuilder:
+    """Draws query arrivals cycle by cycle."""
+
+    def __init__(
+        self, documents: Sequence[XMLDocument], config: SimulationConfig
+    ) -> None:
+        self.config = config
+        generator_config = QueryWorkloadConfig(
+            seed=config.query_seed,
+            wildcard_descendant_prob=config.wildcard_prob,
+            max_depth=config.max_query_depth,
+            zipf_theta=config.zipf_theta,
+            depth_mode=config.query_depth_mode,
+        )
+        self._generator = QueryGenerator(documents, generator_config)
+        self._rng = random.Random(config.query_seed ^ 0x5EED)
+        self._cycles_issued = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the arrival window has been fully issued."""
+        return self._cycles_issued >= self.config.arrival_cycles
+
+    def initial_batch(self) -> List[ArrivalPlan]:
+        """N_Q arrivals at time 0, priming the first cycle."""
+        return self._issue(0, 0)
+
+    def arrivals_during(self, start_time: int, end_time: int) -> List[ArrivalPlan]:
+        """N_Q arrivals uniform over one cycle's broadcast span.
+
+        Returns an empty list once the arrival window is exhausted.
+        """
+        if end_time <= start_time:
+            raise ValueError("cycle span must be non-empty")
+        return self._issue(start_time, end_time)
+
+    def _issue(self, start_time: int, end_time: int) -> List[ArrivalPlan]:
+        if self.exhausted:
+            return []
+        self._cycles_issued += 1
+        plans: List[ArrivalPlan] = []
+        for _ in range(self.config.n_q):
+            if end_time > start_time:
+                time = self._rng.randint(start_time, end_time - 1)
+            else:
+                time = start_time
+            plans.append(ArrivalPlan(arrival_time=time, query=self._generator.generate()))
+        plans.sort(key=lambda plan: plan.arrival_time)
+        return plans

@@ -1,0 +1,43 @@
+"""Operational tooling around the library.
+
+* :mod:`repro.tools.persist` -- save/load document collections and query
+  workloads to disk, so experiments can run against externally curated
+  data sets instead of freshly generated ones;
+* :mod:`repro.tools.trace` -- export a broadcast run as a JSONL trace
+  (one record per cycle, plus client summaries) and compute summary
+  statistics from traces.
+"""
+
+from repro.tools.persist import (
+    load_collection,
+    load_workload,
+    save_collection,
+    save_workload,
+)
+from repro.tools.trace import (
+    TraceSummary,
+    export_trace,
+    load_trace,
+    summarise_trace,
+)
+from repro.tools.compare import (
+    MetricDrift,
+    TraceComparison,
+    compare_summaries,
+    compare_traces,
+)
+
+__all__ = [
+    "load_collection",
+    "load_workload",
+    "save_collection",
+    "save_workload",
+    "TraceSummary",
+    "export_trace",
+    "load_trace",
+    "summarise_trace",
+    "MetricDrift",
+    "TraceComparison",
+    "compare_summaries",
+    "compare_traces",
+]

@@ -1,0 +1,109 @@
+"""Regression comparison of two broadcast traces.
+
+Given two JSONL traces (typically "before" and "after" a code change),
+``compare_traces`` reports the relative drift of every headline metric
+and flags regressions beyond a tolerance -- the missing piece that makes
+``tools.trace`` a CI artifact rather than a curiosity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+import pathlib
+
+from repro.tools.trace import TraceSummary, load_trace, summarise_trace
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric's before/after values and relative change."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """All metric drifts between two runs."""
+
+    drifts: List[MetricDrift]
+
+    def drift(self, metric: str) -> MetricDrift:
+        for entry in self.drifts:
+            if entry.metric == metric:
+                return entry
+        raise KeyError(metric)
+
+    def regressions(self, tolerance: float = 0.10) -> List[MetricDrift]:
+        """Metrics that *worsened* by more than *tolerance*.
+
+        All compared metrics are costs (bytes, cycles), so an increase is
+        a regression; improvements are never flagged.
+        """
+        return [
+            entry
+            for entry in self.drifts
+            if entry.relative_change > tolerance
+        ]
+
+    def report(self) -> str:
+        from repro.experiments.report import format_table
+
+        rows = [
+            (
+                entry.metric,
+                entry.before,
+                entry.after,
+                f"{entry.relative_change:+.1%}"
+                if entry.before
+                else "n/a",
+            )
+            for entry in self.drifts
+        ]
+        return format_table(
+            "Trace comparison (after vs before)",
+            ("metric", "before", "after", "change"),
+            rows,
+        )
+
+
+def _metrics_of(summary: TraceSummary) -> Dict[str, float]:
+    metrics: Dict[str, float] = {
+        "cycles": float(summary.cycles),
+        "broadcast bytes": float(summary.total_broadcast_bytes),
+        "mean PCI bytes": summary.mean_pci_bytes,
+    }
+    for protocol, stats in sorted(summary.protocols.items()):
+        metrics[f"{protocol} lookup bytes"] = stats["index_lookup_bytes"]
+        metrics[f"{protocol} tuning bytes"] = stats["tuning_bytes"]
+        metrics[f"{protocol} cycles/query"] = stats["cycles"]
+    return metrics
+
+
+def compare_summaries(before: TraceSummary, after: TraceSummary) -> TraceComparison:
+    """Compare two in-memory summaries (metrics present in both)."""
+    before_metrics = _metrics_of(before)
+    after_metrics = _metrics_of(after)
+    drifts = [
+        MetricDrift(metric=name, before=before_metrics[name], after=after_metrics[name])
+        for name in before_metrics
+        if name in after_metrics
+    ]
+    return TraceComparison(drifts=drifts)
+
+
+def compare_traces(before_path: PathLike, after_path: PathLike) -> TraceComparison:
+    """Load and compare two trace files."""
+    before = summarise_trace(load_trace(before_path))
+    after = summarise_trace(load_trace(after_path))
+    return compare_summaries(before, after)

@@ -1,0 +1,102 @@
+"""Disk persistence for collections and workloads.
+
+Layout of a saved collection directory::
+
+    <dir>/manifest.json        {"format": 1, "documents": [{"doc_id", "file", "name"}...]}
+    <dir>/doc-00000.xml        one serialized document per file
+
+Workloads are plain text, one XPath query per line (``#`` comments and
+blank lines ignored), so they are hand-editable.
+
+Everything round-trips exactly: documents are re-parsed with the
+library's own parser and compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Sequence, Union
+
+from repro.xmlkit.model import XMLDocument
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import serialize_document
+from repro.xpath.ast import XPathQuery
+from repro.xpath.parser import parse_query
+
+PathLike = Union[str, pathlib.Path]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_collection(documents: Sequence[XMLDocument], directory: PathLike) -> pathlib.Path:
+    """Write a collection (documents + manifest) to *directory*."""
+    if not documents:
+        raise ValueError("refusing to save an empty collection")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for doc in documents:
+        filename = f"doc-{doc.doc_id:05d}.xml"
+        (path / filename).write_text(serialize_document(doc), encoding="utf-8")
+        entries.append({"doc_id": doc.doc_id, "file": filename, "name": doc.name})
+    manifest = {"format": _FORMAT_VERSION, "documents": entries}
+    (path / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_collection(directory: PathLike) -> List[XMLDocument]:
+    """Load a collection saved by :func:`save_collection`."""
+    path = pathlib.Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} in {path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported collection format {manifest.get('format')!r}"
+        )
+    documents: List[XMLDocument] = []
+    seen = set()
+    for entry in manifest["documents"]:
+        doc_id = entry["doc_id"]
+        if doc_id in seen:
+            raise ValueError(f"manifest repeats doc id {doc_id}")
+        seen.add(doc_id)
+        text = (path / entry["file"]).read_text(encoding="utf-8")
+        documents.append(
+            parse_document(text, doc_id=doc_id, name=entry.get("name", ""))
+        )
+    if not documents:
+        raise ValueError(f"manifest in {path} lists no documents")
+    return documents
+
+
+def save_workload(queries: Sequence[XPathQuery], file_path: PathLike) -> pathlib.Path:
+    """Write a workload as one query per line."""
+    path = pathlib.Path(file_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["# repro workload: one XPath query per line"]
+    lines.extend(str(query) for query in queries)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_workload(file_path: PathLike) -> List[XPathQuery]:
+    """Load a workload saved by :func:`save_workload` (or hand-written)."""
+    path = pathlib.Path(file_path)
+    queries: List[XPathQuery] = []
+    for line_number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            queries.append(parse_query(line))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{line_number}: {exc}") from exc
+    return queries

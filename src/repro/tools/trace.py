@@ -1,0 +1,138 @@
+"""Broadcast-trace export and analysis.
+
+A trace is JSON Lines: a ``meta`` record, one ``cycle`` record per
+broadcast cycle and one ``client`` record per completed session.  Traces
+make runs diffable, graphable with external tooling, and comparable
+across code versions without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.sim.results import SimulationResult
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def export_trace(result: SimulationResult, file_path: PathLike) -> pathlib.Path:
+    """Write one finished run as a JSONL trace."""
+    path = pathlib.Path(file_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records: List[Dict] = [
+        {
+            "kind": "meta",
+            "format": _FORMAT_VERSION,
+            "collection_bytes": result.collection_bytes,
+            "document_count": result.document_count,
+            "completed": result.completed,
+        }
+    ]
+    for cycle in result.cycles:
+        records.append(
+            {
+                "kind": "cycle",
+                "cycle": cycle.cycle_number,
+                "start": cycle.start_time,
+                "total_bytes": cycle.total_bytes,
+                "data_bytes": cycle.data_bytes,
+                "doc_count": cycle.doc_count,
+                "pending": cycle.pending_queries,
+                "ci_bytes": cycle.ci_bytes_one_tier,
+                "pci_bytes": cycle.pci_bytes_one_tier,
+                "first_tier_bytes": cycle.pci_first_tier_bytes,
+                "offset_list_bytes": cycle.offset_list_bytes,
+            }
+        )
+    for record in result.clients:
+        records.append(
+            {
+                "kind": "client",
+                "query": record.query_text,
+                "protocol": record.protocol,
+                "arrival": record.arrival_time,
+                "result_docs": record.result_doc_count,
+                "cycles": record.cycles_listened,
+                "index_lookup_bytes": record.index_lookup_bytes,
+                "tuning_bytes": record.tuning_bytes,
+                "access_bytes": record.access_bytes,
+            }
+        )
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_trace(file_path: PathLike) -> List[Dict]:
+    """Read a trace back as a list of records (validated lightly)."""
+    path = pathlib.Path(file_path)
+    records: List[Dict] = []
+    for line_number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_number}: bad JSON: {exc}") from exc
+        if "kind" not in record:
+            raise ValueError(f"{path}:{line_number}: record without 'kind'")
+        records.append(record)
+    if not records or records[0]["kind"] != "meta":
+        raise ValueError(f"{path}: trace must start with a meta record")
+    if records[0].get("format") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported trace format")
+    return records
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates recomputed from a trace (no simulator needed)."""
+
+    cycles: int
+    total_broadcast_bytes: int
+    mean_pci_bytes: float
+    clients: int
+    protocols: Dict[str, Dict[str, float]]
+
+    def lookup_mean(self, protocol: str) -> float:
+        return self.protocols.get(protocol, {}).get("index_lookup_bytes", 0.0)
+
+
+def summarise_trace(records: List[Dict]) -> TraceSummary:
+    """Summary statistics straight from trace records."""
+    cycles = [r for r in records if r["kind"] == "cycle"]
+    clients = [r for r in records if r["kind"] == "client"]
+    by_protocol: Dict[str, List[Dict]] = {}
+    for client in clients:
+        by_protocol.setdefault(client["protocol"], []).append(client)
+
+    def mean(rows: List[Dict], key: str) -> float:
+        return sum(row[key] for row in rows) / len(rows) if rows else 0.0
+
+    protocols = {
+        name: {
+            "count": float(len(rows)),
+            "index_lookup_bytes": mean(rows, "index_lookup_bytes"),
+            "tuning_bytes": mean(rows, "tuning_bytes"),
+            "access_bytes": mean(rows, "access_bytes"),
+            "cycles": mean(rows, "cycles"),
+        }
+        for name, rows in by_protocol.items()
+    }
+    return TraceSummary(
+        cycles=len(cycles),
+        total_broadcast_bytes=sum(c["total_bytes"] for c in cycles),
+        mean_pci_bytes=(
+            sum(c["pci_bytes"] for c in cycles) / len(cycles) if cycles else 0.0
+        ),
+        clients=len(clients),
+        protocols=protocols,
+    )

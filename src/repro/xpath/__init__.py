@@ -1,0 +1,38 @@
+"""The paper's XPath subset: ``P = /N | //N | P P``, ``N = E | *``.
+
+A query is a sequence of location steps; each step pairs an axis (child
+``/`` or descendant ``//``) with a node test (an element label or the
+wildcard ``*``).  Predicates, attributes and value comparisons are out of
+scope, exactly as in the paper's experiments (Section 4.1).
+
+* :mod:`repro.xpath.ast` -- query model and direct label-path matching;
+* :mod:`repro.xpath.parser` -- parse ``"/a//b/*"`` strings;
+* :mod:`repro.xpath.generator` -- the modified-YFilter-style synthetic
+  workload generator with the paper's knobs ``P`` and ``D_Q``;
+* :mod:`repro.xpath.evaluator` -- a naive tree-walk evaluator used as the
+  differential-testing oracle for the NFA engine.
+"""
+
+from repro.xpath.ast import Axis, Step, XPathQuery, WILDCARD
+from repro.xpath.parser import XPathSyntaxError, parse_query
+from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig, generate_workload
+from repro.xpath.containment import WorkloadAnalysis, analyse_workload, contains, equivalent
+from repro.xpath.evaluator import evaluate_on_document, matching_documents
+
+__all__ = [
+    "Axis",
+    "Step",
+    "XPathQuery",
+    "WILDCARD",
+    "XPathSyntaxError",
+    "parse_query",
+    "QueryGenerator",
+    "QueryWorkloadConfig",
+    "generate_workload",
+    "WorkloadAnalysis",
+    "analyse_workload",
+    "contains",
+    "equivalent",
+    "evaluate_on_document",
+    "matching_documents",
+]

@@ -1,0 +1,133 @@
+"""String parser for the paper's XPath subset (``/a//b/*`` style), plus
+the predicate extension (``/a/b[@id="7"][c//d]``)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.xpath.ast import (
+    AttributePredicate,
+    Axis,
+    PathPredicate,
+    Predicate,
+    Step,
+    WILDCARD,
+    XPathQuery,
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised for strings outside the supported grammar."""
+
+
+def _is_test_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-:" or ch == "."
+
+
+def _read_name(text: str, pos: int, what: str) -> Tuple[str, int]:
+    start = pos
+    while pos < len(text) and _is_test_char(text[pos]):
+        pos += 1
+    name = text[start:pos]
+    if not name:
+        raise XPathSyntaxError(f"expected {what} at offset {start} in {text!r}")
+    return name, pos
+
+
+def _parse_predicate(text: str, pos: int) -> Tuple[Predicate, int]:
+    """Parse one ``[...]`` starting at the opening bracket."""
+    assert text[pos] == "["
+    end = text.find("]", pos)
+    if end < 0:
+        raise XPathSyntaxError(f"unterminated predicate at offset {pos} in {text!r}")
+    body = text[pos + 1 : end].strip()
+    if not body:
+        raise XPathSyntaxError(f"empty predicate at offset {pos} in {text!r}")
+    if body.startswith("@"):
+        return _parse_attribute_predicate(body, text, pos), end + 1
+    return _parse_path_predicate(body, text, pos), end + 1
+
+
+def _parse_attribute_predicate(
+    body: str, text: str, pos: int
+) -> AttributePredicate:
+    rest = body[1:]
+    if "=" in rest:
+        name, _eq, raw_value = rest.partition("=")
+        name = name.strip()
+        raw_value = raw_value.strip()
+        if len(raw_value) < 2 or raw_value[0] not in "\"'" or raw_value[-1] != raw_value[0]:
+            raise XPathSyntaxError(
+                f"attribute value must be quoted at offset {pos} in {text!r}"
+            )
+    else:
+        name = rest.strip()
+        raw_value = None
+    if not name:
+        raise XPathSyntaxError(
+            f"attribute predicate needs a name at offset {pos} in {text!r}"
+        )
+    if raw_value is None:
+        return AttributePredicate(name)
+    return AttributePredicate(name, raw_value[1:-1])
+
+
+def _parse_path_predicate(body: str, text: str, pos: int) -> PathPredicate:
+    # Normalise to an absolute-looking relative path: "b/c" -> "/b/c",
+    # ".//c" -> "//c".
+    if body.startswith(".//"):
+        normalised = body[1:]
+    elif body.startswith("./"):
+        normalised = body[1:]
+    elif body.startswith("/"):
+        raise XPathSyntaxError(
+            f"path predicates are relative; drop the leading '/' at offset {pos}"
+        )
+    else:
+        normalised = "/" + body
+    try:
+        inner = parse_query(normalised)
+    except XPathSyntaxError as exc:
+        raise XPathSyntaxError(
+            f"bad path predicate {body!r} at offset {pos}: {exc}"
+        ) from exc
+    if inner.has_predicates():
+        raise XPathSyntaxError("nested predicates are not supported")
+    return PathPredicate(inner.steps)
+
+
+def parse_query(text: str) -> XPathQuery:
+    """Parse an XPath string of the paper's grammar into a query.
+
+    >>> str(parse_query("/a//b/*"))
+    '/a//b/*'
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise XPathSyntaxError("empty query string")
+    if not stripped.startswith("/"):
+        raise XPathSyntaxError(
+            f"queries must be absolute (start with '/' or '//'): {text!r}"
+        )
+    steps: List[Step] = []
+    pos = 0
+    while pos < len(stripped):
+        if stripped.startswith("//", pos):
+            axis = Axis.DESCENDANT
+            pos += 2
+        elif stripped.startswith("/", pos):
+            axis = Axis.CHILD
+            pos += 1
+        else:
+            raise XPathSyntaxError(f"expected '/' or '//' at offset {pos} in {text!r}")
+        if pos < len(stripped) and stripped[pos] == WILDCARD:
+            test = WILDCARD
+            pos += 1
+        else:
+            test, pos = _read_name(stripped, pos, "an element label or '*'")
+        predicates: List[Predicate] = []
+        while pos < len(stripped) and stripped[pos] == "[":
+            predicate, pos = _parse_predicate(stripped, pos)
+            predicates.append(predicate)
+        steps.append(Step(axis, test, tuple(predicates)))
+    return XPathQuery.from_steps(steps)

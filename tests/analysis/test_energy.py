@@ -1,0 +1,104 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import (
+    PowerProfile,
+    SessionEnergy,
+    energy_saving,
+    mean_energy_by_protocol,
+    session_energy,
+)
+from repro.sim.config import small_setup
+from repro.sim.results import ClientRecord
+from repro.sim.simulation import run_simulation
+
+
+def record(tuning: int, access: int, protocol: str = "two-tier") -> ClientRecord:
+    return ClientRecord(
+        query_text="/a",
+        protocol=protocol,
+        arrival_time=0,
+        result_doc_count=1,
+        cycles_listened=1,
+        probe_bytes=0,
+        index_bytes=tuning,
+        offset_bytes=0,
+        doc_bytes=0,
+        index_lookup_bytes=tuning,
+        tuning_bytes=tuning,
+        access_bytes=access,
+    )
+
+
+class TestPowerProfile:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"active_watts": 0},
+            {"doze_watts": -0.1},
+            {"doze_watts": 2.0},  # above active
+            {"bandwidth_bytes_per_second": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerProfile(**kwargs)
+
+    def test_seconds_for(self):
+        profile = PowerProfile(bandwidth_bytes_per_second=1000)
+        assert profile.seconds_for(2500) == 2.5
+
+
+class TestSessionEnergy:
+    def test_decomposition(self):
+        profile = PowerProfile(
+            active_watts=1.0, doze_watts=0.1, bandwidth_bytes_per_second=1000
+        )
+        # 1000 B tuning = 1 s active; 5000 B access = 5 s total; 4 s doze.
+        energy = session_energy(record(tuning=1000, access=5000), profile)
+        assert energy.active_joules == pytest.approx(1.0)
+        assert energy.doze_joules == pytest.approx(0.4)
+        assert energy.total_joules == pytest.approx(1.4)
+        assert energy.active_fraction == pytest.approx(1.0 / 1.4)
+
+    def test_tuning_exceeding_access_clamps_doze(self):
+        # Re-listening (rebroadcasts) can make tuning > access.
+        energy = session_energy(record(tuning=5000, access=1000))
+        assert energy.doze_joules == 0.0
+
+
+class TestRunLevelEnergy:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_simulation(small_setup())
+
+    def test_two_tier_saves_energy(self, run):
+        saving = energy_saving(run)
+        assert 0 < saving < 1
+
+    def test_ratio_tracks_tuning_when_doze_negligible(self, run):
+        """With doze draw ~0 the energy ratio must equal the tuning-byte
+        ratio -- the paper's proxy argument, made checkable."""
+        profile = PowerProfile(active_watts=1.0, doze_watts=1e-9)
+        energies = mean_energy_by_protocol(run, profile)
+        tuning_ratio = run.mean_tuning_bytes("two-tier") / run.mean_tuning_bytes(
+            "one-tier"
+        )
+        energy_ratio = (
+            energies["two-tier"].total_joules / energies["one-tier"].total_joules
+        )
+        assert energy_ratio == pytest.approx(tuning_ratio, rel=1e-6)
+
+    def test_doze_dominates_at_low_duty_cycle(self, run):
+        """Clients doze most of the session; with realistic draws the doze
+        share is material -- exactly why sleeping through the index matters."""
+        energies = mean_energy_by_protocol(run)
+        two = energies["two-tier"]
+        assert two.doze_joules > 0
+
+    def test_unknown_protocol_rejected(self, run):
+        with pytest.raises(ValueError):
+            energy_saving(run, baseline="carrier-pigeon")

@@ -1,0 +1,106 @@
+"""Unit and validation tests for the analytical cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import (
+    CostModelInputs,
+    ModelValidation,
+    TuningPrediction,
+    inputs_from_simulation,
+    predict,
+    predict_cycles_to_drain,
+    predict_one_tier_lookup,
+    predict_two_tier_lookup,
+    validate_against_simulation,
+)
+from repro.sim.config import small_setup
+from repro.sim.results import SimulationResult
+from repro.sim.simulation import run_simulation
+
+
+class TestClosedForms:
+    def test_cycles_to_drain(self):
+        assert predict_cycles_to_drain(0, 100) == 1
+        assert predict_cycles_to_drain(100, 100) == 1
+        assert predict_cycles_to_drain(101, 100) == 2
+        assert predict_cycles_to_drain(1000, 100) == 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            predict_cycles_to_drain(100, 0)
+        with pytest.raises(ValueError):
+            predict_cycles_to_drain(-1, 100)
+
+    def test_equation_one_form(self):
+        # TT = probe + L_I + n * L_O
+        assert predict_two_tier_lookup(1000, 5, 128, 128) == 128 + 1000 + 5 * 128
+
+    def test_one_tier_form(self):
+        assert predict_one_tier_lookup(700, 5, 128) == 128 + 5 * 700
+
+    def test_predict_composes(self):
+        inputs = CostModelInputs(
+            packet_bytes=128,
+            cycle_capacity=10_000,
+            requested_air_bytes=55_000,
+            first_tier_read_bytes=512,
+            one_tier_search_bytes=768,
+            offset_list_air_bytes=128,
+        )
+        prediction = predict(inputs)
+        assert prediction.cycles == 6
+        assert prediction.two_tier_lookup == 128 + 512 + 6 * 128
+        assert prediction.one_tier_lookup == 128 + 6 * 768
+        assert prediction.improvement > 1
+
+
+class TestValidationHelpers:
+    def test_relative_error(self):
+        validation = ModelValidation(
+            predicted=TuningPrediction(cycles=10, two_tier_lookup=110, one_tier_lookup=90),
+            measured_cycles=10,
+            measured_two_tier=100,
+            measured_one_tier=100,
+        )
+        assert validation.cycles_error == 0
+        assert validation.two_tier_error == pytest.approx(0.10)
+        assert validation.one_tier_error == pytest.approx(0.10)
+        assert validation.max_error == pytest.approx(0.10)
+
+    def test_inputs_require_both_protocols(self):
+        with pytest.raises(ValueError):
+            inputs_from_simulation(SimulationResult(), cycle_capacity=100)
+
+
+class TestModelAgainstSimulation:
+    """The load-bearing test: the closed forms track the simulator."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = small_setup()
+        return config, run_simulation(config)
+
+    def test_predictions_within_tolerance(self, run):
+        config, result = run
+        validation = validate_against_simulation(result, config.cycle_data_capacity)
+        assert validation.max_error < 0.30, validation
+
+    def test_model_preserves_protocol_ordering(self, run):
+        config, result = run
+        validation = validate_against_simulation(result, config.cycle_data_capacity)
+        assert validation.predicted.two_tier_lookup < validation.predicted.one_tier_lookup
+        assert validation.measured_two_tier < validation.measured_one_tier
+
+    def test_model_tracks_capacity_change(self):
+        """Halving capacity should roughly double predicted and measured
+        cycles alike."""
+        small_cap = small_setup(cycle_data_capacity=10_000)
+        big_cap = small_setup(cycle_data_capacity=20_000)
+        run_small = run_simulation(small_cap)
+        run_big = run_simulation(big_cap)
+        v_small = validate_against_simulation(run_small, 10_000)
+        v_big = validate_against_simulation(run_big, 20_000)
+        assert v_small.predicted.cycles > v_big.predicted.cycles
+        assert v_small.measured_cycles > v_big.measured_cycles

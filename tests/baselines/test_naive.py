@@ -1,0 +1,33 @@
+"""Unit tests for the exhaustive-listening bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import exhaustive_listening_bound
+from repro.sim.config import small_setup
+from repro.sim.simulation import run_simulation
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    return run_simulation(small_setup(track_naive_baseline=True))
+
+
+class TestExhaustiveListeningBound:
+    def test_empty_result(self):
+        assert exhaustive_listening_bound(SimulationResult()) == 0.0
+
+    def test_bound_dominates_two_tier(self, sim_result):
+        bound = exhaustive_listening_bound(sim_result)
+        assert bound > sim_result.mean_tuning_bytes("two-tier") * 0.5
+
+    def test_bound_close_to_measured_naive_docs(self, sim_result):
+        """The closed-form bound should roughly track the in-simulation
+        naive client's document bytes (same cycles, same data segments)."""
+        bound = exhaustive_listening_bound(sim_result)
+        naive_docs = sum(
+            r.doc_bytes for r in sim_result.records_for("naive")
+        ) / max(1, len(sim_result.records_for("naive")))
+        assert bound == pytest.approx(naive_docs, rel=0.35)

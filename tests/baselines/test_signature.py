@@ -1,0 +1,116 @@
+"""Unit and property tests for the signature-index baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.signature import (
+    SignatureAccuracy,
+    SignatureConfig,
+    SignatureIndex,
+    signature_tuning_bytes,
+)
+from repro.xpath.evaluator import matching_documents
+from repro.xpath.parser import parse_query
+from tests.strategies import document_collections, queries
+
+
+class TestSignatureConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"signature_bits": 0},
+            {"signature_bits": 100},  # not a multiple of 8
+            {"bits_per_key": 0},
+            {"signature_bits": 8, "bits_per_key": 9},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SignatureConfig(**kwargs)
+
+    def test_signature_bytes(self):
+        assert SignatureConfig(signature_bits=512).signature_bytes == 64
+
+
+class TestSignatureIndex:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureIndex([])
+
+    def test_paper_example_soundness(self):
+        from tests.xpath.test_evaluator import paper_documents
+
+        docs = paper_documents()
+        index = SignatureIndex(docs)
+        for text in ("/a/b/a", "/a/c/a", "/a//c", "/a/b", "/a/c/*"):
+            query = parse_query(text)
+            truth = frozenset(matching_documents(query, docs))
+            accuracy = index.accuracy(query, truth)
+            assert accuracy.is_sound, text
+
+    def test_false_drops_exist_with_tiny_signatures(self, nitf_docs):
+        """The scheme's inaccuracy -- the paper's reason to prefer
+        DataGuides -- shows up once signatures are small."""
+        tiny = SignatureIndex(nitf_docs, SignatureConfig(signature_bits=16))
+        query = parse_query("/nitf/body/body-content/table/tr/td")
+        truth = frozenset(matching_documents(query, nitf_docs))
+        accuracy = tiny.accuracy(query, truth)
+        assert accuracy.is_sound
+        assert accuracy.false_drop_count > 0
+        assert accuracy.precision < 1.0
+
+    def test_larger_signatures_improve_precision(self, nitf_docs):
+        query = parse_query("/nitf/body/body-content/table/tr/td")
+        truth = frozenset(matching_documents(query, nitf_docs))
+        small = SignatureIndex(nitf_docs, SignatureConfig(signature_bits=64))
+        big = SignatureIndex(nitf_docs, SignatureConfig(signature_bits=2048))
+        assert big.accuracy(query, truth).precision >= small.accuracy(
+            query, truth
+        ).precision
+
+    def test_all_wildcard_query_candidates_everything(self, nitf_docs):
+        index = SignatureIndex(nitf_docs)
+        assert index.candidates(parse_query("//*")) == frozenset(
+            doc.doc_id for doc in nitf_docs
+        )
+
+    def test_table_bytes(self, nitf_docs):
+        index = SignatureIndex(nitf_docs)
+        model = index.size_model
+        per_entry = model.doc_id_bytes + 64 + model.pointer_bytes
+        assert index.table_bytes == model.count_bytes + len(nitf_docs) * per_entry
+
+    def test_tuning_bytes_accounts_candidates(self, nitf_docs, nitf_store):
+        index = SignatureIndex(nitf_docs)
+        query = parse_query("/nitf/head/title")
+        air = {doc.doc_id: nitf_store.air_bytes(doc.doc_id) for doc in nitf_docs}
+        tuning = signature_tuning_bytes(index, query, air)
+        table = index.size_model.packet_aligned_bytes(index.table_bytes)
+        assert tuning >= table
+        assert tuning == table + sum(
+            air[d] for d in index.candidates(query)
+        )
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=3))
+    def test_soundness_property(self, docs, query_list):
+        """No false negatives, for any collection and query."""
+        index = SignatureIndex(docs)
+        for query in query_list:
+            truth = frozenset(matching_documents(query, docs))
+            assert index.accuracy(query, truth).is_sound, str(query)
+
+
+class TestSignatureAccuracy:
+    def test_precision_bounds(self):
+        accuracy = SignatureAccuracy(
+            candidate_count=10, true_count=8, false_drop_count=2, missed_count=0
+        )
+        assert accuracy.precision == 0.8
+        assert accuracy.is_sound
+
+    def test_empty_candidates(self):
+        accuracy = SignatureAccuracy(0, 0, 0, 0)
+        assert accuracy.precision == 1.0

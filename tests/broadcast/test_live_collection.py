@@ -1,0 +1,103 @@
+"""Tests for live collection changes at the store and server level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.xmlkit.model import XMLDocument, build_element
+from repro.xpath.parser import parse_query
+
+
+def paper_store() -> DocumentStore:
+    from tests.xpath.test_evaluator import paper_documents
+
+    return DocumentStore(paper_documents())
+
+
+class TestStoreMaintenance:
+    def test_add_document_updates_everything(self):
+        store = paper_store()
+        extra = XMLDocument(10, build_element("a", build_element("b")))
+        store.add_document(extra)
+        assert store.document(10) is extra
+        assert store.air_bytes(10) > 0
+        assert 10 in store.guides
+        assert 10 in store.full_guide.docs_containing(("a", "b"))
+
+    def test_add_duplicate_rejected(self):
+        store = paper_store()
+        with pytest.raises(ValueError):
+            store.add_document(XMLDocument(0, build_element("a")))
+
+    def test_remove_document_updates_everything(self):
+        store = paper_store()
+        removed = store.remove_document(1)  # d2
+        assert removed.doc_id == 1
+        assert 1 not in store.by_id
+        assert 1 not in store.guides
+        # d2's unique path disappears from the combined guide.
+        assert store.full_guide.find(("a", "c", "b")) is None
+
+    def test_remove_matches_rebuild(self):
+        store = paper_store()
+        store.remove_document(1)
+        rebuilt = DocumentStore(store.documents)
+        ours = {
+            path: frozenset(node.leaf_docs)
+            for node, path in store.full_guide.root.iter_with_paths()
+        }
+        theirs = {
+            path: frozenset(node.leaf_docs)
+            for node, path in rebuilt.full_guide.root.iter_with_paths()
+        }
+        assert ours == theirs
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            paper_store().remove_document(99)
+
+    def test_remove_last_rejected(self):
+        store = DocumentStore([XMLDocument(0, build_element("a"))])
+        with pytest.raises(ValueError):
+            store.remove_document(0)
+
+
+class TestServerMaintenance:
+    def test_added_document_served_to_new_queries(self):
+        server = BroadcastServer(paper_store(), cycle_data_capacity=10**6)
+        extra = XMLDocument(10, build_element("a", build_element("b", build_element("zz"))))
+        server.add_document(extra)
+        pending = server.submit(parse_query("/a/b/zz"), 0)
+        assert pending.result_doc_ids == {10}
+        cycle = server.build_cycle()
+        assert 10 in cycle.doc_ids
+
+    def test_resolution_cache_invalidated_on_add(self):
+        server = BroadcastServer(paper_store())
+        before = server.resolve(parse_query("/a/b"))
+        extra = XMLDocument(10, build_element("a", build_element("b")))
+        server.add_document(extra)
+        after = server.resolve(parse_query("/a/b"))
+        assert 10 in after and 10 not in before
+
+    def test_removed_document_dropped_from_pending(self):
+        server = BroadcastServer(paper_store(), cycle_data_capacity=128)
+        pending = server.submit(parse_query("/a/b/a"), 0)  # d1, d2
+        first = server.build_cycle()
+        assert len(first.doc_ids) == 1
+        # The other result document disappears before it was broadcast.
+        remaining_doc = next(iter(pending.remaining_doc_ids))
+        server.remove_document(remaining_doc)
+        assert pending.is_satisfied
+        assert server.pending == []
+
+    def test_removal_mid_broadcast_keeps_others_pending(self):
+        server = BroadcastServer(paper_store(), cycle_data_capacity=128)
+        pending = server.submit(parse_query("/a//c"), 0)  # d2..d5
+        server.build_cycle()
+        victim = next(iter(pending.remaining_doc_ids))
+        server.remove_document(victim)
+        assert victim not in pending.remaining_doc_ids
+        if pending.remaining_doc_ids:
+            assert not pending.is_satisfied

@@ -1,0 +1,148 @@
+"""Unit tests for the document schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.scheduling import (
+    FCFSScheduler,
+    LeeLoScheduler,
+    MostRequestedFirstScheduler,
+    RxWScheduler,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.broadcast.server import DocumentStore, PendingQuery
+from repro.xmlkit.model import XMLDocument, build_element
+from repro.xpath.parser import parse_query
+
+
+def tiny_store() -> DocumentStore:
+    docs = [
+        XMLDocument(i, build_element("a", build_element("b", text="x" * (20 * (i + 1)))))
+        for i in range(4)
+    ]
+    return DocumentStore(docs)
+
+
+def pending(query_id: int, arrival: int, remaining) -> PendingQuery:
+    return PendingQuery(
+        query_id=query_id,
+        query=parse_query("/a/b"),
+        arrival_time=arrival,
+        result_doc_ids=frozenset(remaining),
+    )
+
+
+class TestFCFS:
+    def test_oldest_query_first(self):
+        scheduler = FCFSScheduler()
+        older = pending(0, 0, {2, 3})
+        newer = pending(1, 100, {0})
+        ranked = scheduler.rank([newer, older], now=200)
+        assert ranked == [2, 3, 0]
+
+    def test_dedupes_across_queries(self):
+        scheduler = FCFSScheduler()
+        ranked = scheduler.rank([pending(0, 0, {1}), pending(1, 1, {1, 2})], now=5)
+        assert ranked == [1, 2]
+
+
+class TestMRF:
+    def test_popularity_order(self):
+        scheduler = MostRequestedFirstScheduler()
+        queries = [pending(0, 0, {1, 2}), pending(1, 0, {2}), pending(2, 0, {2, 3})]
+        ranked = scheduler.rank(queries, now=0)
+        assert ranked[0] == 2  # wanted by all three
+        assert set(ranked) == {1, 2, 3}
+
+    def test_tie_breaks_by_doc_id(self):
+        scheduler = MostRequestedFirstScheduler()
+        ranked = scheduler.rank([pending(0, 0, {5, 3})], now=0)
+        assert ranked == [3, 5]
+
+
+class TestRxW:
+    def test_wait_weighting(self):
+        scheduler = RxWScheduler()
+        old = pending(0, 0, {1})
+        new = pending(1, 90, {2})
+        ranked = scheduler.rank([old, new], now=100)
+        assert ranked[0] == 1  # same popularity, longer wait wins
+
+    def test_popularity_can_beat_wait(self):
+        scheduler = RxWScheduler()
+        lonely_old = pending(0, 0, {1})
+        crowd = [pending(i, 99, {2}) for i in range(1, 150)]
+        ranked = scheduler.rank([lonely_old] + crowd, now=100)
+        assert ranked[0] == 2
+
+
+class TestLeeLo:
+    def test_completion_first(self):
+        """A document finishing a nearly-done query beats a fragment of a
+        huge query."""
+        scheduler = LeeLoScheduler()
+        nearly_done = pending(0, 0, {7})
+        huge = pending(1, 0, {i for i in range(10, 30)})
+        ranked = scheduler.rank([nearly_done, huge], now=0)
+        assert ranked[0] == 7
+
+    def test_shared_docs_accumulate_score(self):
+        scheduler = LeeLoScheduler()
+        queries = [pending(0, 0, {1, 2}), pending(1, 0, {2, 3})]
+        ranked = scheduler.rank(queries, now=0)
+        assert ranked[0] == 2  # scores 0.5 + 0.5 vs 0.5
+
+    def test_size_tie_break_with_store(self):
+        store = tiny_store()
+        scheduler = LeeLoScheduler(store)
+        # Docs 0 and 3 both single-query, same remaining size -> smaller doc
+        # (doc 0) wins the tie.
+        queries = [pending(0, 0, {0}), pending(1, 0, {3})]
+        assert scheduler.rank(queries, now=0)[0] == 0
+
+
+class TestSelect:
+    def test_respects_capacity(self):
+        store = tiny_store()
+        scheduler = FCFSScheduler()
+        queries = [pending(0, 0, {0, 1, 2, 3})]
+        capacity = store.air_bytes(0) + store.air_bytes(1)
+        chosen = scheduler.select(queries, store, capacity, now=0)
+        total = sum(store.air_bytes(d) for d in chosen)
+        assert total <= capacity
+
+    def test_always_schedules_at_least_one(self):
+        store = tiny_store()
+        scheduler = FCFSScheduler()
+        chosen = scheduler.select([pending(0, 0, {3})], store, capacity_bytes=1, now=0)
+        assert chosen == [3]
+
+    def test_skips_too_big_but_continues(self):
+        store = tiny_store()
+        scheduler = FCFSScheduler()
+        # Capacity fits doc 0 and doc 1 but not doc 3 in between.
+        queries = [pending(0, 0, {3, 0, 1})]
+        capacity = store.air_bytes(0) + store.air_bytes(1)
+        chosen = scheduler.select(queries, store, capacity, now=0)
+        assert 0 in chosen or 1 in chosen
+
+    def test_empty_pending(self):
+        store = tiny_store()
+        assert FCFSScheduler().select([], store, 1000, now=0) == []
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert set(scheduler_names()) == {"fcfs", "mrf", "rxw", "leelo"}
+
+    def test_make_each(self):
+        store = tiny_store()
+        for name in scheduler_names():
+            scheduler = make_scheduler(name, store)
+            assert scheduler.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("bogus")

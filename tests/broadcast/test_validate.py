@@ -1,0 +1,94 @@
+"""Tests for the broadcast-cycle invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.broadcast.program import IndexScheme
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.broadcast.validate import CycleValidationError, validate_cycle
+from repro.xpath.generator import generate_workload
+from tests.strategies import document_collections
+
+
+def serve(store, queries, capacity=100_000, scheme=IndexScheme.TWO_TIER):
+    server = BroadcastServer(store, cycle_data_capacity=capacity, scheme=scheme)
+    for query in queries:
+        server.submit(query, 0)
+    return server
+
+
+class TestValidCycles:
+    def test_two_tier_cycle_validates(self, nitf_store, nitf_queries):
+        server = serve(nitf_store, nitf_queries[:10])
+        cycle = server.build_cycle()
+        validate_cycle(cycle, nitf_store)
+
+    def test_one_tier_cycle_validates(self, nitf_store, nitf_queries):
+        server = serve(nitf_store, nitf_queries[:10], scheme=IndexScheme.ONE_TIER)
+        validate_cycle(server.build_cycle(), nitf_store)
+
+    def test_every_cycle_of_a_drain_validates(self, nitf_store, nitf_queries):
+        server = serve(nitf_store, nitf_queries, capacity=30_000)
+        count = 0
+        while True:
+            cycle = server.build_cycle()
+            if cycle is None:
+                break
+            validate_cycle(cycle, nitf_store)
+            count += 1
+        assert count > 1
+
+    @given(document_collections(min_docs=2))
+    def test_random_collections_validate(self, docs):
+        store = DocumentStore(docs)
+        queries = generate_workload(docs, 4, seed=5)
+        server = serve(store, queries, capacity=512)
+        for _ in range(50):
+            cycle = server.build_cycle()
+            if cycle is None:
+                break
+            validate_cycle(cycle, store)
+
+
+class TestViolationsDetected:
+    def make_cycle(self, nitf_store, nitf_queries):
+        return serve(nitf_store, nitf_queries[:8]).build_cycle()
+
+    def test_gap_in_placement(self, nitf_store, nitf_queries):
+        cycle = self.make_cycle(nitf_store, nitf_queries)
+        victim = cycle.doc_ids[0]
+        cycle.doc_offsets[victim] += 128
+        with pytest.raises(CycleValidationError, match="expected"):
+            validate_cycle(cycle, nitf_store)
+
+    def test_offset_list_disagreement(self, nitf_store, nitf_queries):
+        cycle = self.make_cycle(nitf_store, nitf_queries)
+        # Shift every placement so the (immutable) offset list disagrees.
+        for doc_id in cycle.doc_offsets:
+            cycle.doc_offsets[doc_id] += 128
+        with pytest.raises(CycleValidationError):
+            validate_cycle(cycle, nitf_store)
+
+    def test_wrong_air_bytes(self, nitf_store, nitf_queries):
+        cycle = self.make_cycle(nitf_store, nitf_queries)
+        victim = cycle.doc_ids[0]
+        cycle.doc_air_bytes[victim] += 1
+        with pytest.raises(CycleValidationError, match="aligned|store"):
+            validate_cycle(cycle, nitf_store)
+
+    def test_missing_placement(self, nitf_store, nitf_queries):
+        cycle = self.make_cycle(nitf_store, nitf_queries)
+        del cycle.doc_offsets[cycle.doc_ids[0]]
+        with pytest.raises(CycleValidationError, match="missing|keys"):
+            validate_cycle(cycle, nitf_store)
+
+    def test_all_problems_collected(self, nitf_store, nitf_queries):
+        cycle = self.make_cycle(nitf_store, nitf_queries)
+        cycle.doc_air_bytes[cycle.doc_ids[0]] += 1
+        del cycle.doc_offsets[cycle.doc_ids[-1]]
+        with pytest.raises(CycleValidationError) as excinfo:
+            validate_cycle(cycle, nitf_store)
+        assert len(excinfo.value.problems) >= 2

@@ -1,0 +1,106 @@
+"""Unit tests for the lossy two-tier client's failure behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.loss import LOSSLESS, PacketLossModel
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.client.lossy import LossyTwoTierClient
+from repro.client.twotier import TwoTierClient
+from repro.xpath.parser import parse_query
+
+
+class _AlwaysLose(PacketLossModel):
+    """Deterministic total loss for targeted packet ranges."""
+
+    def __init__(self, lose_index=False, lose_offsets=False, lose_docs=False):
+        object.__setattr__(self, "loss_prob", 0.5)  # non-zero: not lossless
+        object.__setattr__(self, "seed", 0)
+        self._lose_index = lose_index
+        self._lose_offsets = lose_offsets
+        self._lose_docs = lose_docs
+
+    def packet_lost(self, client_key, cycle_number, packet_index):
+        if packet_index >= 1_000_000:
+            return self._lose_offsets
+        return self._lose_index
+
+    def span_lost(self, client_key, cycle_number, start_packet, packet_count):
+        return self._lose_docs
+
+
+def drained_server(capacity=100_000):
+    from tests.xpath.test_evaluator import paper_documents
+
+    store = DocumentStore(paper_documents())
+    server = BroadcastServer(
+        store, cycle_data_capacity=capacity, acknowledged_delivery=True
+    )
+    return server
+
+
+class TestIndexLoss:
+    def test_index_loss_forces_retry(self):
+        server = drained_server()
+        query = parse_query("/a//c")
+        pending = server.submit(query, 0)
+        first = server.build_cycle()
+
+        client = LossyTwoTierClient(query, 0, client_key=1, loss_model=_AlwaysLose(lose_index=True))
+        client.on_cycle(first)
+        assert client.expected_doc_ids is None  # read failed
+        assert client.index_retries == 1
+        assert client.metrics.index_bytes > 0  # the bytes were still paid
+        assert client.metrics.offset_bytes == 0  # no point reading offsets
+
+        # Channel heals: the retry on the next cycle succeeds.
+        client.loss_model = LOSSLESS
+        server.confirm_delivery(pending, client.received_doc_ids, first)
+        second = server.build_cycle()
+        client.on_cycle(second)
+        assert client.expected_doc_ids == frozenset({1, 2, 3, 4})
+
+
+class TestOffsetLoss:
+    def test_blind_cycle_downloads_nothing(self):
+        server = drained_server()
+        query = parse_query("/a//c")
+        server.submit(query, 0)
+        cycle = server.build_cycle()
+        client = LossyTwoTierClient(
+            query, 0, client_key=1, loss_model=_AlwaysLose(lose_offsets=True)
+        )
+        client.on_cycle(cycle)
+        assert client.blind_cycles == 1
+        assert client.received_doc_ids == set()
+        assert client.metrics.doc_bytes == 0
+        assert client.metrics.offset_bytes > 0  # charged for the attempt
+
+
+class TestDocumentLoss:
+    def test_lost_documents_charged_but_not_received(self):
+        server = drained_server()
+        query = parse_query("/a//c")
+        server.submit(query, 0)
+        cycle = server.build_cycle()
+        client = LossyTwoTierClient(
+            query, 0, client_key=1, loss_model=_AlwaysLose(lose_docs=True)
+        )
+        client.on_cycle(cycle)
+        assert client.expected_doc_ids == frozenset({1, 2, 3, 4})
+        assert client.received_doc_ids == set()
+        assert client.metrics.doc_bytes > 0  # listened, frames corrupted
+
+    def test_lossless_model_equals_reliable_client(self):
+        server = drained_server()
+        query = parse_query("/a//c")
+        server.submit(query, 0)
+        cycle = server.build_cycle()
+        lossy = LossyTwoTierClient(query, 0, client_key=1, loss_model=LOSSLESS)
+        reliable = TwoTierClient(query, 0)
+        lossy.on_cycle(cycle)
+        reliable.on_cycle(cycle)
+        assert lossy.received_doc_ids == reliable.received_doc_ids
+        assert lossy.metrics.doc_bytes == reliable.metrics.doc_bytes
+        assert lossy.metrics.offset_bytes == reliable.metrics.offset_bytes

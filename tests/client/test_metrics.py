@@ -1,0 +1,36 @@
+"""Unit tests for client metrics accounting."""
+
+from __future__ import annotations
+
+from repro.client.metrics import ClientMetrics
+
+
+class TestClientMetrics:
+    def test_initial_state(self):
+        metrics = ClientMetrics(arrival_time=100)
+        assert metrics.index_lookup_bytes == 0
+        assert metrics.tuning_bytes == 0
+        assert metrics.access_bytes is None
+        assert not metrics.is_complete
+
+    def test_merge_cycle_accumulates(self):
+        metrics = ClientMetrics(arrival_time=0)
+        metrics.merge_cycle(probe=128, index=256, offsets=128, docs=1024)
+        metrics.merge_cycle(index=128, offsets=128, docs=512)
+        assert metrics.probe_bytes == 128
+        assert metrics.index_bytes == 384
+        assert metrics.offset_bytes == 256
+        assert metrics.doc_bytes == 1536
+        assert metrics.cycles_listened == 2
+
+    def test_index_lookup_excludes_docs(self):
+        metrics = ClientMetrics(arrival_time=0)
+        metrics.merge_cycle(probe=128, index=256, offsets=128, docs=9999)
+        assert metrics.index_lookup_bytes == 512
+        assert metrics.tuning_bytes == 512 + 9999
+
+    def test_access_bytes(self):
+        metrics = ClientMetrics(arrival_time=100)
+        metrics.completion_time = 1100
+        assert metrics.access_bytes == 1000
+        assert metrics.is_complete

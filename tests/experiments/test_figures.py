@@ -1,0 +1,126 @@
+"""Tests for the figure harness (tiny scale; shapes at full scale are the
+benchmark suite's job)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentContext, Scale
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    context = ExperimentContext(scale="bench")
+    context.scale = Scale(
+        name="tiny",
+        document_count=50,
+        n_q_default=20,
+        n_q_sweep=(10, 20),
+        p_sweep=(0.0, 0.2),
+        d_q_sweep=(4, 8),
+        arrival_cycles=2,
+        cycle_data_capacity=40_000,
+    )
+    return context
+
+
+class TestStaticFigures:
+    def test_table2(self, tiny_context):
+        figure = figures.table2(tiny_context)
+        assert figure.rows
+        assert "Table 2" in figure.as_text()
+
+    def test_fig9a_rows(self, tiny_context):
+        figure = figures.fig9a(tiny_context)
+        assert [row[0] for row in figure.rows] == [10, 20]
+        for row in figure.rows:
+            ci_bytes, pci_bytes = row[1], row[2]
+            assert pci_bytes <= ci_bytes
+
+    def test_fig9b_rows(self, tiny_context):
+        figure = figures.fig9b(tiny_context)
+        assert [row[0] for row in figure.rows] == [0.0, 0.2]
+
+    def test_fig9c_rows(self, tiny_context):
+        figure = figures.fig9c(tiny_context)
+        assert [row[0] for row in figure.rows] == [4, 8]
+
+    def test_fig10_two_tier_smaller(self, tiny_context):
+        figure = figures.fig10(tiny_context)
+        for row in figure.rows:
+            one_tier, two_tier = row[1], row[2]
+            assert two_tier < one_tier
+            assert 0 < row[5] < 1  # saving fraction
+
+    def test_headline_ratios_ordering(self, tiny_context):
+        figure = figures.headline_ratios(tiny_context)
+        ratios = {row[0]: row[2] for row in figure.rows}
+        assert ratios["per-document baseline"] > ratios["CI (one-tier)"]
+        assert ratios["CI (one-tier)"] >= ratios["PCI (one-tier)"]
+        assert ratios["PCI (one-tier)"] > ratios["two-tier (L_I + L_O)"]
+
+
+class TestDynamicFigures:
+    def test_fig11a(self, tiny_context):
+        figure = figures.fig11a(tiny_context)
+        assert len(figure.rows) == 2
+        for row in figure.rows:
+            one, two = row[1], row[2]
+            assert two < one  # two-tier always cheaper at this scale
+
+    def test_cycles_per_query(self, tiny_context):
+        figure = figures.cycles_per_query(tiny_context)
+        values = dict(figure.rows)
+        assert values["mean cycles listened"] >= 1
+        assert values["run drained completely"] == 1
+
+
+class TestExtensionFigures:
+    def test_ext_access(self, tiny_context):
+        from repro.experiments.extensions import ext_access
+
+        figure = ext_access(tiny_context)
+        assert len(figure.rows) == 2
+        for row in figure.rows:
+            one, two = row[1], row[2]
+            # Access time is essentially protocol-invariant.
+            assert abs(one - two) / max(one, two) < 0.05
+
+    def test_ext_energy(self, tiny_context):
+        from repro.experiments.extensions import ext_energy
+
+        figure = ext_energy(tiny_context)
+        totals = {row[0]: row[3] for row in figure.rows}
+        assert totals["naive"] >= totals["two-tier"]
+        actives = {row[0]: row[1] for row in figure.rows}
+        assert actives["two-tier"] < actives["one-tier"] < actives["naive"]
+
+    def test_ext_skew(self, tiny_context):
+        from repro.experiments.extensions import ext_skew
+
+        figure = ext_skew(tiny_context)
+        assert [row[0] for row in figure.rows] == [0.0, 0.5, 1.0, 1.5]
+        # Skew never inflates the index.
+        assert figure.rows[-1][1] <= figure.rows[0][1] * 1.1
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {
+            "table2",
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig10",
+            "fig11a",
+            "fig11b",
+            "fig11c",
+            "headline_ratios",
+            "cycles_per_query",
+            "ext_access",
+            "ext_loss",
+            "ext_skew",
+            "ext_energy",
+        }
+        assert set(figures.ALL_FIGURES) == expected

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsCLI:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99z"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic"])
+
+    def test_single_static_figure(self, capsys):
+        code = main(["--scale", "bench", "--only", "table2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "regenerated in" in out
+
+    def test_multiple_figures(self, capsys):
+        code = main(["--scale", "bench", "--only", "table2,headline_ratios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Headline ratios" in out
+
+    def test_dblp_dtd_flag(self, capsys):
+        code = main(["--scale", "bench", "--dtd", "dblp", "--only", "table2"])
+        assert code == 0
+        assert "documents" in capsys.readouterr().out

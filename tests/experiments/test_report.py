@@ -1,0 +1,38 @@
+"""Unit tests for table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table("Title", ("a", "b"), [(1, 2.5), (300, 0.125)])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert set(lines[1]) == {"="}
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6
+
+    def test_number_formatting(self):
+        text = format_table("T", ("x",), [(1234567,), (0.123456,), (12.345,)])
+        assert "1,234,567" in text
+        assert "0.123" in text
+        assert "12.3" in text
+
+    def test_note_appended(self):
+        text = format_table("T", ("x",), [(1,)], note="hello note")
+        assert text.endswith("hello note")
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("T", ("a", "b"), [(1,)])
+
+    def test_alignment(self):
+        text = format_table("T", ("col",), [(5,), (500,)])
+        rows = text.splitlines()[-2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("500")
+        assert len(rows[0]) == len(rows[1])

@@ -1,0 +1,70 @@
+"""Unit tests for SAX-style event streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.filtering.events import (
+    Event,
+    EventKind,
+    document_events,
+    element_events,
+    validate_event_stream,
+)
+from repro.xmlkit.model import XMLDocument, build_element
+from tests.strategies import xml_elements
+
+
+class TestElementEvents:
+    def test_single_element(self):
+        events = list(element_events(build_element("a")))
+        assert events == [Event(EventKind.START, "a"), Event(EventKind.END, "a")]
+
+    def test_nesting_order(self):
+        tree = build_element("a", build_element("b"), build_element("c"))
+        kinds = [(e.kind.value, e.tag) for e in element_events(tree)]
+        assert kinds == [
+            ("start", "a"),
+            ("start", "b"),
+            ("end", "b"),
+            ("start", "c"),
+            ("end", "c"),
+            ("end", "a"),
+        ]
+
+    def test_deep_tree_does_not_recurse(self):
+        # 5000 levels would blow Python's default recursion limit if the
+        # generator were recursive.
+        root = build_element("a")
+        node = root
+        for _ in range(5000):
+            node = node.append(build_element("a"))
+        assert sum(1 for _ in element_events(root)) == 2 * 5001
+
+    @given(xml_elements())
+    def test_streams_are_balanced(self, element):
+        count = validate_event_stream(element_events(element))
+        assert count == element.element_count()
+
+
+class TestDocumentEvents:
+    def test_document_streams_root(self):
+        doc = XMLDocument(0, build_element("a", build_element("b")))
+        tags = [e.tag for e in document_events(doc)]
+        assert tags == ["a", "b", "b", "a"]
+
+
+class TestValidateEventStream:
+    def test_unbalanced_end(self):
+        with pytest.raises(ValueError):
+            validate_event_stream(iter([Event(EventKind.END, "a")]))
+
+    def test_mismatched_tags(self):
+        stream = [Event(EventKind.START, "a"), Event(EventKind.END, "b")]
+        with pytest.raises(ValueError):
+            validate_event_stream(iter(stream))
+
+    def test_unclosed(self):
+        with pytest.raises(ValueError):
+            validate_event_stream(iter([Event(EventKind.START, "a")]))

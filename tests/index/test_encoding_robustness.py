@@ -1,0 +1,146 @@
+"""Failure-injection tests for the wire decoders.
+
+A broadcast receiver sees whatever bytes arrive; every decoder must turn
+malformed input into :class:`IndexEncodingError` -- never a crash, hang
+or silent garbage.  Property tests fuzz with random bytes and with
+corrupted valid encodings.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.ci import build_full_ci
+from repro.index.encoding import (
+    IndexEncodingError,
+    LabelTable,
+    decode_index,
+    decode_offset_list,
+    encode_index,
+)
+
+
+def paper_blob():
+    from tests.xpath.test_evaluator import paper_documents
+
+    index = build_full_ci(paper_documents())
+    table = LabelTable.from_index(index)
+    return index, table, encode_index(index, table, one_tier=False)
+
+
+class TestDecodeIndexRobustness:
+    def test_empty_stream(self):
+        _index, table, _blob = paper_blob()
+        with pytest.raises(IndexEncodingError):
+            decode_index(b"", table, one_tier=False)
+
+    def test_truncated_stream(self):
+        _index, table, blob = paper_blob()
+        for cut in (1, 5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(IndexEncodingError):
+                decode_index(blob[:cut], table, one_tier=False)
+
+    def test_self_pointer_cycle(self):
+        table = LabelTable(("a",))
+        # One node whose single child entry points back at offset 0.
+        blob = struct.pack(">HHH", 0, 1, 0) + struct.pack(">HI", 0, 0)
+        with pytest.raises(IndexEncodingError, match="cycle"):
+            decode_index(blob, table, one_tier=False)
+
+    def test_pointer_outside_stream(self):
+        table = LabelTable(("a",))
+        blob = struct.pack(">HHH", 0, 1, 0) + struct.pack(">HI", 0, 10_000)
+        with pytest.raises(IndexEncodingError):
+            decode_index(blob, table, one_tier=False)
+
+    def test_unknown_label_id(self):
+        table = LabelTable(("a",))
+        child = struct.pack(">HHH", 1, 0, 0)
+        blob = struct.pack(">HHH", 0, 1, 0) + struct.pack(">HI", 7, 12) + child
+        with pytest.raises(IndexEncodingError, match="label id"):
+            decode_index(blob, table, one_tier=False)
+
+    def test_leaf_flag_with_children(self):
+        table = LabelTable(("a",))
+        child = struct.pack(">HHH", 1, 0, 0)
+        # Root header (6 B) + one child entry (6 B) = child at offset 12.
+        blob = struct.pack(">HHH", 1, 1, 0) + struct.pack(">HI", 0, 12) + child
+        with pytest.raises(IndexEncodingError, match="leaf flag"):
+            decode_index(blob, table, one_tier=False)
+
+    def test_deep_pointer_chain_rejected(self):
+        """A hostile chain of single-child nodes must hit the depth cap,
+        not the interpreter's recursion limit."""
+        table = LabelTable(("a",))
+        node_size = 6 + 6  # header + one child entry
+        count = 1000
+        parts = []
+        for index in range(count):
+            target = (index + 1) * node_size
+            parts.append(struct.pack(">HHH", 0, 1, 0) + struct.pack(">HI", 0, target))
+        parts.append(struct.pack(">HHH", 1, 0, 0))
+        blob = b"".join(parts)
+        with pytest.raises(IndexEncodingError, match="deep"):
+            decode_index(blob, table, one_tier=False)
+
+    @given(st.binary(min_size=0, max_size=300))
+    def test_random_bytes_never_crash(self, blob):
+        _index, table, _valid = paper_blob()
+        try:
+            decode_index(blob, table, one_tier=False)
+        except IndexEncodingError:
+            pass  # the only acceptable failure mode
+
+    @given(st.data())
+    def test_corrupted_valid_stream_never_crashes(self, data):
+        index, table, blob = paper_blob()
+        position = data.draw(st.integers(0, len(blob) - 1))
+        value = data.draw(st.integers(0, 255))
+        corrupted = blob[:position] + bytes([value]) + blob[position + 1 :]
+        try:
+            decoded, _ = decode_index(corrupted, table, one_tier=False)
+        except IndexEncodingError:
+            return
+        # If it still decodes, it must at least be a structurally valid
+        # index (the constructor validated it).
+        assert decoded.node_count >= 1
+
+
+class TestDecodeOffsetListRobustness:
+    def test_truncated(self):
+        with pytest.raises(IndexEncodingError):
+            decode_offset_list(struct.pack(">H", 5))
+
+    def test_unsorted_entries_rejected(self):
+        blob = struct.pack(">H", 2) + struct.pack(">HI", 9, 1) + struct.pack(">HI", 3, 2)
+        with pytest.raises(IndexEncodingError):
+            decode_offset_list(blob)
+
+    @given(st.binary(min_size=0, max_size=120))
+    def test_random_bytes_never_crash(self, blob):
+        try:
+            decode_offset_list(blob)
+        except IndexEncodingError:
+            pass
+
+
+class TestLabelTableRobustness:
+    def test_truncated(self):
+        with pytest.raises(IndexEncodingError):
+            LabelTable.decode(struct.pack(">H", 3))
+
+    def test_out_of_range_id(self):
+        blob = struct.pack(">H", 1) + struct.pack(">HB", 5, 1) + b"a"
+        with pytest.raises(IndexEncodingError):
+            LabelTable.decode(blob)
+
+    @given(st.binary(min_size=0, max_size=120))
+    def test_random_bytes_never_crash(self, blob):
+        try:
+            LabelTable.decode(blob)
+        except IndexEncodingError:
+            pass

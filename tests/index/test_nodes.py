@@ -1,0 +1,115 @@
+"""Unit tests for the index node structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.nodes import (
+    IndexNode,
+    NodeKind,
+    ROOT_FLAG_VALUE,
+    assign_preorder_ids,
+    validate_tree,
+)
+
+
+def small_tree() -> IndexNode:
+    root = IndexNode(0, "a")
+    b = root.add_child(IndexNode(0, "b"))
+    b.add_child(IndexNode(0, "a", doc_ids=(0, 1)))
+    b.add_child(IndexNode(0, "c", doc_ids=(1,)))
+    c = root.add_child(IndexNode(0, "c", doc_ids=(2,)))
+    c.add_child(IndexNode(0, "b", doc_ids=(1,)))
+    assign_preorder_ids(root)
+    return root
+
+
+class TestKindsAndFlags:
+    def test_root_kind(self):
+        root = small_tree()
+        assert root.kind is NodeKind.ROOT
+        assert root.flag_value == ROOT_FLAG_VALUE
+
+    def test_internal_kind(self):
+        root = small_tree()
+        internal = root.children[0]
+        assert internal.kind is NodeKind.INTERNAL
+        assert internal.flag_value == 0
+
+    def test_leaf_kind(self):
+        root = small_tree()
+        leaf = root.children[0].children[0]
+        assert leaf.kind is NodeKind.LEAF
+        assert leaf.flag_value == 1
+
+    def test_internal_node_may_carry_docs(self):
+        # The paper's n3: internal *and* annotated.
+        root = small_tree()
+        node_c = root.children[1]
+        assert node_c.kind is NodeKind.INTERNAL
+        assert node_c.doc_ids == (2,)
+
+
+class TestTraversal:
+    def test_preorder_ids(self):
+        root = small_tree()
+        ids = [node.node_id for node in root.iter_preorder()]
+        assert ids == list(range(6))
+
+    def test_preorder_matches_paper_dfs_order(self):
+        # Figure 5's order: root, then the b-subtree fully, then c-subtree.
+        labels = [node.label for node in small_tree().iter_preorder()]
+        assert labels == ["a", "b", "a", "c", "c", "b"]
+
+    def test_paths(self):
+        paths = {path for _n, path in small_tree().iter_with_paths()}
+        assert ("a", "b", "c") in paths
+        assert ("a", "c", "b") in paths
+
+    def test_path_from_root(self):
+        root = small_tree()
+        leaf = root.children[1].children[0]
+        assert leaf.path_from_root() == ("a", "c", "b")
+
+    def test_child_by_label(self):
+        root = small_tree()
+        assert root.child_by_label("b") is root.children[0]
+        assert root.child_by_label("zzz") is None
+
+    def test_subtree_doc_ids(self):
+        root = small_tree()
+        assert root.subtree_doc_ids() == (0, 1, 2)
+        assert root.children[1].subtree_doc_ids() == (1, 2)
+
+    def test_subtree_node_count(self):
+        assert small_tree().subtree_node_count() == 6
+
+
+class TestValidateTree:
+    def test_valid_tree_passes(self):
+        validate_tree(small_tree())
+
+    def test_bad_ids_detected(self):
+        root = small_tree()
+        root.children[0].node_id = 99
+        with pytest.raises(ValueError):
+            validate_tree(root)
+
+    def test_duplicate_child_labels_detected(self):
+        root = IndexNode(0, "a")
+        root.add_child(IndexNode(1, "b"))
+        root.add_child(IndexNode(2, "b"))
+        with pytest.raises(ValueError):
+            validate_tree(root)
+
+    def test_unsorted_docs_detected(self):
+        root = IndexNode(0, "a", doc_ids=(2, 1))
+        with pytest.raises(ValueError):
+            validate_tree(root)
+
+    def test_broken_parent_link_detected(self):
+        root = IndexNode(0, "a")
+        child = IndexNode(1, "b")
+        root.children.append(child)  # bypass add_child
+        with pytest.raises(ValueError):
+            validate_tree(root)

@@ -1,0 +1,118 @@
+"""Tests for the containment-annotated pruning variant (ablation).
+
+This is the literal reading of the paper's Figure 6 (keep accepting
+nodes + ancestors, full containment lists at accepting nodes).  It is
+transparent to queries but can exceed the CI's size under load -- the
+measurement that justified making the deduplicating scheme the default
+(DESIGN.md section 7.1, EXPERIMENTS.md ablation table).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.ci import build_ci, build_full_ci
+from repro.index.pruning import prune_to_pci, prune_to_pci_containment
+from repro.xpath.evaluator import matching_documents
+from repro.xpath.parser import parse_query
+from tests.strategies import document_collections, queries
+
+
+def paper_docs():
+    from tests.xpath.test_evaluator import paper_documents
+
+    return paper_documents()
+
+
+class TestFigure6Literal:
+    def test_kept_structure_matches_figure(self):
+        """Q = {/a/b, /a/b/c} keeps exactly n1, n2, n5 -- the figure."""
+        ci = build_full_ci(paper_docs())
+        pci, _ = prune_to_pci_containment(
+            ci, [parse_query("/a/b"), parse_query("/a/b/c")]
+        )
+        assert {n.path_from_root() for n in pci.nodes} == {
+            ("a",),
+            ("a", "b"),
+            ("a", "b", "c"),
+        }
+
+    def test_accepting_nodes_carry_containment(self):
+        ci = build_full_ci(paper_docs())
+        pci, _ = prune_to_pci_containment(
+            ci, [parse_query("/a/b"), parse_query("/a/b/c")]
+        )
+        node_b = pci.find_node(("a", "b"))
+        # containing(a/b) = d1, d2, d3, d5 -- the full result of /a/b.
+        assert node_b.doc_ids == (0, 1, 2, 4)
+        # Pure ancestors carry nothing.
+        assert pci.find_node(("a",)).doc_ids == ()
+
+    def test_lookup_reads_matched_nodes_only(self):
+        ci = build_full_ci(paper_docs())
+        pci, _ = prune_to_pci_containment(ci, [parse_query("/a/b")])
+        lookup = pci.lookup(parse_query("/a/b"))
+        assert set(lookup.doc_ids) == {0, 1, 2, 4}
+        # No subtree expansion: visited == live walk only.
+        visited_paths = {
+            pci.nodes[i].path_from_root() for i in lookup.visited_node_ids
+        }
+        assert visited_paths <= {("a",), ("a", "b")}
+
+    def test_duplication_across_nested_accepting_nodes(self):
+        """The duplication this variant suffers from: a doc in both
+        containment sets appears twice."""
+        ci = build_full_ci(paper_docs())
+        pci, _ = prune_to_pci_containment(
+            ci, [parse_query("/a/b"), parse_query("/a/b/c")]
+        )
+        occurrences = sum(1 for node in pci.nodes if 1 in node.doc_ids)  # d2
+        assert occurrences == 2  # at (a,b) and (a,b,c)
+
+    def test_can_exceed_maximal_scheme(self, nitf_docs, nitf_queries):
+        """Measured motivation for the default: under a real workload the
+        containment layout is never smaller than the deduplicating one."""
+        requested = set()
+        for query in nitf_queries:
+            requested |= matching_documents(query, nitf_docs)
+        ci = build_ci(nitf_docs, requested)
+        _pci_m, stats_m = prune_to_pci(ci, nitf_queries)
+        _pci_c, stats_c = prune_to_pci_containment(ci, nitf_queries)
+        assert stats_c.bytes_after >= stats_m.bytes_after
+
+
+class TestContainmentProperties:
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=4))
+    def test_transparency(self, docs, query_list):
+        """Pending queries still find their exact CI result sets."""
+        ci = build_full_ci(docs)
+        pci, _ = prune_to_pci_containment(ci, query_list)
+        for query in query_list:
+            expected = set(ci.lookup(query).doc_ids)
+            assert set(pci.lookup(query).doc_ids) == expected, str(query)
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=4))
+    def test_structure_matches_default_pruning(self, docs, query_list):
+        """Both variants keep exactly the same node set; only annotations
+        differ."""
+        ci = build_full_ci(docs)
+        pci_m, _ = prune_to_pci(ci, query_list)
+        pci_c, _ = prune_to_pci_containment(ci, query_list)
+        assert {n.path_from_root() for n in pci_m.nodes} == {
+            n.path_from_root() for n in pci_c.nodes
+        }
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=3))
+    def test_lookup_never_visits_beyond_walk(self, docs, query_list):
+        ci = build_full_ci(docs)
+        pci, _ = prune_to_pci_containment(ci, query_list)
+        for query in query_list:
+            lookup = pci.lookup(query)
+            # Every visited node lies on a live root walk: its ancestors
+            # are all visited too.
+            for node_id in lookup.visited_node_ids:
+                node = pci.nodes[node_id]
+                while node.parent is not None:
+                    node = node.parent
+                    assert node.node_id in lookup.visited_node_ids

@@ -1,0 +1,89 @@
+"""Unit tests for the size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.sizes import PAPER_SIZE_MODEL, SizeModel
+
+
+class TestValidation:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            SizeModel(flag_bytes=-1)
+
+    def test_tiny_packet_rejected(self):
+        with pytest.raises(ValueError):
+            SizeModel(packet_bytes=4)
+
+
+class TestPaperModel:
+    def test_paper_constants(self):
+        model = PAPER_SIZE_MODEL
+        assert model.doc_id_bytes == 2  # "2 bytes to represent an ID"
+        assert model.pointer_bytes == 4  # "4 bytes to represent a pointer"
+        assert model.packet_bytes == 128  # "fixed size such as 128 byte/packet"
+
+    def test_node_header(self):
+        assert PAPER_SIZE_MODEL.node_header_bytes == 2 + 2 + 2
+
+    def test_entry_sizes(self):
+        model = PAPER_SIZE_MODEL
+        assert model.child_entry_bytes == 6
+        assert model.doc_entry_one_tier_bytes == 6
+        assert model.doc_entry_first_tier_bytes == 2
+        assert model.offset_entry_bytes == 6
+
+
+class TestNodeBytes:
+    def test_leaf_one_tier(self):
+        model = PAPER_SIZE_MODEL
+        assert model.node_bytes(0, 2, one_tier=True) == 6 + 0 + 12
+
+    def test_leaf_first_tier(self):
+        model = PAPER_SIZE_MODEL
+        assert model.node_bytes(0, 2, one_tier=False) == 6 + 0 + 4
+
+    def test_internal(self):
+        model = PAPER_SIZE_MODEL
+        assert model.node_bytes(3, 0, one_tier=True) == 6 + 18
+
+    def test_two_tier_never_larger(self):
+        model = PAPER_SIZE_MODEL
+        for children in range(4):
+            for docs in range(4):
+                assert model.node_bytes(children, docs, one_tier=False) <= model.node_bytes(
+                    children, docs, one_tier=True
+                )
+
+
+class TestOffsetList:
+    def test_sizes(self):
+        model = PAPER_SIZE_MODEL
+        assert model.offset_list_bytes(0) == 2
+        assert model.offset_list_bytes(10) == 2 + 60
+
+
+class TestPackets:
+    def test_packets_for(self):
+        model = PAPER_SIZE_MODEL
+        assert model.packets_for(0) == 0
+        assert model.packets_for(1) == 1
+        assert model.packets_for(128) == 1
+        assert model.packets_for(129) == 2
+
+    def test_packets_for_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_SIZE_MODEL.packets_for(-1)
+
+    def test_packet_aligned(self):
+        assert PAPER_SIZE_MODEL.packet_aligned_bytes(130) == 256
+
+    def test_document_air_bytes_includes_header(self):
+        model = PAPER_SIZE_MODEL
+        # 128-byte doc + 4-byte header no longer fits one packet.
+        assert model.document_air_bytes(128) == 256
+        assert model.document_air_bytes(120) == 128
+
+    def test_label_table_bytes(self):
+        assert PAPER_SIZE_MODEL.label_table_bytes(10) > 10 * 2

@@ -1,0 +1,129 @@
+"""Metamorphic properties of the index pipeline.
+
+Each test transforms the input (collection or workload) in a way whose
+effect on the output is known exactly, and asserts the relation holds
+through filtering, CI construction, pruning and lookup.  These catch
+bugs that point tests with fixed oracles miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.ci import build_full_ci
+from repro.index.pruning import prune_to_pci
+from repro.xmlkit.model import XMLDocument, XMLElement
+from repro.xpath.ast import Axis, Step, WILDCARD, XPathQuery
+from repro.xpath.evaluator import matching_documents
+from tests.strategies import document_collections, queries
+
+
+def _rename(element: XMLElement, mapping) -> XMLElement:
+    clone = XMLElement(mapping.get(element.tag, element.tag), text=element.text)
+    for child in element.children:
+        clone.append(_rename(child, mapping))
+    return clone
+
+
+def _rename_query(query: XPathQuery, mapping) -> XPathQuery:
+    return XPathQuery.from_steps(
+        Step(
+            step.axis,
+            step.test if step.test == WILDCARD else mapping.get(step.test, step.test),
+        )
+        for step in query.steps
+    )
+
+
+class TestRenamingInvariance:
+    """A consistent label renaming must not change any verdict."""
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=3))
+    def test_results_invariant_under_renaming(self, docs, query_list):
+        mapping = {"a": "alpha", "b": "beta", "c": "gamma", "d": "delta", "e": "eps"}
+        renamed_docs = [
+            XMLDocument(doc.doc_id, _rename(doc.root, mapping)) for doc in docs
+        ]
+        renamed_queries = [_rename_query(q, mapping) for q in query_list]
+        for original_q, renamed_q in zip(query_list, renamed_queries):
+            before = matching_documents(original_q, docs)
+            after = matching_documents(renamed_q, renamed_docs)
+            assert before == after, str(original_q)
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=3))
+    def test_pci_size_invariant_under_renaming(self, docs, query_list):
+        mapping = {"a": "alpha", "b": "beta", "c": "gamma", "d": "delta", "e": "eps"}
+        renamed_docs = [
+            XMLDocument(doc.doc_id, _rename(doc.root, mapping)) for doc in docs
+        ]
+        renamed_queries = [_rename_query(q, mapping) for q in query_list]
+        _, stats = prune_to_pci(build_full_ci(docs), query_list)
+        _, renamed_stats = prune_to_pci(
+            build_full_ci(renamed_docs), renamed_queries
+        )
+        assert stats.nodes_after == renamed_stats.nodes_after
+        assert stats.doc_entries_after == renamed_stats.doc_entries_after
+
+
+class TestCollectionMonotonicity:
+    """Adding documents never removes results; removing never adds."""
+
+    @given(document_collections(min_docs=2), queries(max_steps=4))
+    def test_adding_a_document_only_adds_its_own_id(self, docs, query):
+        base = docs[:-1]
+        extra = docs[-1]
+        before = matching_documents(query, base)
+        after = matching_documents(query, docs)
+        assert before <= after
+        assert after - before <= {extra.doc_id}
+
+    @given(document_collections(min_docs=2), st.lists(queries(), min_size=1, max_size=3))
+    def test_ci_lookup_monotone_in_collection(self, docs, query_list):
+        base_ci = build_full_ci(docs[:-1])
+        full_ci = build_full_ci(docs)
+        for query in query_list:
+            smaller = set(base_ci.lookup(query).doc_ids)
+            bigger = set(full_ci.lookup(query).doc_ids)
+            assert smaller <= bigger, str(query)
+
+
+class TestWorkloadMonotonicity:
+    """Adding pending queries can only grow the PCI, never shrink it."""
+
+    @given(
+        document_collections(),
+        st.lists(queries(), min_size=1, max_size=3),
+        queries(max_steps=4),
+    )
+    def test_pci_grows_with_the_workload(self, docs, query_list, extra):
+        ci = build_full_ci(docs)
+        _, small_stats = prune_to_pci(ci, query_list)
+        _, big_stats = prune_to_pci(ci, query_list + [extra])
+        assert big_stats.nodes_after >= small_stats.nodes_after
+        assert big_stats.bytes_after >= small_stats.bytes_after
+
+    @given(document_collections(), st.lists(queries(), min_size=1, max_size=3))
+    def test_pruning_idempotent_on_results(self, docs, query_list):
+        """Pruning the PCI again with the same queries changes nothing."""
+        ci = build_full_ci(docs)
+        pci, first = prune_to_pci(ci, query_list)
+        pci2, second = prune_to_pci(pci, query_list)
+        assert second.nodes_after == first.nodes_after
+        assert second.bytes_after == first.bytes_after
+        for query in query_list:
+            assert pci2.lookup(query).doc_ids == pci.lookup(query).doc_ids
+
+
+class TestDuplicationInvariance:
+    @given(document_collections(min_docs=1, max_docs=4), queries(max_steps=4))
+    def test_structural_clone_matches_iff_original_does(self, docs, query):
+        """A structural copy of a document (fresh id) gets exactly the
+        original's verdict."""
+        original = docs[0]
+        clone = XMLDocument(
+            doc_id=max(d.doc_id for d in docs) + 1,
+            root=_rename(original.root, {}),
+        )
+        results = matching_documents(query, list(docs) + [clone])
+        assert (original.doc_id in results) == (clone.doc_id in results)

@@ -1,0 +1,110 @@
+"""Cross-module property tests: whole-pipeline invariants under random
+collections and workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.client.onetier import OneTierClient
+from repro.client.twotier import TwoTierClient
+from repro.xpath.ast import XPathQuery
+from repro.xpath.evaluator import matching_documents
+from tests.strategies import document_collections, queries
+
+
+def _servable(query_list, docs):
+    """Queries with non-empty results (the system's admission rule)."""
+    return [
+        query
+        for query in query_list
+        if matching_documents(query, docs)
+    ]
+
+
+@given(document_collections(min_docs=2), st.lists(queries(), min_size=1, max_size=4))
+@settings(max_examples=25)
+def test_every_client_retrieves_exactly_its_results(docs, query_list):
+    """Liveness + safety of the whole stack on random inputs: every
+    admitted query's clients terminate with exactly the oracle result set,
+    under both protocols, even with per-cycle capacity pressure."""
+    servable = _servable(query_list, docs)
+    if not servable:
+        return
+    store = DocumentStore(docs)
+    server = BroadcastServer(store, cycle_data_capacity=256)
+    sessions = []
+    for query in servable:
+        server.submit(query, 0)
+        sessions.append((query, TwoTierClient(query, 0), OneTierClient(query, 0)))
+    for _round in range(200):
+        cycle = server.build_cycle()
+        if cycle is None:
+            break
+        for _query, two, one in sessions:
+            two.on_cycle(cycle)
+            one.on_cycle(cycle)
+    else:  # pragma: no cover - would mean livelock
+        raise AssertionError("server failed to drain in 200 cycles")
+    for query, two, one in sessions:
+        expected = matching_documents(query, docs)
+        assert two.satisfied and one.satisfied, str(query)
+        assert two.received_doc_ids == expected
+        assert one.received_doc_ids == expected
+
+
+@given(document_collections(min_docs=2), st.lists(queries(), min_size=1, max_size=4))
+@settings(max_examples=25)
+def test_equation_one_holds_exactly(docs, query_list):
+    """Eq. (1): TT_index = L_I(read once) + sum of per-cycle L_O reads."""
+    servable = _servable(query_list, docs)
+    if not servable:
+        return
+    store = DocumentStore(docs)
+    server = BroadcastServer(store, cycle_data_capacity=256)
+    from repro.client.protocol import FirstTierRead
+
+    query = servable[0]
+    server.submit(query, 0)
+    for extra in servable[1:]:
+        server.submit(extra, 0)
+    client = TwoTierClient(query, 0, first_tier_read=FirstTierRead.FULL)
+    cycles = []
+    for _round in range(200):
+        cycle = server.build_cycle()
+        if cycle is None:
+            break
+        cycles.append(cycle)
+        client.on_cycle(cycle)
+    assert client.satisfied
+    n = client.metrics.cycles_listened
+    packet = store.size_model.packet_bytes
+    expected = (
+        packet  # initial probe
+        + cycles[0].first_tier_bytes  # L_I, once
+        + sum(c.offset_list_air_bytes for c in cycles[:n])  # n * L_O
+    )
+    assert client.metrics.index_lookup_bytes == expected
+
+
+@given(document_collections(min_docs=2), st.lists(queries(), min_size=1, max_size=4))
+@settings(max_examples=25)
+def test_broadcast_only_requested_documents(docs, query_list):
+    """'If a document is never requested, it will not be broadcast.'"""
+    servable = _servable(query_list, docs)
+    if not servable:
+        return
+    store = DocumentStore(docs)
+    server = BroadcastServer(store, cycle_data_capacity=512)
+    requested = set()
+    for query in servable:
+        server.submit(query, 0)
+        requested |= matching_documents(query, docs)
+    broadcast = set()
+    for _round in range(200):
+        cycle = server.build_cycle()
+        if cycle is None:
+            break
+        broadcast |= set(cycle.doc_ids)
+    assert broadcast == requested

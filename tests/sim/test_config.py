@@ -1,0 +1,55 @@
+"""Unit tests for simulation configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimulationConfig, paper_setup, small_setup
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dtd": "unknown"},
+            {"document_count": 0},
+            {"n_q": 0},
+            {"wildcard_prob": 1.5},
+            {"max_query_depth": 0},
+            {"cycle_data_capacity": 0},
+            {"arrival_cycles": 0},
+            {"arrival_cycles": 5, "max_cycles": 4},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestDefaults:
+    def test_paper_setup_matches_table2(self):
+        config = paper_setup()
+        assert config.document_count == 1000
+        assert config.n_q == 500
+        assert config.wildcard_prob == 0.1
+        assert config.max_query_depth == 10
+        assert config.size_model.doc_id_bytes == 2
+        assert config.size_model.pointer_bytes == 4
+
+    def test_paper_setup_overrides(self):
+        config = paper_setup(n_q=100)
+        assert config.n_q == 100
+        assert config.document_count == 1000
+
+    def test_small_setup_is_small(self):
+        config = small_setup()
+        assert config.document_count < 100
+
+    def test_with_creates_copy(self):
+        base = SimulationConfig()
+        derived = base.with_(n_q=7)
+        assert base.n_q == 500
+        assert derived.n_q == 7
+
+    def test_total_queries(self):
+        assert SimulationConfig(n_q=10, arrival_cycles=3).total_queries() == 30

@@ -1,0 +1,118 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(30, lambda: log.append("c"))
+        queue.schedule(10, lambda: log.append("a"))
+        queue.schedule(20, lambda: log.append("b"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        log = []
+        for name in "abc":
+            queue.schedule(5, lambda n=name: log.append(n))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(5, lambda: log.append("late"), priority=1)
+        queue.schedule(5, lambda: log.append("early"), priority=0)
+        queue.run()
+        assert log == ["early", "late"]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: queue.schedule(5, lambda: None))
+        with pytest.raises(ValueError):
+            queue.run()
+
+    def test_schedule_in(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: queue.schedule_in(5, lambda: fired.append(queue.now)))
+        queue.run()
+        assert fired == [15]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule_in(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        log = []
+        handle = queue.schedule(10, lambda: log.append("x"))
+        handle.cancel()
+        queue.schedule(20, lambda: log.append("y"))
+        assert queue.run() == 1
+        assert log == ["y"]
+
+    def test_pending_count_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        assert queue.pending_count == 1
+
+    def test_next_event_time(self):
+        queue = EventQueue()
+        assert queue.next_event_time() is None
+        first = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert queue.next_event_time() == 10
+        first.cancel()
+        assert queue.next_event_time() == 20
+
+
+class TestRunLimits:
+    def test_until(self):
+        queue = EventQueue()
+        log = []
+        for t in (10, 20, 30):
+            queue.schedule(t, lambda t=t: log.append(t))
+        assert queue.run(until=20) == 2
+        assert log == [10, 20]
+        assert not queue.is_empty()
+
+    def test_max_events(self):
+        queue = EventQueue()
+        log = []
+        for t in (10, 20, 30):
+            queue.schedule(t, lambda t=t: log.append(t))
+        queue.run(max_events=1)
+        assert log == [10]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        queue.schedule(42, lambda: None)
+        queue.run()
+        assert queue.now == 42
+        assert queue.processed == 1
+
+    def test_events_scheduling_events(self):
+        queue = EventQueue()
+        counter = []
+
+        def tick():
+            if len(counter) < 5:
+                counter.append(queue.now)
+                queue.schedule_in(10, tick)
+
+        queue.schedule(0, tick)
+        queue.run()
+        assert counter == [0, 10, 20, 30, 40]

@@ -1,0 +1,106 @@
+"""Integration-grade unit tests for the simulation orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.protocol import FirstTierRead
+from repro.sim.config import small_setup
+from repro.sim.simulation import Simulation, build_collection, run_simulation
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_simulation(small_setup())
+
+
+class TestBuildCollection:
+    def test_count_and_dtd(self):
+        config = small_setup(document_count=12)
+        docs = build_collection(config)
+        assert len(docs) == 12
+        assert docs[0].root.tag == "nitf"
+
+    def test_nasa_dtd(self):
+        config = small_setup(document_count=5, dtd="nasa")
+        docs = build_collection(config)
+        assert docs[0].root.tag == "dataset"
+
+
+class TestRun:
+    def test_run_completes(self, small_result):
+        assert small_result.completed
+        assert len(small_result.cycles) > 1
+
+    def test_every_query_has_both_protocol_records(self, small_result):
+        config = small_setup()
+        expected_sessions = config.total_queries()
+        one = small_result.records_for("one-tier")
+        two = small_result.records_for("two-tier")
+        assert len(one) == expected_sessions
+        assert len(two) == expected_sessions
+
+    def test_protocols_complete_simultaneously(self, small_result):
+        """Same documents arrive at the same times regardless of index
+        scheme, so completion times per session must agree."""
+        one = {
+            (r.query_text, r.arrival_time): r.access_bytes
+            for r in small_result.records_for("one-tier")
+        }
+        two = {
+            (r.query_text, r.arrival_time): r.access_bytes
+            for r in small_result.records_for("two-tier")
+        }
+        assert one == two
+
+    def test_cycle_stats_monotone_times(self, small_result):
+        starts = [c.start_time for c in small_result.cycles]
+        assert starts == sorted(starts)
+
+    def test_pci_never_exceeds_ci(self, small_result):
+        for cycle in small_result.cycles:
+            assert cycle.pci_bytes_one_tier <= cycle.ci_bytes_one_tier
+            assert cycle.pci_first_tier_bytes <= cycle.pci_bytes_one_tier
+
+    def test_two_tier_lookup_wins_at_scale(self, small_result):
+        assert small_result.mean_index_lookup_bytes(
+            "two-tier"
+        ) < small_result.mean_index_lookup_bytes("one-tier")
+
+    def test_deterministic_across_runs(self):
+        first = run_simulation(small_setup())
+        second = run_simulation(small_setup())
+        assert first.summary() == second.summary()
+
+    def test_naive_baseline_tracked_when_enabled(self):
+        result = run_simulation(small_setup(track_naive_baseline=True))
+        naive = result.records_for("naive")
+        assert len(naive) == small_setup().total_queries()
+        assert result.mean_tuning_bytes("naive") > result.mean_tuning_bytes(
+            "two-tier"
+        )
+
+    def test_full_first_tier_read_costs_more(self):
+        selective = run_simulation(small_setup())
+        full = run_simulation(
+            small_setup(), first_tier_read=FirstTierRead.FULL
+        )
+        assert full.mean_index_lookup_bytes("two-tier") >= selective.mean_index_lookup_bytes(
+            "two-tier"
+        )
+
+    def test_max_cycles_truncation_flagged(self):
+        config = small_setup(max_cycles=2, arrival_cycles=2)
+        result = run_simulation(config)
+        assert not result.completed
+
+    def test_validate_cycles_debug_mode(self):
+        """Every cycle of a validated run passes the invariant checker
+        (the checker raising would fail the run)."""
+        result = run_simulation(small_setup(validate_cycles=True))
+        assert result.completed
+
+    def test_scheduler_variants_run(self):
+        for name in ("fcfs", "mrf", "rxw"):
+            result = run_simulation(small_setup(scheduler=name))
+            assert result.completed, name

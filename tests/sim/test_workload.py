@@ -1,0 +1,63 @@
+"""Unit tests for the arrival workload builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.workload import WorkloadBuilder
+
+
+def make_builder(nitf_docs, **overrides):
+    config = SimulationConfig(
+        document_count=len(nitf_docs), n_q=10, arrival_cycles=2, **overrides
+    )
+    return WorkloadBuilder(nitf_docs, config)
+
+
+class TestWorkloadBuilder:
+    def test_initial_batch_at_time_zero(self, nitf_docs):
+        builder = make_builder(nitf_docs)
+        batch = builder.initial_batch()
+        assert len(batch) == 10
+        assert all(plan.arrival_time == 0 for plan in batch)
+
+    def test_arrivals_within_cycle_span(self, nitf_docs):
+        builder = make_builder(nitf_docs)
+        builder.initial_batch()
+        arrivals = builder.arrivals_during(1000, 5000)
+        assert len(arrivals) == 10
+        assert all(1000 <= plan.arrival_time < 5000 for plan in arrivals)
+
+    def test_arrivals_sorted(self, nitf_docs):
+        builder = make_builder(nitf_docs)
+        builder.initial_batch()
+        arrivals = builder.arrivals_during(0, 100_000)
+        times = [plan.arrival_time for plan in arrivals]
+        assert times == sorted(times)
+
+    def test_window_exhaustion(self, nitf_docs):
+        builder = make_builder(nitf_docs)
+        builder.initial_batch()
+        assert not builder.exhausted
+        builder.arrivals_during(0, 100)
+        assert builder.exhausted
+        assert builder.arrivals_during(100, 200) == []
+
+    def test_empty_span_rejected(self, nitf_docs):
+        builder = make_builder(nitf_docs)
+        builder.initial_batch()
+        with pytest.raises(ValueError):
+            builder.arrivals_during(100, 100)
+
+    def test_deterministic(self, nitf_docs):
+        first = make_builder(nitf_docs)
+        second = make_builder(nitf_docs)
+        batch_a = first.initial_batch()
+        batch_b = second.initial_batch()
+        assert [str(p.query) for p in batch_a] == [str(p.query) for p in batch_b]
+
+    def test_queries_respect_config(self, nitf_docs):
+        builder = make_builder(nitf_docs, max_query_depth=4)
+        batch = builder.initial_batch()
+        assert all(plan.query.depth <= 4 for plan in batch)

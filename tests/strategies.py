@@ -1,0 +1,66 @@
+"""Hypothesis strategies shared across property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.xmlkit.model import XMLDocument, XMLElement
+from repro.xpath.ast import Axis, Step, WILDCARD, XPathQuery
+
+#: A small closed label alphabet keeps path collisions (and therefore
+#: interesting sharing in tries/automata) frequent.
+LABELS = ("a", "b", "c", "d", "e")
+
+labels = st.sampled_from(LABELS)
+
+#: Text without XML-special characters (escaping has its own tests) and
+#: without leading/trailing whitespace: the parser treats whitespace-only
+#: runs around child elements as pretty-printing noise, so such text would
+#: not round-trip by design.
+plain_text = st.text(alphabet="abcdefghij xyz", min_size=0, max_size=12).map(
+    lambda s: s.strip()
+)
+
+
+@st.composite
+def xml_elements(draw, max_depth: int = 4, max_children: int = 3) -> XMLElement:
+    """A random element tree over the small alphabet."""
+    tag = draw(labels)
+    element = XMLElement(tag, text=draw(plain_text))
+    if max_depth > 1:
+        for _ in range(draw(st.integers(0, max_children))):
+            element.append(
+                draw(xml_elements(max_depth=max_depth - 1, max_children=max_children))
+            )
+    return element
+
+
+@st.composite
+def xml_documents(draw, doc_id: int = 0, max_depth: int = 4) -> XMLDocument:
+    return XMLDocument(doc_id=doc_id, root=draw(xml_elements(max_depth=max_depth)))
+
+
+@st.composite
+def document_collections(draw, min_docs: int = 1, max_docs: int = 6):
+    count = draw(st.integers(min_docs, max_docs))
+    return [
+        XMLDocument(doc_id=index, root=draw(xml_elements()))
+        for index in range(count)
+    ]
+
+
+label_paths = st.lists(labels, min_size=1, max_size=6).map(tuple)
+
+
+@st.composite
+def steps(draw) -> Step:
+    axis = draw(st.sampled_from([Axis.CHILD, Axis.DESCENDANT]))
+    test = draw(st.one_of(labels, st.just(WILDCARD)))
+    return Step(axis, test)
+
+
+@st.composite
+def queries(draw, max_steps: int = 5) -> XPathQuery:
+    return XPathQuery.from_steps(
+        draw(st.lists(steps(), min_size=1, max_size=max_steps))
+    )

@@ -1,0 +1,147 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate(object):
+    def test_writes_documents(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--count", "4", "--out", str(tmp_path / "coll")]
+        )
+        assert code == 0
+        files = sorted((tmp_path / "coll").glob("*.xml"))
+        assert len(files) == 4
+        out = capsys.readouterr().out
+        assert "4 documents" in out
+
+    def test_written_documents_load_back(self, tmp_path):
+        from repro.tools.persist import load_collection
+
+        main(["generate", "--count", "2", "--out", str(tmp_path / "c")])
+        documents = load_collection(tmp_path / "c")
+        assert len(documents) == 2
+        assert all(doc.root.tag == "nitf" for doc in documents)
+
+    def test_nasa_dtd(self, tmp_path):
+        main(["generate", "--dtd", "nasa", "--count", "2", "--out", str(tmp_path / "n")])
+        from repro.tools.persist import load_collection
+
+        docs = load_collection(tmp_path / "n")
+        assert all(doc.root.tag == "dataset" for doc in docs)
+        assert all(doc.name.startswith("nasa-") for doc in docs)
+
+
+class TestWorkload:
+    def test_prints_queries(self, capsys):
+        code = main(["workload", "--count", "15", "--queries", "5"])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 5
+        assert all(line.startswith("/") for line in lines)
+
+    def test_depth_flag(self, capsys):
+        main(["workload", "--count", "15", "--queries", "8", "--dq", "3"])
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        from repro.xpath.parser import parse_query
+
+        assert all(parse_query(line).depth <= 3 for line in lines)
+
+
+class TestIndex:
+    def test_prints_size_table(self, capsys):
+        code = main(["index", "--count", "30", "--queries", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CI (one-tier)" in out
+        assert "first tier (L_I)" in out
+
+
+class TestPipelineFlags:
+    def test_collection_and_workload_flags(self, tmp_path, capsys):
+        main(["generate", "--count", "8", "--out", str(tmp_path / "coll")])
+        capsys.readouterr()
+        main(
+            [
+                "workload",
+                "--collection", str(tmp_path / "coll"),
+                "--queries", "4",
+                "--out", str(tmp_path / "w.txt"),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "index",
+                "--collection", str(tmp_path / "coll"),
+                "--workload", str(tmp_path / "w.txt"),
+            ]
+        )
+        assert code == 0
+        assert "CI (one-tier)" in capsys.readouterr().out
+
+    def test_trace_export_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--count", "20",
+                "--queries", "5",
+                "--capacity", "30000",
+                "--trace", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert code == 0
+        from repro.tools.trace import load_trace, summarise_trace
+
+        summary = summarise_trace(load_trace(tmp_path / "t.jsonl"))
+        assert summary.clients > 0
+
+
+class TestSimulate:
+    def test_summary_table(self, capsys):
+        code = main(
+            ["simulate", "--count", "30", "--queries", "10", "--capacity", "40000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulation summary" in out
+        assert "improvement" in out
+
+    def test_lossy_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--count", "30",
+                "--queries", "10",
+                "--capacity", "40000",
+                "--loss", "0.001",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" not in out  # single-protocol mode under loss
+
+    def test_scheduler_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--count", "30",
+                "--queries", "10",
+                "--capacity", "40000",
+                "--scheduler", "fcfs",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.xmlkit.model
+import repro.xpath.parser
+
+MODULES = [
+    repro.xmlkit.model,
+    repro.xpath.parser,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,54 @@
+"""Tests for trace regression comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import small_setup
+from repro.sim.simulation import run_simulation
+from repro.tools.compare import compare_traces
+from repro.tools.trace import export_trace
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("traces")
+    baseline = run_simulation(small_setup())
+    export_trace(baseline, directory / "before.jsonl")
+    # "After": a run with half the cycle capacity -- more cycles, more
+    # offset-list reads, a genuine (synthetic) regression.
+    config = small_setup()
+    worse = run_simulation(config.with_(cycle_data_capacity=config.cycle_data_capacity // 2))
+    export_trace(worse, directory / "after.jsonl")
+    return directory
+
+
+class TestCompareTraces:
+    def test_identical_traces_have_zero_drift(self, traces):
+        comparison = compare_traces(traces / "before.jsonl", traces / "before.jsonl")
+        assert all(d.relative_change == 0 for d in comparison.drifts)
+        assert comparison.regressions() == []
+
+    def test_capacity_regression_detected(self, traces):
+        comparison = compare_traces(traces / "before.jsonl", traces / "after.jsonl")
+        flagged = {d.metric for d in comparison.regressions(tolerance=0.10)}
+        assert "cycles" in flagged or "two-tier cycles/query" in flagged
+
+    def test_drift_lookup(self, traces):
+        comparison = compare_traces(traces / "before.jsonl", traces / "after.jsonl")
+        drift = comparison.drift("cycles")
+        assert drift.after > drift.before
+        with pytest.raises(KeyError):
+            comparison.drift("no-such-metric")
+
+    def test_report_renders(self, traces):
+        comparison = compare_traces(traces / "before.jsonl", traces / "after.jsonl")
+        text = comparison.report()
+        assert "Trace comparison" in text
+        assert "two-tier lookup bytes" in text
+
+    def test_improvements_not_flagged(self, traces):
+        # Swap directions: going from the worse run to the better one
+        # must flag nothing.
+        comparison = compare_traces(traces / "after.jsonl", traces / "before.jsonl")
+        assert comparison.regressions(tolerance=0.10) == []

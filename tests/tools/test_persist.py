@@ -1,0 +1,97 @@
+"""Tests for collection/workload persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools.persist import (
+    load_collection,
+    load_workload,
+    save_collection,
+    save_workload,
+)
+from repro.xpath.parser import parse_query
+
+
+class TestCollectionPersistence:
+    def test_round_trip(self, tmp_path, nitf_docs):
+        subset = nitf_docs[:6]
+        save_collection(subset, tmp_path / "coll")
+        loaded = load_collection(tmp_path / "coll")
+        assert len(loaded) == len(subset)
+        for original, restored in zip(subset, loaded):
+            assert restored.doc_id == original.doc_id
+            assert restored.root.structurally_equal(original.root)
+
+    def test_sizes_preserved(self, tmp_path, nitf_docs):
+        subset = nitf_docs[:3]
+        save_collection(subset, tmp_path / "coll")
+        loaded = load_collection(tmp_path / "coll")
+        for original, restored in zip(subset, loaded):
+            assert restored.size_bytes == original.size_bytes
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_collection([], tmp_path / "coll")
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "coll").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_collection(tmp_path / "coll")
+
+    def test_bad_format_version(self, tmp_path, nitf_docs):
+        directory = save_collection(nitf_docs[:1], tmp_path / "coll")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["format"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            load_collection(directory)
+
+    def test_duplicate_ids_rejected(self, tmp_path, nitf_docs):
+        directory = save_collection(nitf_docs[:2], tmp_path / "coll")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["documents"][1]["doc_id"] = manifest["documents"][0]["doc_id"]
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="repeats"):
+            load_collection(directory)
+
+    def test_loaded_collection_drives_the_pipeline(self, tmp_path, nitf_docs):
+        """Persistence is useful only if a loaded collection behaves
+        exactly like the original one end to end."""
+        from repro.broadcast.server import BroadcastServer, DocumentStore
+        from repro.xpath.generator import generate_workload
+
+        subset = nitf_docs[:10]
+        save_collection(subset, tmp_path / "coll")
+        loaded = load_collection(tmp_path / "coll")
+        queries = generate_workload(subset, 5, seed=3)
+        original_server = BroadcastServer(DocumentStore(subset))
+        loaded_server = BroadcastServer(DocumentStore(loaded))
+        for query in queries:
+            assert original_server.resolve(query) == loaded_server.resolve(query)
+
+
+class TestWorkloadPersistence:
+    def test_round_trip(self, tmp_path, nitf_queries):
+        path = save_workload(nitf_queries, tmp_path / "workload.txt")
+        loaded = load_workload(path)
+        assert [str(q) for q in loaded] == [str(q) for q in nitf_queries]
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("# header\n\n/a/b\n  \n//c\n")
+        loaded = load_workload(path)
+        assert [str(q) for q in loaded] == ["/a/b", "//c"]
+
+    def test_predicates_survive(self, tmp_path):
+        queries = [parse_query('/a/b[@id="7"][c]')]
+        path = save_workload(queries, tmp_path / "w.txt")
+        assert [str(q) for q in load_workload(path)] == [str(queries[0])]
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("/a/b\nnot-a-query\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_workload(path)

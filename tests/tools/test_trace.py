@@ -1,0 +1,71 @@
+"""Tests for broadcast-trace export and analysis."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.config import small_setup
+from repro.sim.simulation import run_simulation
+from repro.tools.trace import export_trace, load_trace, summarise_trace
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return run_simulation(small_setup())
+
+
+class TestExportAndLoad:
+    def test_round_trip(self, tmp_path, run_result):
+        path = export_trace(run_result, tmp_path / "run.jsonl")
+        records = load_trace(path)
+        kinds = [record["kind"] for record in records]
+        assert kinds[0] == "meta"
+        assert kinds.count("cycle") == len(run_result.cycles)
+        assert kinds.count("client") == len(run_result.clients)
+
+    def test_meta_fields(self, tmp_path, run_result):
+        path = export_trace(run_result, tmp_path / "run.jsonl")
+        meta = load_trace(path)[0]
+        assert meta["collection_bytes"] == run_result.collection_bytes
+        assert meta["completed"] == run_result.completed
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "format": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad JSON"):
+            load_trace(path)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "cycle"}\n')
+        with pytest.raises(ValueError, match="meta"):
+            load_trace(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "format": 42}\n')
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+
+class TestSummarise:
+    def test_matches_result_aggregates(self, tmp_path, run_result):
+        """Trace-side aggregation must agree with the simulator's own."""
+        path = export_trace(run_result, tmp_path / "run.jsonl")
+        summary = summarise_trace(load_trace(path))
+        assert summary.cycles == len(run_result.cycles)
+        assert summary.clients == len(run_result.clients)
+        assert summary.lookup_mean("two-tier") == pytest.approx(
+            run_result.mean_index_lookup_bytes("two-tier")
+        )
+        assert summary.lookup_mean("one-tier") == pytest.approx(
+            run_result.mean_index_lookup_bytes("one-tier")
+        )
+        assert summary.mean_pci_bytes == pytest.approx(run_result.mean_pci_bytes())
+
+    def test_unknown_protocol_lookup(self, tmp_path, run_result):
+        path = export_trace(run_result, tmp_path / "run.jsonl")
+        summary = summarise_trace(load_trace(path))
+        assert summary.lookup_mean("no-such-protocol") == 0.0

@@ -1,0 +1,103 @@
+"""Unit and property tests for the XML parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.xmlkit.model import XMLDocument, build_element
+from repro.xmlkit.parser import XMLParseError, parse_document, parse_element
+from repro.xmlkit.serialize import serialize_document, serialize_element
+from tests.strategies import xml_elements
+
+
+class TestParseElement:
+    def test_self_closing(self):
+        element = parse_element("<a/>")
+        assert element.tag == "a"
+        assert not element.children
+
+    def test_attributes(self):
+        element = parse_element('<a x="1" y="two"/>')
+        assert element.attributes == {"x": "1", "y": "two"}
+
+    def test_single_quoted_attributes(self):
+        assert parse_element("<a x='1'/>").attributes == {"x": "1"}
+
+    def test_nested_children(self):
+        element = parse_element("<a><b/><c><d/></c></a>")
+        assert [c.tag for c in element.children] == ["b", "c"]
+        assert element.children[1].children[0].tag == "d"
+
+    def test_text_content(self):
+        assert parse_element("<a>hello</a>").text == "hello"
+
+    def test_entities_decoded(self):
+        assert parse_element("<a>1 &lt; 2 &amp; 3</a>").text == "1 < 2 & 3"
+
+    def test_numeric_entities(self):
+        assert parse_element("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_comments_skipped(self):
+        element = parse_element("<!-- lead --><a><!-- inner --><b/></a>")
+        assert [c.tag for c in element.children] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        element = parse_element('<?xml version="1.0"?><a/>')
+        assert element.tag == "a"
+
+    def test_whitespace_between_children_ignored(self):
+        element = parse_element("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.tag for c in element.children] == ["b", "c"]
+        assert element.text == ""
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            '<a x="1" x="2"/>',
+            "<a>&nosuch;</a>",
+            "<a/><b/>",
+            "text only",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_element(bad)
+
+    def test_error_carries_offset(self):
+        try:
+            parse_element("<a></b>")
+        except XMLParseError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestParseDocument:
+    def test_round_trip_simple(self):
+        doc = XMLDocument(
+            doc_id=5,
+            root=build_element(
+                "a", build_element("b", text="x & y"), build_element("c"), k="v"
+            ),
+        )
+        parsed = parse_document(serialize_document(doc), doc_id=5)
+        assert parsed.doc_id == 5
+        assert parsed.root.structurally_equal(doc.root)
+
+    @given(xml_elements())
+    def test_round_trip_random_trees(self, element):
+        text = serialize_element(element)
+        assert parse_element(text).structurally_equal(element)
+
+    def test_round_trip_generated_collection(self, nitf_docs):
+        for doc in nitf_docs[:5]:
+            parsed = parse_document(serialize_document(doc))
+            assert parsed.root.structurally_equal(doc.root)

@@ -1,0 +1,99 @@
+"""Unit tests for the XML serializer."""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import XMLDocument, build_element
+from repro.xmlkit.serialize import (
+    escape_attr,
+    escape_text,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestEscaping:
+    def test_escape_text_specials(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_text_plain_passthrough(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_escape_attr_quotes(self):
+        assert escape_attr('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerializeElement:
+    def test_empty_element_self_closes(self):
+        assert serialize_element(build_element("a")) == "<a/>"
+
+    def test_text_only(self):
+        assert serialize_element(build_element("a", text="hi")) == "<a>hi</a>"
+
+    def test_attributes_in_insertion_order(self):
+        element = build_element("a", b="1", a="2")
+        assert serialize_element(element) == '<a b="1" a="2"/>'
+
+    def test_nested_compact_has_no_whitespace(self):
+        tree = build_element("a", build_element("b"), build_element("c", text="t"))
+        assert serialize_element(tree) == "<a><b/><c>t</c></a>"
+
+    def test_text_before_children(self):
+        tree = build_element("a", build_element("b"), text="lead")
+        assert serialize_element(tree) == "<a>lead<b/></a>"
+
+    def test_pretty_output_contains_newlines_and_indent(self):
+        tree = build_element("a", build_element("b"))
+        pretty = serialize_element(tree, pretty=True)
+        assert "\n" in pretty
+        assert "  <b/>" in pretty
+
+    def test_special_chars_escaped_in_output(self):
+        tree = build_element("a", text="1 < 2 & 3")
+        assert serialize_element(tree) == "<a>1 &lt; 2 &amp; 3</a>"
+
+
+class TestSerializeDocument:
+    def test_declaration_present(self):
+        doc = XMLDocument(doc_id=0, root=build_element("a"))
+        text = serialize_document(doc)
+        assert text.startswith('<?xml version="1.0" encoding="UTF-8"?>')
+        assert text.endswith("<a/>")
+
+    def test_size_matches_serialization(self):
+        doc = XMLDocument(doc_id=0, root=build_element("a", build_element("b")))
+        assert doc.size_bytes == len(serialize_document(doc).encode("utf-8"))
+
+    def test_unicode_sized_in_bytes(self):
+        doc = XMLDocument(doc_id=0, root=build_element("a", text="naïve — ✓"))
+        assert doc.size_bytes == len(serialize_document(doc).encode("utf-8"))
+        assert doc.size_bytes > len(serialize_document(doc)) - 10  # sanity
+
+
+class TestPrettyMode:
+    def test_pretty_parses_back_structurally(self):
+        from repro.xmlkit.parser import parse_element
+
+        tree = build_element(
+            "a",
+            build_element("b", build_element("c", text="leaf")),
+            build_element("d"),
+        )
+        pretty = serialize_element(tree, pretty=True)
+        parsed = parse_element(pretty)
+        # Whitespace-only formatting noise is dropped by the parser, so
+        # the structures (and non-whitespace text) agree.
+        assert parsed.tag == "a"
+        assert [c.tag for c in parsed.children] == ["b", "d"]
+        assert parsed.children[0].children[0].text == "leaf"
+
+    def test_indentation_grows_with_depth(self):
+        tree = build_element("a", build_element("b", build_element("c")))
+        pretty = serialize_element(tree, pretty=True)
+        lines = pretty.splitlines()
+        b_line = next(line for line in lines if "<b>" in line)
+        c_line = next(line for line in lines if "<c/>" in line)
+        assert len(c_line) - len(c_line.lstrip()) > len(b_line) - len(b_line.lstrip())
+
+    def test_compact_is_default_and_smaller(self):
+        tree = build_element("a", build_element("b"), build_element("c"))
+        assert len(serialize_element(tree)) < len(serialize_element(tree, pretty=True))

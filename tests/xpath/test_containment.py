@@ -1,0 +1,162 @@
+"""Tests for exact query containment on the linear fragment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xpath.containment import analyse_workload, contains, equivalent
+from repro.xpath.parser import parse_query
+from tests.strategies import label_paths, queries
+
+
+def q(text: str):
+    return parse_query(text)
+
+
+class TestContains:
+    @pytest.mark.parametrize(
+        "big,small",
+        [
+            ("/a", "/a"),
+            ("//a", "/a"),
+            ("//a", "/b/a"),
+            ("/*", "/a"),
+            ("//*", "/a/b/c"),
+            ("/a//c", "/a/b/c"),
+            ("/a//c", "/a/c"),
+            ("/a/*/c", "/a/b/c"),
+            ("//b//c", "/a/b/x/c"),
+            ("/a//b", "/a//x/b"),
+            ("//c", "/a//c"),
+        ],
+    )
+    def test_positive(self, big, small):
+        assert contains(q(big), q(small)), f"{big} should contain {small}"
+
+    @pytest.mark.parametrize(
+        "big,small",
+        [
+            ("/a", "/b"),
+            ("/a", "//a"),  # //a also matches deeper paths
+            ("/a/b", "/a"),
+            ("/a/b/c", "/a//c"),
+            ("/a/*/c", "/a/c"),  # * consumes exactly one label
+            ("/*", "//*"),
+            ("/a//b/c", "/a//c"),
+            ("//b/c", "//c"),
+        ],
+    )
+    def test_negative(self, big, small):
+        assert not contains(q(big), q(small)), f"{big} should NOT contain {small}"
+
+    def test_wildcard_vs_fresh_labels(self):
+        # The container must cover labels it never mentions.
+        assert contains(q("/a/*"), q("/a/zzz"))
+        assert not contains(q("/a/b"), q("/a/*"))
+
+    def test_self_containment_with_descendant(self):
+        assert contains(q("//a//b"), q("//a//b"))
+
+
+class TestEquivalent:
+    def test_trivial(self):
+        assert equivalent(q("/a/b"), q("/a/b"))
+
+    def test_redundant_descendant(self):
+        # //a//a vs //a/... not equivalent; but /a and /a are; also
+        # //*//a equals //a: any path ending in a has >= 1 label before?
+        # No: path ("a",) matches //a but not //*//a.
+        assert not equivalent(q("//*//a"), q("//a"))
+
+    def test_star_chain_vs_depth(self):
+        assert not equivalent(q("/*/*"), q("/*"))
+
+
+class TestContainmentProperties:
+    @given(queries(max_steps=4), queries(max_steps=4), label_paths)
+    def test_soundness_on_random_paths(self, a, b, path):
+        """If contains(a, b), then every path matching b matches a."""
+        if contains(a, b) and b.matches_path(path):
+            assert a.matches_path(path), (str(a), str(b), path)
+
+    @given(queries(max_steps=4))
+    def test_reflexive(self, query):
+        assert contains(query, query)
+
+    @given(queries(max_steps=3), queries(max_steps=3), queries(max_steps=3))
+    def test_transitive(self, a, b, c):
+        if contains(a, b) and contains(b, c):
+            assert contains(a, c)
+
+    @given(queries(max_steps=4), label_paths)
+    def test_wild_root_contains_everything_it_should(self, query, path):
+        """//* contains every query (every non-empty path matches it)."""
+        universal = q("//*")
+        assert contains(universal, query)
+
+
+class TestAnalyseWorkload:
+    def test_duplicates_detected(self):
+        workload = [q("/a/b"), q("/a/b"), q("/a/c")]
+        analysis = analyse_workload(workload)
+        assert analysis.duplicates_of == {1: 0}
+        assert set(analysis.effective) == {0, 2}
+
+    def test_subsumption_detected(self):
+        workload = [q("//c"), q("/a/b/c"), q("/a/c")]
+        analysis = analyse_workload(workload)
+        assert analysis.subsumed_by.get(1) == 0
+        assert analysis.subsumed_by.get(2) == 0
+        assert analysis.effective == (0,)
+
+    def test_equivalent_queries_not_mutually_removed(self):
+        # Two textually different but equivalent queries: strict
+        # subsumption is required, so both survive (string dedup already
+        # handles the identical case).
+        workload = [q("/a"), q("/a")]
+        analysis = analyse_workload(workload)
+        assert analysis.effective == (0,)
+        assert analysis.duplicates_of == {1: 0}
+
+    def test_redundant_fraction(self):
+        workload = [q("//*"), q("/a"), q("/a"), q("/b/c")]
+        analysis = analyse_workload(workload)
+        # q1 subsumed by q0, q2 duplicate of q1, q3 subsumed by q0.
+        assert analysis.redundant_fraction == pytest.approx(3 / 4)
+
+    def test_predicated_queries_kept(self):
+        workload = [q("//b"), q("/a/b[@x]")]
+        analysis = analyse_workload(workload)
+        assert 1 in analysis.effective
+
+    def test_empty_workload(self):
+        analysis = analyse_workload([])
+        assert analysis.total == 0
+        assert analysis.redundant_fraction == 0.0
+
+    def test_realistic_workload_reduction(self, nitf_docs):
+        """On a generated workload, the effective set plus redundancy maps
+        account for every query, and pruning with only the effective set
+        keeps every original query transparent."""
+        from repro.index.ci import build_full_ci
+        from repro.index.pruning import prune_to_pci
+        from repro.xpath.generator import generate_workload
+
+        workload = generate_workload(nitf_docs, 30, seed=9)
+        analysis = analyse_workload(workload)
+        covered = (
+            set(analysis.effective)
+            | set(analysis.subsumed_by)
+            | set(analysis.duplicates_of)
+        )
+        assert covered == set(range(len(workload)))
+
+        ci = build_full_ci(nitf_docs)
+        effective_queries = [workload[i] for i in analysis.effective]
+        pci, _ = prune_to_pci(ci, effective_queries)
+        for query in workload:
+            assert set(pci.lookup(query).doc_ids) == set(
+                ci.lookup(query).doc_ids
+            ), str(query)

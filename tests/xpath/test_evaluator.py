@@ -1,0 +1,95 @@
+"""Unit tests for the naive reference evaluator."""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import XMLDocument, build_element
+from repro.xpath.evaluator import (
+    evaluate_on_document,
+    matching_documents,
+    matching_elements,
+    result_table,
+)
+from repro.xpath.parser import parse_query
+
+
+def paper_documents():
+    """The reconstruction of the running example's five documents.
+
+    Built to satisfy the paper's Figure 2(b) query/result table exactly;
+    see tests/integration/test_paper_example.py for the full cross-check.
+    """
+    d1 = XMLDocument(0, build_element("a", build_element("b", build_element("a"))))
+    d2 = XMLDocument(
+        1,
+        build_element(
+            "a",
+            build_element("b", build_element("a"), build_element("c")),
+            build_element("c", build_element("b")),
+        ),
+    )
+    d3 = XMLDocument(2, build_element("a", build_element("b"), build_element("c")))
+    d4 = XMLDocument(3, build_element("a", build_element("c", build_element("a"))))
+    d5 = XMLDocument(
+        4,
+        build_element("a", build_element("b"), build_element("c", build_element("a"))),
+    )
+    return [d1, d2, d3, d4, d5]
+
+
+class TestEvaluateOnDocument:
+    def test_positive(self):
+        docs = paper_documents()
+        assert evaluate_on_document(parse_query("/a/b/a"), docs[0])
+
+    def test_negative(self):
+        docs = paper_documents()
+        assert not evaluate_on_document(parse_query("/a/c"), docs[0])
+
+    def test_descendant(self):
+        docs = paper_documents()
+        assert evaluate_on_document(parse_query("/a//c"), docs[1])
+
+
+class TestMatchingElements:
+    def test_returns_every_matching_element(self):
+        doc = XMLDocument(
+            0, build_element("a", build_element("b"), build_element("b"))
+        )
+        matches = matching_elements(parse_query("/a/b"), doc)
+        assert len(matches) == 2
+        assert all(element.tag == "b" for element in matches)
+
+    def test_empty_when_no_match(self):
+        doc = XMLDocument(0, build_element("a"))
+        assert matching_elements(parse_query("/a/x"), doc) == []
+
+
+class TestMatchingDocuments:
+    def test_paper_table(self):
+        """The Figure 2(b) result table, query by query."""
+        docs = paper_documents()
+        expected = {
+            "/a/b/a": {0, 1},
+            "/a/c/a": {3, 4},
+            "/a//c": {1, 2, 3, 4},
+            "/a/b": {0, 1, 2, 4},
+            "/a/c/*": {1, 3, 4},
+        }
+        for text, result in expected.items():
+            assert matching_documents(parse_query(text), docs) == result, text
+
+
+class TestResultTable:
+    def test_matches_per_query_evaluation(self):
+        docs = paper_documents()
+        queries = [parse_query(t) for t in ("/a/b/a", "/a//c", "/a/c/*")]
+        table = result_table(queries, docs)
+        for query in queries:
+            assert table[query] == matching_documents(query, docs)
+
+    def test_duplicate_queries_share_entry(self):
+        docs = paper_documents()
+        queries = [parse_query("/a/c/a"), parse_query("/a/c/a")]
+        table = result_table(queries, docs)
+        assert len(table) == 1  # hashable queries deduplicate
+        assert table[queries[0]] == {3, 4}

@@ -1,0 +1,60 @@
+"""Unit and property tests for the XPath string parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.xpath.ast import Axis, WILDCARD
+from repro.xpath.parser import XPathSyntaxError, parse_query
+from tests.strategies import queries
+
+
+class TestParseQuery:
+    def test_single_child_step(self):
+        query = parse_query("/a")
+        assert query.depth == 1
+        assert query.steps[0].axis is Axis.CHILD
+        assert query.steps[0].test == "a"
+
+    def test_descendant_step(self):
+        query = parse_query("//a")
+        assert query.steps[0].axis is Axis.DESCENDANT
+
+    def test_wildcard(self):
+        assert parse_query("/*").steps[0].test == WILDCARD
+
+    def test_paper_queries(self):
+        # The six queries of the running example (Figure 2(b)).
+        for text in ("/a/b/a", "/a/c/a", "/a//c", "/a/b", "/a/c/*", "/a/c/a"):
+            assert str(parse_query(text)) == text
+
+    def test_mixed_axes(self):
+        query = parse_query("/a//b/c//*")
+        assert [step.axis for step in query.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT,
+            Axis.CHILD,
+            Axis.DESCENDANT,
+        ]
+        assert [step.test for step in query.steps] == ["a", "b", "c", WILDCARD]
+
+    def test_whitespace_tolerated_around(self):
+        assert str(parse_query("  /a/b ")) == "/a/b"
+
+    def test_hyphenated_and_dotted_labels(self):
+        query = parse_query("/body-content/doc.copyright")
+        assert query.steps[0].test == "body-content"
+        assert query.steps[1].test == "doc.copyright"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "a/b", "/a//", "/", "//", "/a/", "/a b", "/a/&"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_query(bad)
+
+    @given(queries())
+    def test_str_round_trip(self, query):
+        assert parse_query(str(query)) == query
