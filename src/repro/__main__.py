@@ -8,6 +8,9 @@ Subcommands:
   workload, print the size breakdown;
 * ``simulate``  -- run one end-to-end broadcast simulation and print the
   summary;
+* ``stats``     -- phase-timing + byte-accounting perf report, from a
+  saved trace (``--trace``) or a fresh observed run; ``--json`` for the
+  machine-readable form the benchmark harness snapshots;
 * ``figures``   -- alias of ``python -m repro.experiments``.
 
 Everything is seeded and offline; see ``--help`` of each subcommand.
@@ -16,9 +19,11 @@ Everything is seeded and offline; see ``--help`` of each subcommand.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.broadcast.program import IndexScheme
 from repro.broadcast.server import DocumentStore, build_ci_from_store
 from repro.experiments.report import print_table
@@ -33,7 +38,7 @@ from repro.tools.persist import (
     save_collection,
     save_workload,
 )
-from repro.tools.trace import export_trace
+from repro.tools.trace import export_trace, load_trace
 from repro.xmlkit.generator import (
     GeneratorConfig,
     dblp_like_dtd,
@@ -131,8 +136,8 @@ def cmd_index(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
-    config = SimulationConfig(
+def _simulation_config(args) -> SimulationConfig:
+    return SimulationConfig(
         dtd=args.dtd,
         document_count=args.count,
         collection_seed=args.seed,
@@ -142,9 +147,13 @@ def cmd_simulate(args) -> int:
         cycle_data_capacity=args.capacity,
         scheduler=args.scheduler,
         scheme=IndexScheme(args.scheme),
-        loss_prob=args.loss,
+        loss_prob=getattr(args, "loss", 0.0),
         arrival_cycles=args.arrival_cycles,
     )
+
+
+def cmd_simulate(args) -> int:
+    config = _simulation_config(args)
     documents = load_collection(args.collection) if args.collection else None
     result = run_simulation(config, documents=documents)
     if args.trace:
@@ -161,6 +170,34 @@ def cmd_simulate(args) -> int:
             )
         )
     print_table("Simulation summary", ("metric", "value"), rows)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Phase-timing + byte-accounting report (the perf-report CLI)."""
+    from repro.obs.report import report_from_result, report_from_trace
+
+    if args.trace:
+        report = report_from_trace(load_trace(args.trace))
+    else:
+        documents = load_collection(args.collection) if args.collection else None
+        with obs.observed():
+            result = run_simulation(_simulation_config(args), documents=documents)
+        if args.export_trace:
+            export_trace(result, args.export_trace)
+        report = report_from_result(result)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nperf snapshot written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -210,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--collection", help="load a saved collection directory")
     simulate.add_argument("--trace", help="export the run as a JSONL trace")
     simulate.set_defaults(func=cmd_simulate)
+
+    stats = commands.add_parser(
+        "stats",
+        help="phase-timing and byte-accounting perf report",
+        description="Render a perf report from a saved trace (--trace) or "
+        "from a fresh simulation run with observability enabled.",
+    )
+    _add_collection_args(stats)
+    stats.add_argument("--queries", type=int, default=100, help="N_Q per cycle")
+    stats.add_argument("--p", type=float, default=0.1)
+    stats.add_argument("--dq", type=int, default=10)
+    stats.add_argument("--capacity", type=int, default=200_000)
+    stats.add_argument("--arrival-cycles", type=int, default=2)
+    stats.add_argument(
+        "--scheduler", choices=("leelo", "fcfs", "mrf", "rxw"), default="leelo"
+    )
+    stats.add_argument(
+        "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
+    )
+    stats.add_argument("--collection", help="load a saved collection directory")
+    stats.add_argument("--trace", help="report from this JSONL trace instead of running")
+    stats.add_argument(
+        "--export-trace", help="also export the fresh run as a (v2) JSONL trace"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON on stdout"
+    )
+    stats.add_argument("--out", help="also write the JSON report to a file")
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

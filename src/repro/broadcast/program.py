@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.broadcast.packets import CycleLayout, PacketKind, Segment
 from repro.index.ci import CompactIndex, LookupResult
 from repro.index.packing import PackedIndex, PackingStrategy, pack_index
@@ -111,8 +112,9 @@ def build_cycle_program(
 ) -> BroadcastCycle:
     """Assemble a cycle from the PCI and the scheduler's document pick."""
     size_model: SizeModel = pci.size_model
-    packed_one = pack_index(pci, one_tier=True, strategy=packing)
-    packed_first = pack_index(pci, one_tier=False, strategy=packing)
+    with obs.span("server.index_packing"):
+        packed_one = pack_index(pci, one_tier=True, strategy=packing)
+        packed_first = pack_index(pci, one_tier=False, strategy=packing)
 
     # Index segment length under the chosen on-air scheme.
     if scheme is IndexScheme.ONE_TIER:
@@ -120,7 +122,8 @@ def build_cycle_program(
     else:
         index_air = packed_first.total_bytes
 
-    two_tier = split_two_tier(pci)
+    with obs.span("server.two_tier_split"):
+        two_tier = split_two_tier(pci)
     # Provisional second tier sized on the doc count (its byte length does
     # not depend on the offsets themselves).
     offset_air = (

@@ -19,8 +19,9 @@ the chance to download everything).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
+from repro import obs
 from repro.broadcast.program import (
     BroadcastCycle,
     IndexScheme,
@@ -175,6 +176,9 @@ class CycleRecord:
     scheduled_docs: int
     pci_nodes: int
     pruning: PruningStats
+    #: wall-clock seconds per server phase of this cycle's construction;
+    #: empty unless the run was observed (``obs.observed()``)
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 class BroadcastServer:
@@ -231,29 +235,30 @@ class BroadcastServer:
         cached = self._resolution_cache.get(key)
         if cached is not None:
             return cached
-        nfa = SharedPathNFA()
-        nfa.add_query(0, query)
-        nfa.freeze()
-        guide = self.store.full_guide
-        result: Set[int] = set()
-        initial = nfa.initial_states()
-        if guide.virtual_root:
-            stack = [
-                (child, nfa.move(initial, child.label))
-                for child in guide.root.children.values()
-            ]
-        else:
-            stack = [(guide.root, nfa.move(initial, guide.root.label))]
-        while stack:
-            node, configuration = stack.pop()
-            if not configuration:
-                continue
-            if nfa.is_accepting(configuration):
-                result.update(node.containing_docs())
-                continue  # descendants' containment is already included
-            for child in node.children.values():
-                stack.append((child, nfa.move(configuration, child.label)))
-        resolved = frozenset(result)
+        with obs.span("server.query_filtering"):
+            nfa = SharedPathNFA()
+            nfa.add_query(0, query)
+            nfa.freeze()
+            guide = self.store.full_guide
+            result: Set[int] = set()
+            initial = nfa.initial_states()
+            if guide.virtual_root:
+                stack = [
+                    (child, nfa.move(initial, child.label))
+                    for child in guide.root.children.values()
+                ]
+            else:
+                stack = [(guide.root, nfa.move(initial, guide.root.label))]
+            while stack:
+                node, configuration = stack.pop()
+                if not configuration:
+                    continue
+                if nfa.is_accepting(configuration):
+                    result.update(node.containing_docs())
+                    continue  # descendants' containment is already included
+                for child in node.children.values():
+                    stack.append((child, nfa.move(configuration, child.label)))
+            resolved = frozenset(result)
         self._resolution_cache[key] = resolved
         return resolved
 
@@ -274,6 +279,7 @@ class BroadcastServer:
         )
         self._next_query_id += 1
         self.pending.append(pending)
+        obs.counter("server.queries_total").inc()
         return pending
 
     # ------------------------------------------------------------------
@@ -300,26 +306,57 @@ class BroadcastServer:
         if not active:
             return None
 
-        requested: Set[int] = set()
-        for query in active:
-            requested.update(query.remaining_doc_ids)
-        queries = [query.query for query in active]
+        registry = obs.get_registry()
+        observing = registry.enabled
+        totals_before = registry.span_totals("server.") if observing else {}
 
-        ci = build_ci_from_store(self.store, requested)
-        pci, pruning_stats = prune_to_pci(ci, queries)
+        with registry.span("server.build_cycle"):
+            requested: Set[int] = set()
+            for query in active:
+                requested.update(query.remaining_doc_ids)
+            queries = [query.query for query in active]
 
-        scheduled = self.scheduler.select(
-            active, self.store, self.cycle_data_capacity, now
-        )
-        cycle = build_cycle_program(
-            cycle_number=self.cycle_number,
-            pci=pci,
-            scheduled_doc_ids=scheduled,
-            store=self.store,
-            scheme=self.scheme,
-            packing=self.packing,
-        )
+            with registry.span("server.ci_build"):
+                ci = build_ci_from_store(self.store, requested)
+            with registry.span("server.prune_to_pci"):
+                pci, pruning_stats = prune_to_pci(ci, queries)
+
+            with registry.span("server.scheduling"):
+                scheduled = self.scheduler.select(
+                    active, self.store, self.cycle_data_capacity, now
+                )
+            with registry.span("server.cycle_assembly") as assembly_span:
+                cycle = build_cycle_program(
+                    cycle_number=self.cycle_number,
+                    pci=pci,
+                    scheduled_doc_ids=scheduled,
+                    store=self.store,
+                    scheme=self.scheme,
+                    packing=self.packing,
+                )
         cycle.start_time = now
+
+        phase_seconds: Dict[str, float] = {}
+        if observing:
+            # Attribute this cycle's share of every server span (including
+            # the nested two_tier_split inside cycle assembly) by diffing
+            # the aggregate totals around the build.
+            for name, (count, total) in registry.span_totals("server.").items():
+                if name == "server.build_cycle":
+                    continue
+                previous_count, previous_total = totals_before.get(name, (0, 0.0))
+                if count > previous_count:
+                    phase_seconds[name[len("server."):]] = total - previous_total
+            registry.counter("server.cycles_total").inc()
+            registry.counter("server.broadcast_bytes_total").inc(cycle.total_bytes)
+            registry.counter("server.data_bytes_total").inc(cycle.data_bytes)
+            registry.counter("server.index_bytes_total").inc(
+                cycle.total_bytes - cycle.data_bytes
+            )
+            registry.counter("server.scheduled_docs_total").inc(len(scheduled))
+            registry.histogram(
+                "server.cycle_assembly_seconds", scheduler=self.scheduler.name
+            ).observe(assembly_span.elapsed)
 
         broadcast_set = set(scheduled)
         for query in active:
@@ -342,6 +379,7 @@ class BroadcastServer:
                 scheduled_docs=len(scheduled),
                 pci_nodes=pci.node_count,
                 pruning=pruning_stats,
+                phase_seconds=phase_seconds,
             )
         )
         self.cycle_number += 1

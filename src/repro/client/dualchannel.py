@@ -26,6 +26,7 @@ costs a second channel's bandwidth; the bench states that caveat).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.protocol import AccessProtocol, LookupFn, default_lookup
 from repro.xpath.ast import XPathQuery
@@ -35,6 +36,7 @@ class DualChannelTwoTierClient(AccessProtocol):
     """Two-tier protocol over separate index and data channels."""
 
     scheme = IndexScheme.TWO_TIER
+    protocol_name = "two-tier-dual"
 
     def __init__(
         self,
@@ -61,14 +63,18 @@ class DualChannelTwoTierClient(AccessProtocol):
             # *provisional*: catch what it names, but defer the
             # authoritative result-ID recording to the next cycle's
             # first tier, which the server built with this query pending.
-            lookup = self._lookup(cycle)
-            index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
-                lookup.visited_node_ids
-            )
+            with obs.span("client.first_tier_read"):
+                lookup = self._lookup(cycle)
+                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
+                    lookup.visited_node_ids
+                )
             offset_bytes = cycle.offset_list_air_bytes
             index_program = cycle.packed_first_tier.total_bytes + offset_bytes
             ready_offset = (arrival - cycle.start_time) + index_program
-            doc_bytes = self._download_after(cycle, set(lookup.doc_ids), ready_offset)
+            with obs.span("client.doc_download"):
+                doc_bytes = self._download_after(
+                    cycle, set(lookup.doc_ids), ready_offset
+                )
             if doc_bytes:
                 self.caught_mid_cycle += 1
             self.metrics.merge_cycle(
@@ -81,15 +87,17 @@ class DualChannelTwoTierClient(AccessProtocol):
 
         index_bytes = 0
         if self.expected_doc_ids is None:
-            lookup = self._lookup(cycle)
-            index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
-                lookup.visited_node_ids
-            )
-            self.expected_doc_ids = frozenset(lookup.doc_ids) | frozenset(
-                self.received_doc_ids
-            )
+            with obs.span("client.first_tier_read"):
+                lookup = self._lookup(cycle)
+                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
+                    lookup.visited_node_ids
+                )
+                self.expected_doc_ids = frozenset(lookup.doc_ids) | frozenset(
+                    self.received_doc_ids
+                )
         offset_bytes = cycle.offset_list_air_bytes
-        doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
+        with obs.span("client.doc_download"):
+            doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
         self.metrics.merge_cycle(
             probe=probe_bytes,
             index=index_bytes,

@@ -20,6 +20,7 @@ and live as long as the server rebroadcasts unacknowledged documents.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.protocol import AccessProtocol, LookupFn, default_lookup
 from repro.broadcast.loss import LOSSLESS, PacketLossModel
@@ -30,6 +31,7 @@ class LossyTwoTierClient(AccessProtocol):
     """Two-tier client with per-packet erasures."""
 
     scheme = IndexScheme.TWO_TIER
+    protocol_name = "two-tier"
 
     def __init__(
         self,
@@ -49,13 +51,15 @@ class LossyTwoTierClient(AccessProtocol):
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
         index_bytes = 0
         if self.expected_doc_ids is None:
-            lookup = self._lookup(cycle)
-            packed = cycle.packed_first_tier
-            needed_packets = packed.packets_for_nodes(lookup.visited_node_ids)
-            index_bytes = len(needed_packets) * packed.packet_bytes
-            if self.loss_model.any_lost(
-                self.client_key, cycle.cycle_number, needed_packets
-            ):
+            with obs.span("client.first_tier_read"):
+                lookup = self._lookup(cycle)
+                packed = cycle.packed_first_tier
+                needed_packets = packed.packets_for_nodes(lookup.visited_node_ids)
+                index_bytes = len(needed_packets) * packed.packet_bytes
+                lost = self.loss_model.any_lost(
+                    self.client_key, cycle.cycle_number, needed_packets
+                )
+            if lost:
                 # Incomplete index read: charge it, retry next cycle.
                 self.index_retries += 1
                 self.metrics.merge_cycle(probe=probe_bytes, index=index_bytes)
@@ -63,7 +67,9 @@ class LossyTwoTierClient(AccessProtocol):
             self.expected_doc_ids = frozenset(lookup.doc_ids)
 
         offset_bytes = cycle.offset_list_air_bytes
-        if self._offsets_lost(cycle):
+        with obs.span("client.offset_read"):
+            offsets_lost = self._offsets_lost(cycle)
+        if offsets_lost:
             # Blind cycle: the offsets never arrived intact.
             self.blind_cycles += 1
             self.metrics.merge_cycle(
@@ -71,7 +77,8 @@ class LossyTwoTierClient(AccessProtocol):
             )
             return
 
-        doc_bytes = self._download_with_losses(cycle)
+        with obs.span("client.doc_download"):
+            doc_bytes = self._download_with_losses(cycle)
         self.metrics.merge_cycle(
             probe=probe_bytes,
             index=index_bytes,

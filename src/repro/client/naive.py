@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.protocol import AccessProtocol
 from repro.xpath.ast import XPathQuery
@@ -24,6 +25,7 @@ class NaiveClient(AccessProtocol):
     """Exhaustive listener used as the no-index baseline."""
 
     scheme = IndexScheme.TWO_TIER  # irrelevant; it ignores the index
+    protocol_name = "naive"
 
     def __init__(
         self,
@@ -39,9 +41,10 @@ class NaiveClient(AccessProtocol):
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
         # Download the whole data segment; the index segments are skipped
         # only because the client has no use for them.
-        wanted = set(self.expected_doc_ids)
-        listened = sum(cycle.doc_air_bytes[doc_id] for doc_id in cycle.doc_ids)
-        needed = self._download_documents(cycle, wanted)
+        with obs.span("client.doc_download"):
+            wanted = set(self.expected_doc_ids)
+            listened = sum(cycle.doc_air_bytes[doc_id] for doc_id in cycle.doc_ids)
+            needed = self._download_documents(cycle, wanted)
         # _download_documents charged only the needed docs; add the rest of
         # the data segment the client could not skip.
         self.metrics.merge_cycle(probe=probe_bytes, docs=needed + (listened - needed))

@@ -16,6 +16,7 @@ knows when it is done.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.protocol import AccessProtocol
 
@@ -24,13 +25,16 @@ class OneTierClient(AccessProtocol):
     """Client running the per-cycle one-tier index search."""
 
     scheme = IndexScheme.ONE_TIER
+    protocol_name = "one-tier"
 
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
-        lookup = self._lookup(cycle)
-        index_bytes = cycle.packed_one_tier.tuning_bytes_for_nodes(
-            lookup.visited_node_ids
-        )
-        if self.expected_doc_ids is None:
-            self.expected_doc_ids = frozenset(lookup.doc_ids)
-        doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
+        with obs.span("client.index_read"):
+            lookup = self._lookup(cycle)
+            index_bytes = cycle.packed_one_tier.tuning_bytes_for_nodes(
+                lookup.visited_node_ids
+            )
+            if self.expected_doc_ids is None:
+                self.expected_doc_ids = frozenset(lookup.doc_ids)
+        with obs.span("client.doc_download"):
+            doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
         self.metrics.merge_cycle(probe=probe_bytes, index=index_bytes, docs=doc_bytes)

@@ -13,6 +13,7 @@ import abc
 import enum
 from typing import Callable, FrozenSet, Optional, Set
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.metrics import ClientMetrics
 from repro.index.ci import LookupResult
@@ -59,6 +60,8 @@ class AccessProtocol(abc.ABC):
     """Base class: arrival bookkeeping, probe charging, completion."""
 
     scheme: IndexScheme
+    #: reporting label; doubles as the ``protocol`` label on byte counters
+    protocol_name: str = "unknown"
 
     def __init__(
         self,
@@ -94,12 +97,40 @@ class AccessProtocol(abc.ABC):
         """Listen to one broadcast cycle."""
         if self.satisfied or not self.can_use(cycle):
             return
+        registry = obs.get_registry()
         probe = 0
         if not self._probed:
             # Initial probe: one packet to learn when the next index starts.
-            probe = cycle.layout.packet_bytes
-            self._probed = True
+            with registry.span("client.probe"):
+                probe = cycle.layout.packet_bytes
+                self._probed = True
+        if not registry.enabled:
+            self._consume(cycle, probe)
+            return
+        metrics = self.metrics
+        before = (
+            metrics.probe_bytes,
+            metrics.index_bytes,
+            metrics.offset_bytes,
+            metrics.doc_bytes,
+        )
         self._consume(cycle, probe)
+        # Per-protocol byte counters, diffed around _consume so every
+        # protocol is covered without instrumenting each accounting site.
+        label = self.protocol_name
+        registry.counter("client.cycles_listened_total", protocol=label).inc()
+        registry.counter("client.probe_bytes_total", protocol=label).inc(
+            metrics.probe_bytes - before[0]
+        )
+        registry.counter("client.index_bytes_total", protocol=label).inc(
+            metrics.index_bytes - before[1]
+        )
+        registry.counter("client.offset_bytes_total", protocol=label).inc(
+            metrics.offset_bytes - before[2]
+        )
+        registry.counter("client.doc_bytes_total", protocol=label).inc(
+            metrics.doc_bytes - before[3]
+        )
 
     @abc.abstractmethod
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:

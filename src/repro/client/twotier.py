@@ -15,6 +15,7 @@ default (packets the query's walk touches) or FULL (the literal L_I).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.client.protocol import (
     AccessProtocol,
@@ -30,6 +31,7 @@ class TwoTierClient(AccessProtocol):
     """Client running the improved two-tier protocol."""
 
     scheme = IndexScheme.TWO_TIER
+    protocol_name = "two-tier"
 
     def __init__(
         self,
@@ -46,20 +48,23 @@ class TwoTierClient(AccessProtocol):
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
         index_bytes = 0
         if self.expected_doc_ids is None:
-            lookup = self._lookup(cycle)
-            if self.first_tier_read is FirstTierRead.FULL:
-                index_bytes = cycle.first_tier_bytes
+            with obs.span("client.first_tier_read"):
+                lookup = self._lookup(cycle)
+                if self.first_tier_read is FirstTierRead.FULL:
+                    index_bytes = cycle.first_tier_bytes
+                else:
+                    index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
+                        lookup.visited_node_ids
+                    )
+                self.expected_doc_ids = frozenset(lookup.doc_ids)
+        with obs.span("client.offset_read"):
+            if self.offset_read is OffsetRead.SELECTIVE:
+                touched = cycle.offset_list.packets_for_docs(self.expected_doc_ids)
+                offset_bytes = len(touched) * cycle.layout.packet_bytes
             else:
-                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
-                    lookup.visited_node_ids
-                )
-            self.expected_doc_ids = frozenset(lookup.doc_ids)
-        if self.offset_read is OffsetRead.SELECTIVE:
-            touched = cycle.offset_list.packets_for_docs(self.expected_doc_ids)
-            offset_bytes = len(touched) * cycle.layout.packet_bytes
-        else:
-            offset_bytes = cycle.offset_list_air_bytes
-        doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
+                offset_bytes = cycle.offset_list_air_bytes
+        with obs.span("client.doc_download"):
+            doc_bytes = self._download_documents(cycle, set(self.expected_doc_ids))
         self.metrics.merge_cycle(
             probe=probe_bytes,
             index=index_bytes,

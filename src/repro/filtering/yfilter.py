@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
 
+from repro import obs
 from repro.filtering.events import Event, EventKind
 from repro.filtering.nfa import SharedPathNFA
 from repro.xmlkit.model import LabelPath, XMLDocument
@@ -68,9 +69,11 @@ class YFilterEngine:
         approach): the NFA matches their *structural relaxation*, and the
         predicates are verified on each candidate document.
         """
-        nfa = SharedPathNFA()
-        nfa.add_queries([query.structural_relaxation() for query in queries])
-        engine = cls(nfa)
+        with obs.span("filter.engine_build"):
+            nfa = SharedPathNFA()
+            nfa.add_queries([query.structural_relaxation() for query in queries])
+            engine = cls(nfa)
+        obs.counter("filter.queries_total").inc(len(queries))
         engine._originals = {
             index: query
             for index, query in enumerate(queries)
@@ -174,11 +177,13 @@ class YFilterEngine:
         docs_per_query: Dict[int, Set[int]] = {
             query_id: set() for query_id in self.nfa.queries()
         }
-        for document in documents:
-            if streaming:
-                matched = self.filter_document(document)
-            else:
-                matched = self.filter_document_by_paths(document)
-            for query_id in matched:
-                docs_per_query[query_id].add(document.doc_id)
+        with obs.span("filter.collection"):
+            for document in documents:
+                if streaming:
+                    matched = self.filter_document(document)
+                else:
+                    matched = self.filter_document_by_paths(document)
+                for query_id in matched:
+                    docs_per_query[query_id].add(document.doc_id)
+        obs.counter("filter.documents_total").inc(len(documents))
         return FilterResult(docs_per_query=docs_per_query)

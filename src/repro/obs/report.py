@@ -1,0 +1,221 @@
+"""Perf-report assembly: phase timings plus byte accounting.
+
+One :class:`PerfReport` can be built from two sources:
+
+* a finished :class:`~repro.sim.results.SimulationResult` whose run was
+  observed (``obs.observed()``), via :func:`report_from_result`;
+* a saved JSONL trace (v1 or v2), via :func:`report_from_trace` -- v2
+  traces carry the metrics snapshot, v1 traces yield byte accounting
+  only.
+
+The report renders as fixed-width tables (``render()``) for humans and as
+JSON (``to_json()``) for the benchmark harness, which persists it as a
+``BENCH_*.json`` perf snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.sim.results import SimulationResult
+
+#: snapshot span keys are qualified (``server.ci_build``); the report
+#: keeps them as-is so server/client/sim phases sort into groups.
+PhaseStats = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Phase-timing and byte-accounting view of one run or trace."""
+
+    source: str  #: "run" or "trace"
+    cycles: int
+    clients: int
+    #: span name -> {count, total_seconds, self_seconds, min_seconds, max_seconds}
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: byte accounting reconciled with the simulation totals
+    bytes: Dict[str, object] = field(default_factory=dict)
+    #: raw counter values from the metrics snapshot (empty without one)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "cycles": self.cycles,
+            "clients": self.clients,
+            "phases": self.phases,
+            "bytes": self.bytes,
+            "counters": self.counters,
+        }
+
+    def render(self) -> str:
+        parts: List[str] = []
+        if self.phases:
+            rows = [
+                (
+                    name,
+                    int(stats["count"]),
+                    stats["total_seconds"] * 1e3,
+                    stats["self_seconds"] * 1e3,
+                    (stats["total_seconds"] / stats["count"]) * 1e6
+                    if stats["count"]
+                    else 0.0,
+                )
+                for name, stats in sorted(self.phases.items())
+            ]
+            parts.append(
+                format_table(
+                    "Phase timings",
+                    ("phase", "calls", "total ms", "self ms", "mean us"),
+                    rows,
+                    note=f"{self.cycles} cycles, {self.clients} client sessions "
+                    f"(source: {self.source})",
+                )
+            )
+        else:
+            parts.append(
+                "Phase timings unavailable: run with observability enabled "
+                "(`repro stats` without --trace) or use a v2 trace."
+            )
+        channel_rows = [
+            ("broadcast total", self.bytes.get("broadcast_total", 0)),
+            ("data segments", self.bytes.get("data_total", 0)),
+            ("index segments", self.bytes.get("index_total", 0)),
+        ]
+        parts.append(
+            format_table("Channel bytes", ("segment", "bytes"), channel_rows)
+        )
+        client_bytes: Dict[str, Dict[str, int]] = self.bytes.get("clients", {})
+        if client_bytes:
+            rows = [
+                (
+                    protocol,
+                    sums.get("probe", 0),
+                    sums.get("index", 0),
+                    sums.get("offsets", 0),
+                    sums.get("docs", 0),
+                    sums.get("index_lookup", 0),
+                    sums.get("tuning", 0),
+                )
+                for protocol, sums in sorted(client_bytes.items())
+            ]
+            parts.append(
+                format_table(
+                    "Client tuning bytes (totals per protocol)",
+                    ("protocol", "probe", "index", "offsets", "docs",
+                     "index lookup", "tuning"),
+                    rows,
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _client_byte_totals(rows) -> Dict[str, Dict[str, int]]:
+    """Per-protocol byte sums from (protocol, probe, index, offsets, docs,
+    index_lookup, tuning) tuples."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for protocol, probe, index, offsets, docs, lookup, tuning in rows:
+        sums = totals.setdefault(
+            protocol,
+            {"probe": 0, "index": 0, "offsets": 0, "docs": 0,
+             "index_lookup": 0, "tuning": 0, "sessions": 0},
+        )
+        sums["probe"] += probe
+        sums["index"] += index
+        sums["offsets"] += offsets
+        sums["docs"] += docs
+        sums["index_lookup"] += lookup
+        sums["tuning"] += tuning
+        sums["sessions"] += 1
+    return totals
+
+
+def report_from_result(result: SimulationResult) -> PerfReport:
+    """Build the report from a finished run (phases need an observed run)."""
+    snapshot = result.metrics or {}
+    broadcast_total = sum(c.total_bytes for c in result.cycles)
+    data_total = sum(c.data_bytes for c in result.cycles)
+    client_rows = [
+        (r.protocol, r.probe_bytes, r.index_bytes, r.offset_bytes,
+         r.doc_bytes, r.index_lookup_bytes, r.tuning_bytes)
+        for r in result.clients
+    ]
+    return PerfReport(
+        source="run",
+        cycles=len(result.cycles),
+        clients=len(result.clients),
+        phases=dict(snapshot.get("spans", {})),
+        bytes={
+            "broadcast_total": broadcast_total,
+            "data_total": data_total,
+            "index_total": broadcast_total - data_total,
+            "collection_bytes": result.collection_bytes,
+            "clients": _client_byte_totals(client_rows),
+        },
+        counters=dict(snapshot.get("counters", {})),
+    )
+
+
+def report_from_trace(records: List[Dict]) -> PerfReport:
+    """Build the report from loaded trace records (v1 or v2).
+
+    v2 traces embed the run's metrics snapshot, giving the full phase
+    table; v1 traces fall back to byte accounting only.
+    """
+    cycles = [r for r in records if r["kind"] == "cycle"]
+    clients = [r for r in records if r["kind"] == "client"]
+    snapshot: Optional[Dict] = next(
+        (r["snapshot"] for r in records if r["kind"] == "metrics"), None
+    )
+    phases: Dict[str, PhaseStats] = dict((snapshot or {}).get("spans", {}))
+    if not phases:
+        # v2 cycle records still carry per-cycle phase seconds even when
+        # the snapshot record is absent; aggregate those.
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for cycle in cycles:
+            for name, seconds in cycle.get("phase_seconds", {}).items():
+                key = f"server.{name}"
+                totals[key] = totals.get(key, 0.0) + seconds
+                counts[key] = counts.get(key, 0) + 1
+        phases = {
+            name: {
+                "count": counts[name],
+                "total_seconds": seconds,
+                "self_seconds": seconds,
+                "min_seconds": 0.0,
+                "max_seconds": 0.0,
+            }
+            for name, seconds in totals.items()
+        }
+    broadcast_total = sum(c["total_bytes"] for c in cycles)
+    data_total = sum(c["data_bytes"] for c in cycles)
+    meta = records[0]
+    client_rows = [
+        (
+            r["protocol"],
+            r.get("probe_bytes", 0),
+            r.get("index_bytes", 0),
+            r.get("offset_bytes", 0),
+            r.get("doc_bytes", 0),
+            r["index_lookup_bytes"],
+            r["tuning_bytes"],
+        )
+        for r in clients
+    ]
+    return PerfReport(
+        source="trace",
+        cycles=len(cycles),
+        clients=len(clients),
+        phases=phases,
+        bytes={
+            "broadcast_total": broadcast_total,
+            "data_total": data_total,
+            "index_total": broadcast_total - data_total,
+            "collection_bytes": meta.get("collection_bytes", 0),
+            "clients": _client_byte_totals(client_rows),
+        },
+        counters=dict((snapshot or {}).get("counters", {})),
+    )

@@ -31,7 +31,7 @@ class _QueueEntry:
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "priority", "callback", "cancelled", "label")
+    __slots__ = ("time", "priority", "callback", "cancelled", "label", "_on_cancel")
 
     def __init__(
         self, time: int, priority: int, callback: EventCallback, label: str = ""
@@ -41,9 +41,18 @@ class ScheduledEvent:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        #: queue hook so cancellations are counted incrementally; detached
+        #: once the entry leaves the heap (cancelling a spent handle is a
+        #: no-op for the queue's accounting)
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -51,13 +60,31 @@ class ScheduledEvent:
 
 
 class EventQueue:
-    """Calendar queue with a monotonic clock."""
+    """Calendar queue with a monotonic clock.
+
+    Cancelled events stay in the heap (heap removal is O(n)) and are
+    dropped lazily when they surface at the top; an incremental counter
+    keeps :attr:`pending_count` and :meth:`next_event_time` from scanning
+    the whole heap.
+    """
 
     def __init__(self) -> None:
         self._heap: List[_QueueEntry] = []
         self._sequence = itertools.count()
+        #: cancelled events still sitting in the heap
+        self._cancelled_in_heap = 0
         self.now = 0
         self.processed = 0
+
+    def _note_cancellation(self) -> None:
+        self._cancelled_in_heap += 1
+
+    def _prune_cancelled_top(self) -> None:
+        """Pop cancelled entries sitting at the heap top."""
+        heap = self._heap
+        while heap and heap[0].event.cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
 
     def schedule(
         self,
@@ -71,6 +98,7 @@ class EventQueue:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time}, clock is at {self.now}")
         event = ScheduledEvent(time, priority, callback, label)
+        event._on_cancel = self._note_cancellation
         heapq.heappush(
             self._heap, _QueueEntry(time, priority, next(self._sequence), event)
         )
@@ -85,27 +113,27 @@ class EventQueue:
 
     def next_event_time(self) -> Optional[int]:
         """Time of the earliest pending event, or ``None`` when empty."""
-        times = [entry.time for entry in self._heap if not entry.event.cancelled]
-        return min(times) if times else None
+        self._prune_cancelled_top()
+        return self._heap[0].time if self._heap else None
 
     @property
     def pending_count(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
     def is_empty(self) -> bool:
         return self.pending_count == 0
 
     def step(self) -> Optional[ScheduledEvent]:
         """Run the next non-cancelled event; return it, or ``None``."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.event.cancelled:
-                continue
-            self.now = entry.time
-            self.processed += 1
-            entry.event.callback()
-            return entry.event
-        return None
+        self._prune_cancelled_top()
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        entry.event._on_cancel = None  # spent: a late cancel changes nothing
+        self.now = entry.time
+        self.processed += 1
+        entry.event.callback()
+        return entry.event
 
     def run(
         self, until: Optional[int] = None, max_events: Optional[int] = None
@@ -117,12 +145,11 @@ class EventQueue:
         total work, protecting against runaway schedules.
         """
         processed = 0
-        while self._heap:
-            # Peek for the time limit without popping cancelled noise.
+        while True:
+            self._prune_cancelled_top()
+            if not self._heap:
+                break
             top = self._heap[0]
-            if top.event.cancelled:
-                heapq.heappop(self._heap)
-                continue
             if until is not None and top.time > until:
                 break
             if max_events is not None and processed >= max_events:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.client.metrics import ClientMetrics
 
@@ -63,6 +63,9 @@ class CycleStats:
     offset_list_bytes: int
     pci_nodes: int
     ci_nodes: int
+    #: wall-clock seconds of each server phase while building this cycle;
+    #: populated only when the run was observed (``obs.observed()``)
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -78,6 +81,9 @@ class SimulationResult:
     collection_bytes: int = 0
     document_count: int = 0
     completed: bool = True  #: False when max_cycles stopped the drain
+    #: metrics-registry snapshot taken at the end of an observed run
+    #: (``None`` with observability off, the default)
+    metrics: Optional[Dict[str, Dict]] = None
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.broadcast.program import BroadcastCycle
 from repro.broadcast.scheduling import make_scheduler
 from repro.broadcast.server import BroadcastServer, DocumentStore
@@ -165,6 +166,7 @@ class Simulation:
                 ):
                     dual.on_cycle(self._current_cycle)
         self.sessions.append(_Session(plan=plan, clients=clients, pending=pending))
+        obs.counter("sim.arrivals_total").inc()
 
     def _schedule_arrivals(self, plans: Sequence[ArrivalPlan]) -> None:
         for plan in plans:
@@ -213,9 +215,10 @@ class Simulation:
             self._truncated = True
 
     def _deliver(self, cycle: BroadcastCycle) -> None:
-        for session in self.sessions:
-            for client in session.clients:
-                client.on_cycle(cycle)
+        with obs.span("sim.deliver"):
+            for session in self.sessions:
+                for client in session.clients:
+                    client.on_cycle(cycle)
         if self.lossy:
             # Uplink acknowledgements: the server learns what actually
             # arrived, so erased frames get rebroadcast.
@@ -231,6 +234,12 @@ class Simulation:
 
     def _record_cycle(self, cycle: BroadcastCycle) -> None:
         server_record = self.server.records[-1]
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.gauge("sim.pending_queries").set(len(self.server.pending))
+            registry.gauge("sim.active_sessions").set(
+                sum(1 for s in self.sessions if not s.satisfied)
+            )
         self._cycle_stats.append(
             CycleStats(
                 cycle_number=cycle.cycle_number,
@@ -245,6 +254,7 @@ class Simulation:
                 offset_list_bytes=cycle.offset_list.size_bytes,
                 pci_nodes=cycle.pci.node_count,
                 ci_nodes=server_record.pruning.nodes_before,
+                phase_seconds=server_record.phase_seconds,
             )
         )
 
@@ -255,10 +265,11 @@ class Simulation:
     def run(self) -> SimulationResult:
         self._cycle_stats: List[CycleStats] = []
         self._truncated = False
-        self._schedule_arrivals(self.workload.initial_batch())
-        # Cycle events run after same-time arrivals (priority 1 > 0).
-        self._queue.schedule(0, self._cycle_event, priority=1, label="cycle")
-        self._queue.run()
+        with obs.span("sim.run"):
+            self._schedule_arrivals(self.workload.initial_batch())
+            # Cycle events run after same-time arrivals (priority 1 > 0).
+            self._queue.schedule(0, self._cycle_event, priority=1, label="cycle")
+            self._queue.run()
 
         result = SimulationResult(
             collection_bytes=self.store.total_data_bytes(),
@@ -266,13 +277,6 @@ class Simulation:
             cycles=self._cycle_stats,
             completed=not self._truncated,
         )
-        protocol_names = {
-            OneTierClient: "one-tier",
-            TwoTierClient: "two-tier",
-            LossyTwoTierClient: "two-tier",
-            DualChannelTwoTierClient: "two-tier-dual",
-            NaiveClient: "naive",
-        }
         for session in self.sessions:
             for client in session.clients:
                 if not client.metrics.is_complete:
@@ -281,10 +285,13 @@ class Simulation:
                 result.clients.append(
                     ClientRecord.from_metrics(
                         query_text=str(session.plan.query),
-                        protocol=protocol_names[type(client)],
+                        protocol=client.protocol_name,
                         metrics=client.metrics,
                     )
                 )
+        registry = obs.get_registry()
+        if registry.enabled:
+            result.metrics = registry.snapshot()
         return result
 
 

@@ -4,24 +4,53 @@ A trace is JSON Lines: a ``meta`` record, one ``cycle`` record per
 broadcast cycle and one ``client`` record per completed session.  Traces
 make runs diffable, graphable with external tooling, and comparable
 across code versions without re-running the simulator.
+
+Format v2 (current) extends v1 with observability data:
+
+* ``cycle`` records gain ``phase_seconds`` -- wall-clock seconds per
+  server phase of that cycle's construction (present only for observed
+  runs, see :mod:`repro.obs`);
+* ``client`` records gain the byte breakdown (``probe_bytes``,
+  ``index_bytes``, ``offset_bytes``, ``doc_bytes``);
+* an optional ``metrics`` record carries the run's full metrics-registry
+  snapshot (counters, gauges, histograms, span aggregates).
+
+v1 traces remain loadable; every record is validated against the
+required keys of its kind, with ``file:line`` context on failure.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass
-from typing import Dict, List, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 from repro.sim.results import SimulationResult
 
 PathLike = Union[str, pathlib.Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
+
+#: keys every record of a kind must carry (validated on load)
+_REQUIRED_KEYS: Dict[str, tuple] = {
+    "meta": ("format", "collection_bytes", "document_count", "completed"),
+    "cycle": (
+        "cycle", "start", "total_bytes", "data_bytes", "doc_count",
+        "pending", "ci_bytes", "pci_bytes", "first_tier_bytes",
+        "offset_list_bytes",
+    ),
+    "client": (
+        "query", "protocol", "arrival", "result_docs", "cycles",
+        "index_lookup_bytes", "tuning_bytes", "access_bytes",
+    ),
+    "metrics": ("snapshot",),
+}
 
 
 def export_trace(result: SimulationResult, file_path: PathLike) -> pathlib.Path:
-    """Write one finished run as a JSONL trace."""
+    """Write one finished run as a JSONL trace (format v2)."""
     path = pathlib.Path(file_path)
     path.parent.mkdir(parents=True, exist_ok=True)
     records: List[Dict] = [
@@ -34,45 +63,74 @@ def export_trace(result: SimulationResult, file_path: PathLike) -> pathlib.Path:
         }
     ]
     for cycle in result.cycles:
-        records.append(
-            {
-                "kind": "cycle",
-                "cycle": cycle.cycle_number,
-                "start": cycle.start_time,
-                "total_bytes": cycle.total_bytes,
-                "data_bytes": cycle.data_bytes,
-                "doc_count": cycle.doc_count,
-                "pending": cycle.pending_queries,
-                "ci_bytes": cycle.ci_bytes_one_tier,
-                "pci_bytes": cycle.pci_bytes_one_tier,
-                "first_tier_bytes": cycle.pci_first_tier_bytes,
-                "offset_list_bytes": cycle.offset_list_bytes,
-            }
-        )
-    for record in result.clients:
+        record = {
+            "kind": "cycle",
+            "cycle": cycle.cycle_number,
+            "start": cycle.start_time,
+            "total_bytes": cycle.total_bytes,
+            "data_bytes": cycle.data_bytes,
+            "doc_count": cycle.doc_count,
+            "pending": cycle.pending_queries,
+            "ci_bytes": cycle.ci_bytes_one_tier,
+            "pci_bytes": cycle.pci_bytes_one_tier,
+            "first_tier_bytes": cycle.pci_first_tier_bytes,
+            "offset_list_bytes": cycle.offset_list_bytes,
+        }
+        if cycle.phase_seconds:
+            record["phase_seconds"] = dict(cycle.phase_seconds)
+        records.append(record)
+    for client in result.clients:
         records.append(
             {
                 "kind": "client",
-                "query": record.query_text,
-                "protocol": record.protocol,
-                "arrival": record.arrival_time,
-                "result_docs": record.result_doc_count,
-                "cycles": record.cycles_listened,
-                "index_lookup_bytes": record.index_lookup_bytes,
-                "tuning_bytes": record.tuning_bytes,
-                "access_bytes": record.access_bytes,
+                "query": client.query_text,
+                "protocol": client.protocol,
+                "arrival": client.arrival_time,
+                "result_docs": client.result_doc_count,
+                "cycles": client.cycles_listened,
+                "probe_bytes": client.probe_bytes,
+                "index_bytes": client.index_bytes,
+                "offset_bytes": client.offset_bytes,
+                "doc_bytes": client.doc_bytes,
+                "index_lookup_bytes": client.index_lookup_bytes,
+                "tuning_bytes": client.tuning_bytes,
+                "access_bytes": client.access_bytes,
             }
         )
+    if result.metrics is not None:
+        records.append({"kind": "metrics", "snapshot": result.metrics})
     with path.open("w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     return path
 
 
+def _validate_record(record: Dict, path: pathlib.Path, line_number: int) -> None:
+    kind = record["kind"]
+    required = _REQUIRED_KEYS.get(kind)
+    if required is None:
+        raise ValueError(
+            f"{path}:{line_number}: unknown record kind {kind!r} "
+            f"(expected one of {sorted(_REQUIRED_KEYS)})"
+        )
+    missing = [key for key in required if key not in record]
+    if missing:
+        raise ValueError(
+            f"{path}:{line_number}: {kind} record missing required "
+            f"key(s): {', '.join(missing)}"
+        )
+
+
 def load_trace(file_path: PathLike) -> List[Dict]:
-    """Read a trace back as a list of records (validated lightly)."""
+    """Read a trace back as a list of validated records (v1 or v2).
+
+    Every record must name a known ``kind`` and carry that kind's
+    required keys; violations raise :class:`ValueError` with
+    ``file:line`` context instead of surfacing later as a bare
+    ``KeyError`` from the analysis helpers.
+    """
     path = pathlib.Path(file_path)
-    records: List[Dict] = []
+    numbered: List[tuple] = []
     for line_number, raw in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
     ):
@@ -82,14 +140,19 @@ def load_trace(file_path: PathLike) -> List[Dict]:
             record = json.loads(raw)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}:{line_number}: bad JSON: {exc}") from exc
-        if "kind" not in record:
+        if not isinstance(record, dict) or "kind" not in record:
             raise ValueError(f"{path}:{line_number}: record without 'kind'")
-        records.append(record)
-    if not records or records[0]["kind"] != "meta":
+        numbered.append((line_number, record))
+    if not numbered or numbered[0][1]["kind"] != "meta":
         raise ValueError(f"{path}: trace must start with a meta record")
-    if records[0].get("format") != _FORMAT_VERSION:
-        raise ValueError(f"{path}: unsupported trace format")
-    return records
+    if numbered[0][1].get("format") not in _SUPPORTED_FORMATS:
+        raise ValueError(
+            f"{path}: unsupported trace format {numbered[0][1].get('format')!r} "
+            f"(supported: {_SUPPORTED_FORMATS})"
+        )
+    for line_number, record in numbered:
+        _validate_record(record, path, line_number)
+    return [record for _, record in numbered]
 
 
 @dataclass(frozen=True)
@@ -101,6 +164,10 @@ class TraceSummary:
     mean_pci_bytes: float
     clients: int
     protocols: Dict[str, Dict[str, float]]
+    #: summed per-cycle server phase seconds (v2 observed traces only)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: the embedded metrics snapshot, when the trace carries one
+    metrics: Optional[Dict] = None
 
     def lookup_mean(self, protocol: str) -> float:
         return self.protocols.get(protocol, {}).get("index_lookup_bytes", 0.0)
@@ -110,6 +177,9 @@ def summarise_trace(records: List[Dict]) -> TraceSummary:
     """Summary statistics straight from trace records."""
     cycles = [r for r in records if r["kind"] == "cycle"]
     clients = [r for r in records if r["kind"] == "client"]
+    snapshot = next(
+        (r["snapshot"] for r in records if r["kind"] == "metrics"), None
+    )
     by_protocol: Dict[str, List[Dict]] = {}
     for client in clients:
         by_protocol.setdefault(client["protocol"], []).append(client)
@@ -127,6 +197,10 @@ def summarise_trace(records: List[Dict]) -> TraceSummary:
         }
         for name, rows in by_protocol.items()
     }
+    phase_totals: Dict[str, float] = {}
+    for cycle in cycles:
+        for name, seconds in cycle.get("phase_seconds", {}).items():
+            phase_totals[name] = phase_totals.get(name, 0.0) + seconds
     return TraceSummary(
         cycles=len(cycles),
         total_broadcast_bytes=sum(c["total_bytes"] for c in cycles),
@@ -135,4 +209,6 @@ def summarise_trace(records: List[Dict]) -> TraceSummary:
         ),
         clients=len(clients),
         protocols=protocols,
+        phase_seconds=phase_totals,
+        metrics=snapshot,
     )

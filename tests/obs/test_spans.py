@@ -1,0 +1,113 @@
+"""Span timing, nesting and self-time, with a deterministic fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry, NullRegistry
+
+
+class FakeClock:
+    """perf_counter stand-in: every read advances time by ``tick``."""
+
+    def __init__(self, tick: float = 1.0) -> None:
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpanTiming:
+    def test_elapsed_from_injected_clock(self):
+        clock = FakeClock(tick=0.0)
+        registry = MetricsRegistry(clock=clock)
+        with registry.span("work") as span:
+            clock.advance(2.5)
+        assert span.elapsed == pytest.approx(2.5)
+        stats = registry.snapshot()["spans"]["work"]
+        assert stats["count"] == 1
+        assert stats["total_seconds"] == pytest.approx(2.5)
+
+    def test_repeat_spans_accumulate(self):
+        clock = FakeClock(tick=0.0)
+        registry = MetricsRegistry(clock=clock)
+        for _ in range(3):
+            with registry.span("loop"):
+                clock.advance(1.0)
+        count, total = registry.span_totals()["loop"]
+        assert count == 3
+        assert total == pytest.approx(3.0)
+
+    def test_min_max_tracked(self):
+        clock = FakeClock(tick=0.0)
+        registry = MetricsRegistry(clock=clock)
+        for duration in (1.0, 5.0, 3.0):
+            with registry.span("mix"):
+                clock.advance(duration)
+        stats = registry.snapshot()["spans"]["mix"]
+        assert stats["min_seconds"] == pytest.approx(1.0)
+        assert stats["max_seconds"] == pytest.approx(5.0)
+
+
+class TestSpanNesting:
+    def test_self_time_excludes_children(self):
+        clock = FakeClock(tick=0.0)
+        registry = MetricsRegistry(clock=clock)
+        with registry.span("parent"):
+            clock.advance(1.0)  # parent's own work
+            with registry.span("child"):
+                clock.advance(4.0)
+            clock.advance(2.0)  # more parent work
+        spans = registry.snapshot()["spans"]
+        assert spans["parent"]["total_seconds"] == pytest.approx(7.0)
+        assert spans["parent"]["self_seconds"] == pytest.approx(3.0)
+        assert spans["child"]["self_seconds"] == pytest.approx(4.0)
+
+    def test_grandchildren_roll_up_one_level(self):
+        clock = FakeClock(tick=0.0)
+        registry = MetricsRegistry(clock=clock)
+        with registry.span("a"):
+            with registry.span("b"):
+                with registry.span("c"):
+                    clock.advance(1.0)
+        spans = registry.snapshot()["spans"]
+        # c's time is charged to b's children, b's total to a's children.
+        assert spans["a"]["self_seconds"] == pytest.approx(0.0)
+        assert spans["b"]["self_seconds"] == pytest.approx(0.0)
+        assert spans["c"]["self_seconds"] == pytest.approx(1.0)
+
+    def test_span_totals_prefix_filter(self):
+        registry = MetricsRegistry()
+        with registry.span("server.build"):
+            pass
+        with registry.span("client.probe"):
+            pass
+        assert set(registry.span_totals("server.")) == {"server.build"}
+
+
+class TestDisabledSpans:
+    def test_null_registry_span_is_reusable_no_op(self):
+        registry = NullRegistry()
+        span = registry.span("anything")
+        with span:
+            with registry.span("nested"):
+                pass
+        assert span.elapsed == 0.0
+        assert registry.span_totals() == {}
+
+    def test_module_span_uses_active_registry(self):
+        with obs.observed() as registry:
+            with obs.span("module.level"):
+                pass
+        assert "module.level" in registry.span_totals()
+        # After the context, spans go to the null sink again.
+        with obs.span("after"):
+            pass
+        assert "after" not in registry.span_totals()

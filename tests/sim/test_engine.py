@@ -79,6 +79,68 @@ class TestCancellation:
         assert queue.next_event_time() == 20
 
 
+class TestLazyCancellationAccounting:
+    """Cancelled entries are dropped at the heap top, counted incrementally."""
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert queue.pending_count == 1
+        assert queue._cancelled_in_heap == 1
+
+    def test_cancel_after_execution_is_a_no_op(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        queue.run()
+        handle.cancel()  # too late: already ran, heap untouched
+        assert handle.cancelled
+        assert queue._cancelled_in_heap == 0
+        assert queue.pending_count == 0
+
+    def test_counter_drops_as_top_is_pruned(self):
+        queue = EventQueue()
+        handles = [queue.schedule(t, lambda: None) for t in (10, 20, 30)]
+        handles[0].cancel()
+        handles[1].cancel()
+        assert queue._cancelled_in_heap == 2
+        assert queue.next_event_time() == 30  # prunes both cancelled tops
+        assert queue._cancelled_in_heap == 0
+        assert len(queue._heap) == 1
+
+    def test_cancelled_below_top_stays_in_heap(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None)
+        later = queue.schedule(20, lambda: None)
+        later.cancel()
+        assert queue.next_event_time() == 10  # top is live; no pruning
+        assert len(queue._heap) == 2
+        assert queue.pending_count == 1
+
+    def test_all_cancelled_queue_reports_empty(self):
+        queue = EventQueue()
+        handles = [queue.schedule(t, lambda: None) for t in (10, 20)]
+        for handle in handles:
+            handle.cancel()
+        assert queue.is_empty()
+        assert queue.next_event_time() is None
+        assert queue.run() == 0
+
+    def test_step_skips_cancelled_run_of_entries(self):
+        queue = EventQueue()
+        log = []
+        for t in (10, 20, 30):
+            handle = queue.schedule(t, lambda t=t: log.append(t))
+            if t < 30:
+                handle.cancel()
+        event = queue.step()
+        assert event is not None and event.time == 30
+        assert log == [30]
+        assert queue.pending_count == 0
+
+
 class TestRunLimits:
     def test_until(self):
         queue = EventQueue()

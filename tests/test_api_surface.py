@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.tools",
+    "repro.obs",
 ]
 
 

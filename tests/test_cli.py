@@ -145,3 +145,59 @@ class TestSimulate:
             ]
         )
         assert code == 0
+
+
+STATS_ARGS = ["stats", "--count", "30", "--queries", "10", "--capacity", "40000"]
+
+
+class TestStats:
+    def test_human_report(self, capsys):
+        code = main(STATS_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase timings" in out
+        assert "Channel bytes" in out
+        assert "server.prune_to_pci" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(STATS_ARGS + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "run"
+        assert len(payload["phases"]) >= 6
+        assert payload["bytes"]["broadcast_total"] > 0
+        assert (
+            payload["bytes"]["data_total"] + payload["bytes"]["index_total"]
+            == payload["bytes"]["broadcast_total"]
+        )
+
+    def test_observability_scope_does_not_leak(self, capsys):
+        from repro import obs
+
+        main(STATS_ARGS + ["--json"])
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+    def test_trace_mode(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main(STATS_ARGS + ["--export-trace", str(trace)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["stats", "--trace", str(trace), "--json"])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "trace"
+        assert len(payload["phases"]) >= 6
+
+    def test_out_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "perf.json"
+        code = main(STATS_ARGS + ["--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["source"] == "run"

@@ -16,6 +16,57 @@ def run_result():
     return run_simulation(small_setup())
 
 
+@pytest.fixture(scope="module")
+def observed_run_result():
+    from repro import obs
+
+    with obs.observed():
+        return run_simulation(small_setup())
+
+
+def _minimal_v1_lines():
+    """A hand-written v1 trace: no byte breakdown, no phase data."""
+    return [
+        json.dumps(
+            {
+                "kind": "meta",
+                "format": 1,
+                "collection_bytes": 1000,
+                "document_count": 3,
+                "completed": True,
+            }
+        ),
+        json.dumps(
+            {
+                "kind": "cycle",
+                "cycle": 1,
+                "start": 0,
+                "total_bytes": 500,
+                "data_bytes": 400,
+                "doc_count": 3,
+                "pending": 2,
+                "ci_bytes": 60,
+                "pci_bytes": 40,
+                "first_tier_bytes": 20,
+                "offset_list_bytes": 30,
+            }
+        ),
+        json.dumps(
+            {
+                "kind": "client",
+                "query": "/a/b",
+                "protocol": "two-tier",
+                "arrival": 0,
+                "result_docs": 1,
+                "cycles": 2,
+                "index_lookup_bytes": 25,
+                "tuning_bytes": 125,
+                "access_bytes": 500,
+            }
+        ),
+    ]
+
+
 class TestExportAndLoad:
     def test_round_trip(self, tmp_path, run_result):
         path = export_trace(run_result, tmp_path / "run.jsonl")
@@ -47,6 +98,105 @@ class TestExportAndLoad:
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "meta", "format": 42}\n')
         with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+
+class TestFormatV2:
+    def test_observed_round_trip_carries_phases_and_metrics(
+        self, tmp_path, observed_run_result
+    ):
+        path = export_trace(observed_run_result, tmp_path / "v2.jsonl")
+        records = load_trace(path)
+        assert records[0]["format"] == 2
+        cycles = [r for r in records if r["kind"] == "cycle"]
+        assert all("phase_seconds" in c for c in cycles)
+        assert "prune_to_pci" in cycles[0]["phase_seconds"]
+        metrics = [r for r in records if r["kind"] == "metrics"]
+        assert len(metrics) == 1
+        assert "spans" in metrics[0]["snapshot"]
+
+    def test_v2_summary_aggregates_phases(self, tmp_path, observed_run_result):
+        path = export_trace(observed_run_result, tmp_path / "v2.jsonl")
+        summary = summarise_trace(load_trace(path))
+        assert summary.phase_seconds
+        expected = sum(
+            c.phase_seconds.get("prune_to_pci", 0.0)
+            for c in observed_run_result.cycles
+        )
+        assert summary.phase_seconds["prune_to_pci"] == pytest.approx(expected)
+        assert summary.metrics is not None
+        assert summary.metrics == observed_run_result.metrics
+
+    def test_unobserved_export_omits_observability_records(
+        self, tmp_path, run_result
+    ):
+        path = export_trace(run_result, tmp_path / "plain.jsonl")
+        records = load_trace(path)
+        assert not any(r["kind"] == "metrics" for r in records)
+        assert not any(
+            "phase_seconds" in r for r in records if r["kind"] == "cycle"
+        )
+
+    def test_client_byte_breakdown_round_trips(self, tmp_path, run_result):
+        path = export_trace(run_result, tmp_path / "run.jsonl")
+        clients = [r for r in load_trace(path) if r["kind"] == "client"]
+        assert sum(c["doc_bytes"] for c in clients) == sum(
+            r.doc_bytes for r in run_result.clients
+        )
+        assert sum(c["probe_bytes"] for c in clients) == sum(
+            r.probe_bytes for r in run_result.clients
+        )
+
+
+class TestV1Compatibility:
+    def test_v1_trace_still_loads_and_summarises(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text("\n".join(_minimal_v1_lines()) + "\n")
+        summary = summarise_trace(load_trace(path))
+        assert summary.cycles == 1
+        assert summary.clients == 1
+        assert summary.lookup_mean("two-tier") == 25.0
+        assert summary.phase_seconds == {}
+        assert summary.metrics is None
+
+
+class TestRecordValidation:
+    def test_malformed_cycle_record_names_file_and_line(self, tmp_path):
+        lines = _minimal_v1_lines()
+        lines[1] = json.dumps({"kind": "cycle", "cycle": 1})
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2.*cycle record"):
+            load_trace(path)
+
+    def test_malformed_client_record_names_file_and_line(self, tmp_path):
+        lines = _minimal_v1_lines()
+        lines[2] = json.dumps({"kind": "client", "query": "/a"})
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:3.*client record"):
+            load_trace(path)
+
+    def test_missing_keys_are_named(self, tmp_path):
+        lines = _minimal_v1_lines()
+        lines[2] = json.dumps({"kind": "client", "query": "/a"})
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="tuning_bytes"):
+            load_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        lines = _minimal_v1_lines() + [json.dumps({"kind": "mystery"})]
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:4.*unknown record kind"):
+            load_trace(path)
+
+    def test_metrics_record_requires_snapshot(self, tmp_path):
+        lines = _minimal_v1_lines() + [json.dumps({"kind": "metrics"})]
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="snapshot"):
             load_trace(path)
 
 
