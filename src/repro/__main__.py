@@ -149,6 +149,7 @@ def _simulation_config(args) -> SimulationConfig:
         scheme=IndexScheme(args.scheme),
         loss_prob=getattr(args, "loss", 0.0),
         arrival_cycles=args.arrival_cycles,
+        server_caches=not getattr(args, "no_cache", False),
     )
 
 
@@ -244,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
     )
     simulate.add_argument("--loss", type=float, default=0.0)
+    simulate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the server's incremental cycle-build caches "
+        "(escape hatch; cycle programs are byte-identical either way)",
+    )
     simulate.add_argument("--collection", help="load a saved collection directory")
     simulate.add_argument("--trace", help="export the run as a JSONL trace")
     simulate.set_defaults(func=cmd_simulate)
@@ -265,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
+    )
+    stats.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the server's incremental cycle-build caches",
     )
     stats.add_argument("--collection", help="load a saved collection directory")
     stats.add_argument("--trace", help="report from this JSONL trace instead of running")

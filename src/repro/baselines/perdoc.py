@@ -18,7 +18,7 @@ documents satisfy its query, so it must monitor the channel continuously
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.dataguide.dataguide import DataGuide, build_dataguide
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
@@ -50,7 +50,9 @@ class PerDocumentIndexBaseline:
     def __init__(self, size_model: SizeModel = PAPER_SIZE_MODEL) -> None:
         self.size_model = size_model
 
-    def index_bytes_for(self, document: XMLDocument, guide: DataGuide = None) -> int:
+    def index_bytes_for(
+        self, document: XMLDocument, guide: Optional[DataGuide] = None
+    ) -> int:
         """Embedded index size of one document.
 
         Every guide node costs a header, one child entry per child and one
@@ -70,7 +72,7 @@ class PerDocumentIndexBaseline:
     def measure(
         self,
         documents: Sequence[XMLDocument],
-        guides: Dict[int, DataGuide] = None,
+        guides: Optional[Dict[int, DataGuide]] = None,
     ) -> PerDocumentIndexStats:
         """Total embedded-index overhead over a collection."""
         if not documents:

@@ -19,6 +19,7 @@ actual air layout, while tuning-time accounting can interrogate either.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
@@ -166,3 +167,54 @@ def build_cycle_program(
         doc_air_bytes=doc_air,
         layout=layout,
     )
+
+
+def _index_tree_form(pci: CompactIndex) -> Tuple:
+    """Canonical (depth, label, doc_ids) preorder of an index tree."""
+    return tuple(
+        (node.node_id, node.label, node.doc_ids, len(node.children))
+        for node in pci.root.iter_preorder()
+    )
+
+
+def _packed_form(packed: PackedIndex) -> Tuple:
+    return (
+        packed.strategy.value,
+        packed.one_tier,
+        packed.packet_bytes,
+        packed.packet_count,
+        packed.node_order,
+        tuple(sorted(packed.packet_of_node.items())),
+        packed.used_bytes,
+    )
+
+
+def program_signature(cycle: BroadcastCycle) -> str:
+    """Deterministic fingerprint of everything a cycle puts on air.
+
+    Covers the PCI tree (structure + annotations), both index packings,
+    the offset list, the document schedule with its offsets/air sizes and
+    the segment layout.  Two cycles with equal signatures broadcast
+    byte-identical programs -- this is what the cache-equivalence tests
+    and the CI smoke job compare between cached and ``--no-cache`` runs.
+    """
+    form = (
+        cycle.cycle_number,
+        cycle.scheme.value,
+        cycle.pci.virtual_root,
+        cycle.pci.annotation,
+        _index_tree_form(cycle.pci),
+        _packed_form(cycle.packed_one_tier),
+        _packed_form(cycle.packed_first_tier),
+        cycle.offset_list.entries,
+        cycle.doc_ids,
+        tuple(sorted(cycle.doc_offsets.items())),
+        tuple(sorted(cycle.doc_air_bytes.items())),
+        tuple(
+            (segment.kind.value, segment.start, segment.length)
+            for segment in cycle.layout.segments
+        ),
+        cycle.layout.packet_bytes,
+        cycle.total_bytes,
+    )
+    return hashlib.sha256(repr(form).encode("utf-8")).hexdigest()

@@ -17,15 +17,113 @@ number of cycles a client must listen to stays low.
 
 Simpler baselines (FCFS, most-requested-first, RxW) exist for the
 scheduler ablation bench; the paper's figures use Lee-Lo.
+
+Demand accounting comes in two flavours: the stateless
+:func:`_demand_table` rebuild (the seed behaviour, still used when no
+table is supplied) and the server-maintained :class:`DemandTable`, which
+mirrors every remaining-set mutation incrementally so ``rank()`` stops
+re-deriving the doc-to-queries map from scratch every cycle.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Set, Tuple
+import warnings
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.broadcast.server import DocumentStore, PendingQuery
+
+
+class DemandTable:
+    """Incrementally maintained ``doc id -> pending queries missing it``.
+
+    The :class:`~repro.broadcast.server.BroadcastServer` owns one instance
+    and mirrors every remaining-set mutation into it (query admission,
+    per-cycle broadcast shrink, delivery acknowledgement, document
+    removal).  Schedulers then read the table instead of rebuilding the
+    same mapping from the pending list each cycle.
+
+    Queries are stored regardless of arrival time; readers filter with
+    ``arrival_time <= now`` (see :meth:`items_for`) so the table agrees
+    exactly with a from-scratch build over the *active* pending set --
+    property-tested in ``tests/broadcast/test_scheduling.py``.  When no
+    registered query has a future arrival the per-edge filter is skipped
+    entirely (the common steady-state fast path).
+    """
+
+    def __init__(self) -> None:
+        self._by_doc: Dict[int, Dict[int, "PendingQuery"]] = {}
+        #: latest arrival time ever registered; reads at ``now`` past it
+        #: need no per-edge arrival filtering
+        self._max_arrival: int = 0
+
+    def __len__(self) -> int:
+        return len(self._by_doc)
+
+    def add_query(self, query: "PendingQuery") -> None:
+        """Register every document *query* is still missing."""
+        if query.arrival_time > self._max_arrival:
+            self._max_arrival = query.arrival_time
+        for doc_id in query.remaining_doc_ids:
+            self._by_doc.setdefault(doc_id, {})[query.query_id] = query
+
+    def add_entry(self, doc_id: int, query: "PendingQuery") -> None:
+        self._by_doc.setdefault(doc_id, {})[query.query_id] = query
+
+    def discard(self, doc_id: int, query: "PendingQuery") -> None:
+        """Drop one (document, query) demand edge, if present."""
+        queries = self._by_doc.get(doc_id)
+        if queries is None:
+            return
+        queries.pop(query.query_id, None)
+        if not queries:
+            del self._by_doc[doc_id]
+
+    def discard_doc(self, doc_id: int) -> None:
+        """Drop a document entirely (it left the collection)."""
+        self._by_doc.pop(doc_id, None)
+
+    def items_for(
+        self, now: int
+    ) -> Iterator[Tuple[int, List["PendingQuery"]]]:
+        """``(doc_id, eligible queries)`` pairs for a cycle built at *now*.
+
+        The table's edges are mirrored exactly by the server (an edge
+        exists iff ``doc_id in query.remaining_doc_ids``), so satisfied
+        queries never appear here.  Arrival times still need re-checking
+        when some registered query arrives after *now*; otherwise the
+        per-edge filter is skipped outright.  Documents whose every
+        requester is ineligible are skipped, matching the rebuilt table's
+        key set.
+        """
+        if now >= self._max_arrival:
+            for doc_id, queries in self._by_doc.items():
+                if queries:
+                    yield doc_id, list(queries.values())
+            return
+        for doc_id, queries in self._by_doc.items():
+            eligible = [
+                q
+                for q in queries.values()
+                if q.arrival_time <= now and not q.is_satisfied
+            ]
+            if eligible:
+                yield doc_id, eligible
+
+    def snapshot(self, now: int) -> Dict[int, List["PendingQuery"]]:
+        """The eligible view as a dict (equivalence testing and debugging)."""
+        return dict(self.items_for(now))
 
 
 class Scheduler(abc.ABC):
@@ -38,8 +136,14 @@ class Scheduler(abc.ABC):
         self,
         pending: Sequence["PendingQuery"],
         now: int,
+        demand: Optional[DemandTable] = None,
     ) -> List[int]:
-        """Return candidate doc ids, best first (may contain all candidates)."""
+        """Return candidate doc ids, best first (may contain all candidates).
+
+        When *demand* is supplied it must mirror the remaining sets of
+        *pending*; schedulers then read it instead of rebuilding the
+        doc-to-queries map.
+        """
 
     def select(
         self,
@@ -47,6 +151,7 @@ class Scheduler(abc.ABC):
         store: "DocumentStore",
         capacity_bytes: int,
         now: int,
+        demand: Optional[DemandTable] = None,
     ) -> List[int]:
         """Fill the cycle greedily from :meth:`rank`'s order.
 
@@ -56,7 +161,7 @@ class Scheduler(abc.ABC):
         """
         chosen: List[int] = []
         used = 0
-        for doc_id in self.rank(pending, now):
+        for doc_id in self.rank(pending, now, demand):
             cost = store.air_bytes(doc_id)
             if chosen and used + cost > capacity_bytes:
                 continue
@@ -67,7 +172,9 @@ class Scheduler(abc.ABC):
         return chosen
 
 
-def _demand_table(pending: Sequence["PendingQuery"]) -> Dict[int, List["PendingQuery"]]:
+def _demand_table(
+    pending: Sequence["PendingQuery"],
+) -> Dict[int, List["PendingQuery"]]:
     """doc id -> pending queries still missing that document."""
     demand: Dict[int, List["PendingQuery"]] = {}
     for query in pending:
@@ -76,12 +183,29 @@ def _demand_table(pending: Sequence["PendingQuery"]) -> Dict[int, List["PendingQ
     return demand
 
 
+def _demand_view(
+    pending: Sequence["PendingQuery"],
+    now: int,
+    demand: Optional[DemandTable],
+) -> Dict[int, List["PendingQuery"]]:
+    """The doc-to-queries map: the incremental table when available,
+    otherwise a from-scratch rebuild over *pending*."""
+    if demand is not None:
+        return demand.snapshot(now)
+    return _demand_table(pending)
+
+
 class FCFSScheduler(Scheduler):
     """First-come-first-served: finish the oldest query's documents first."""
 
     name = "fcfs"
 
-    def rank(self, pending: Sequence["PendingQuery"], now: int) -> List[int]:
+    def rank(
+        self,
+        pending: Sequence["PendingQuery"],
+        now: int,
+        demand: Optional[DemandTable] = None,
+    ) -> List[int]:
         ordered: List[int] = []
         seen: Set[int] = set()
         for query in sorted(pending, key=lambda q: (q.arrival_time, q.query_id)):
@@ -97,9 +221,14 @@ class MostRequestedFirstScheduler(Scheduler):
 
     name = "mrf"
 
-    def rank(self, pending: Sequence["PendingQuery"], now: int) -> List[int]:
-        demand = _demand_table(pending)
-        return sorted(demand, key=lambda d: (-len(demand[d]), d))
+    def rank(
+        self,
+        pending: Sequence["PendingQuery"],
+        now: int,
+        demand: Optional[DemandTable] = None,
+    ) -> List[int]:
+        table = _demand_view(pending, now, demand)
+        return sorted(table, key=lambda d: (-len(table[d]), d))
 
 
 class RxWScheduler(Scheduler):
@@ -107,15 +236,20 @@ class RxWScheduler(Scheduler):
 
     name = "rxw"
 
-    def rank(self, pending: Sequence["PendingQuery"], now: int) -> List[int]:
-        demand = _demand_table(pending)
+    def rank(
+        self,
+        pending: Sequence["PendingQuery"],
+        now: int,
+        demand: Optional[DemandTable] = None,
+    ) -> List[int]:
+        table = _demand_view(pending, now, demand)
 
         def score(doc_id: int) -> float:
-            queries = demand[doc_id]
+            queries = table[doc_id]
             longest_wait = max(now - q.arrival_time for q in queries)
             return len(queries) * max(longest_wait, 1)
 
-        return sorted(demand, key=lambda d: (-score(d), d))
+        return sorted(table, key=lambda d: (-score(d), d))
 
 
 class LeeLoScheduler(Scheduler):
@@ -126,24 +260,42 @@ class LeeLoScheduler(Scheduler):
     the *last* missing piece of many queries scores highest; fragments of
     queries with huge remainders score low.  Ties break toward smaller
     documents (more completions per byte) and then doc id (determinism).
+
+    The smaller-doc tie-break needs the document store; building the
+    scheduler without one degrades every size to 0 (ties then fall
+    straight through to doc id), which is loudly warned about rather than
+    silently accepted.
     """
 
     name = "leelo"
 
-    def __init__(self, store: "DocumentStore" = None) -> None:
+    def __init__(self, store: Optional["DocumentStore"] = None) -> None:
+        if store is None:
+            warnings.warn(
+                "LeeLoScheduler built without a document store: the "
+                "smaller-document tie-break degrades to doc-id order; pass "
+                "the DocumentStore for the paper's behaviour",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._store = store
 
-    def rank(self, pending: Sequence["PendingQuery"], now: int) -> List[int]:
-        demand = _demand_table(pending)
+    def rank(
+        self,
+        pending: Sequence["PendingQuery"],
+        now: int,
+        demand: Optional[DemandTable] = None,
+    ) -> List[int]:
+        table = _demand_view(pending, now, demand)
         scores: Dict[int, float] = {}
-        for doc_id, queries in demand.items():
+        for doc_id, queries in table.items():
             scores[doc_id] = sum(1.0 / len(q.remaining_doc_ids) for q in queries)
 
         def key(doc_id: int) -> Tuple[float, int, int]:
             size = self._store.air_bytes(doc_id) if self._store is not None else 0
             return (-scores[doc_id], size, doc_id)
 
-        return sorted(demand, key=key)
+        return sorted(table, key=key)
 
 
 _SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
@@ -154,8 +306,13 @@ _SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
 }
 
 
-def make_scheduler(name: str, store: "DocumentStore" = None) -> Scheduler:
-    """Factory by name (``fcfs``, ``mrf``, ``rxw``, ``leelo``)."""
+def make_scheduler(name: str, store: Optional["DocumentStore"] = None) -> Scheduler:
+    """Factory by name (``fcfs``, ``mrf``, ``rxw``, ``leelo``).
+
+    The ``leelo`` scheduler requires *store* (its tie-break is
+    size-aware); construct :class:`LeeLoScheduler` directly to opt into
+    the degraded store-less behaviour.
+    """
     try:
         factory = _SCHEDULERS[name]
     except KeyError as exc:
@@ -163,6 +320,11 @@ def make_scheduler(name: str, store: "DocumentStore" = None) -> Scheduler:
             f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
         ) from exc
     if name == LeeLoScheduler.name:
+        if store is None:
+            raise ValueError(
+                "the 'leelo' scheduler needs the DocumentStore for its "
+                "smaller-document tie-break; pass make_scheduler('leelo', store)"
+            )
         return factory(store)
     return factory()
 

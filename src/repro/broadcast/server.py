@@ -22,12 +22,13 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro import obs
+from repro.broadcast.cycle_cache import CycleBuildCache
 from repro.broadcast.program import (
     BroadcastCycle,
     IndexScheme,
     build_cycle_program,
 )
-from repro.broadcast.scheduling import LeeLoScheduler, Scheduler
+from repro.broadcast.scheduling import DemandTable, LeeLoScheduler, Scheduler
 from repro.dataguide.dataguide import DataGuide, build_dataguide
 from repro.dataguide.roxsum import CombinedDataGuide, build_combined_guide
 from repro.filtering.nfa import SharedPathNFA
@@ -192,6 +193,7 @@ class BroadcastServer:
         cycle_data_capacity: int = 100_000,
         packing: PackingStrategy = PackingStrategy.GREEDY_DFS,
         acknowledged_delivery: bool = False,
+        enable_caches: bool = True,
     ) -> None:
         if cycle_data_capacity <= 0:
             raise ValueError("cycle_data_capacity must be positive")
@@ -200,6 +202,14 @@ class BroadcastServer:
         self.scheme = scheme
         self.cycle_data_capacity = cycle_data_capacity
         self.packing = packing
+        #: Incremental cycle-build caches (CI delta maintenance, pruning-DFA
+        #: LRU, PCI reuse) plus demand-table reads by the scheduler.  With
+        #: ``enable_caches=False`` (the CLI's ``--no-cache``) every cycle is
+        #: built from scratch; cycle programs are byte-identical either way
+        #: (property-tested).
+        self.cache: Optional[CycleBuildCache] = (
+            CycleBuildCache(store) if enable_caches else None
+        )
         #: With acknowledged delivery (error-prone channel extension) the
         #: server does NOT assume broadcast means received: documents stay
         #: in a query's remaining set until :meth:`confirm_delivery`
@@ -210,6 +220,9 @@ class BroadcastServer:
         self.records: List[CycleRecord] = []
         self._next_query_id = 0
         self._resolution_cache: Dict[str, FrozenSet[int]] = {}
+        #: doc id -> pending queries still missing it, mirrored across every
+        #: remaining-set mutation so schedulers stop rebuilding it per cycle
+        self.demand = DemandTable()
         self.clock = 0  # channel byte-time
         self.cycle_number = 0
 
@@ -224,43 +237,92 @@ class BroadcastServer:
         guide nodes' containment sets union to exactly the documents the
         naive evaluator returns (tested).  Cached per query string.
         """
-        if query.has_predicates():
-            raise ValueError(
-                "the air index is purely structural: predicate queries are "
-                "supported by the filtering engine (YFilterEngine) but not "
-                "by the broadcast protocol -- the paper's experiments use "
-                "simple queries without predicates (Section 4.1)"
-            )
-        key = str(query)
-        cached = self._resolution_cache.get(key)
-        if cached is not None:
-            return cached
-        with obs.span("server.query_filtering"):
-            nfa = SharedPathNFA()
-            nfa.add_query(0, query)
-            nfa.freeze()
-            guide = self.store.full_guide
-            result: Set[int] = set()
-            initial = nfa.initial_states()
-            if guide.virtual_root:
-                stack = [
-                    (child, nfa.move(initial, child.label))
-                    for child in guide.root.children.values()
-                ]
+        return self.resolve_batch([query])[0]
+
+    def resolve_batch(
+        self, queries: Sequence[XPathQuery]
+    ) -> List[FrozenSet[int]]:
+        """Result-document sets of *queries*, resolved in one shared pass.
+
+        All cache-missing query strings are compiled into a single
+        :class:`SharedPathNFA` and the combined guide is walked **once**,
+        collecting every query's matched containment sets along the way --
+        the same shared-prefix trick YFilter plays, applied to admission.
+        Results are identical to query-at-a-time resolution (tested) and
+        land in the same per-string cache.
+        """
+        for query in queries:
+            if query.has_predicates():
+                raise ValueError(
+                    "the air index is purely structural: predicate queries "
+                    "are supported by the filtering engine (YFilterEngine) "
+                    "but not by the broadcast protocol -- the paper's "
+                    "experiments use simple queries without predicates "
+                    "(Section 4.1)"
+                )
+        results: List[Optional[FrozenSet[int]]] = [None] * len(queries)
+        misses: Dict[str, List[int]] = {}
+        representative: Dict[str, XPathQuery] = {}
+        for position, query in enumerate(queries):
+            key = str(query)
+            cached = self._resolution_cache.get(key)
+            if cached is not None:
+                results[position] = cached
             else:
-                stack = [(guide.root, nfa.move(initial, guide.root.label))]
-            while stack:
-                node, configuration = stack.pop()
-                if not configuration:
-                    continue
-                if nfa.is_accepting(configuration):
-                    result.update(node.containing_docs())
-                    continue  # descendants' containment is already included
-                for child in node.children.values():
-                    stack.append((child, nfa.move(configuration, child.label)))
-            resolved = frozenset(result)
-        self._resolution_cache[key] = resolved
-        return resolved
+                misses.setdefault(key, []).append(position)
+                representative.setdefault(key, query)
+        if misses:
+            keys = list(misses)
+            with obs.span("server.query_filtering"):
+                nfa = SharedPathNFA()
+                for query_id, key in enumerate(keys):
+                    nfa.add_query(query_id, representative[key])
+                nfa.freeze()
+                resolved = self._resolve_with_nfa(nfa, len(keys))
+            obs.counter("server.resolved_query_strings_total").inc(len(keys))
+            for query_id, key in enumerate(keys):
+                value = frozenset(resolved[query_id])
+                self._resolution_cache[key] = value
+                for position in misses[key]:
+                    results[position] = value
+        # Every position is filled: it was either a cache hit or a miss
+        # resolved just above.
+        return [result for result in results if result is not None]
+
+    def _resolve_with_nfa(
+        self, nfa: SharedPathNFA, query_count: int
+    ) -> List[Set[int]]:
+        """One combined-guide walk collecting each query's containment union.
+
+        Descent stops early only when *every* registered query has matched
+        at a node (the subtree's containment is then already included for
+        all of them), which degenerates to the classic stop-at-accept walk
+        for a single query.
+        """
+        guide = self.store.full_guide
+        collected: List[Set[int]] = [set() for _ in range(query_count)]
+        initial = nfa.initial_states()
+        if guide.virtual_root:
+            stack = [
+                (child, nfa.move(initial, child.label))
+                for child in guide.root.children.values()
+            ]
+        else:
+            stack = [(guide.root, nfa.move(initial, guide.root.label))]
+        while stack:
+            node, configuration = stack.pop()
+            if not configuration:
+                continue
+            accepted = nfa.accepted_queries(configuration)
+            if accepted:
+                docs = node.containing_docs()
+                for query_id in accepted:
+                    collected[query_id].update(docs)
+                if len(accepted) == query_count:
+                    continue  # all queries matched: subtree adds nothing new
+            for child in node.children.values():
+                stack.append((child, nfa.move(configuration, child.label)))
+        return collected
 
     def submit(self, query: XPathQuery, arrival_time: int) -> PendingQuery:
         """Admit a query; resolution happens immediately.
@@ -268,19 +330,34 @@ class BroadcastServer:
         Queries with empty result sets are rejected (the paper assumes
         non-empty result sets; the workload generator guarantees it).
         """
-        result = self.resolve(query)
-        if not result:
-            raise ValueError(f"query {query} has an empty result set")
-        pending = PendingQuery(
-            query_id=self._next_query_id,
-            query=query,
-            arrival_time=arrival_time,
-            result_doc_ids=result,
-        )
-        self._next_query_id += 1
-        self.pending.append(pending)
-        obs.counter("server.queries_total").inc()
-        return pending
+        return self.submit_batch([query], arrival_time)[0]
+
+    def submit_batch(
+        self, queries: Sequence[XPathQuery], arrival_time: int
+    ) -> List[PendingQuery]:
+        """Admit several same-time queries with one shared resolution pass.
+
+        Admission is atomic: if any query resolves to an empty result set,
+        the whole batch is rejected before a single query is admitted.
+        """
+        results = self.resolve_batch(queries)
+        for query, result in zip(queries, results):
+            if not result:
+                raise ValueError(f"query {query} has an empty result set")
+        admitted: List[PendingQuery] = []
+        for query, result in zip(queries, results):
+            pending = PendingQuery(
+                query_id=self._next_query_id,
+                query=query,
+                arrival_time=arrival_time,
+                result_doc_ids=result,
+            )
+            self._next_query_id += 1
+            self.pending.append(pending)
+            self.demand.add_query(pending)
+            admitted.append(pending)
+        obs.counter("server.queries_total").inc(len(admitted))
+        return admitted
 
     # ------------------------------------------------------------------
     # Cycle construction
@@ -316,14 +393,27 @@ class BroadcastServer:
                 requested.update(query.remaining_doc_ids)
             queries = [query.query for query in active]
 
+            requested_key = frozenset(requested)
             with registry.span("server.ci_build"):
-                ci = build_ci_from_store(self.store, requested)
+                if self.cache is not None:
+                    ci = self.cache.ci_for(requested_key)
+                else:
+                    ci = build_ci_from_store(self.store, requested)
             with registry.span("server.prune_to_pci"):
-                pci, pruning_stats = prune_to_pci(ci, queries)
+                if self.cache is not None:
+                    pci, pruning_stats = self.cache.pci_for(
+                        ci, requested_key, queries
+                    )
+                else:
+                    pci, pruning_stats = prune_to_pci(ci, queries)
 
             with registry.span("server.scheduling"):
                 scheduled = self.scheduler.select(
-                    active, self.store, self.cycle_data_capacity, now
+                    active,
+                    self.store,
+                    self.cycle_data_capacity,
+                    now,
+                    demand=self.demand if self.cache is not None else None,
                 )
             with registry.span("server.cycle_assembly") as assembly_span:
                 cycle = build_cycle_program(
@@ -365,7 +455,10 @@ class BroadcastServer:
             if self.acknowledged_delivery:
                 continue  # remaining shrinks only on confirm_delivery()
             before = len(query.remaining_doc_ids)
+            delivered = query.remaining_doc_ids & broadcast_set
             query.remaining_doc_ids -= broadcast_set
+            for doc_id in delivered:
+                self.demand.discard(doc_id, query)
             if before and not query.remaining_doc_ids:
                 query.satisfied_cycle = cycle.cycle_number
                 query.satisfied_time = cycle.end_time
@@ -395,27 +488,38 @@ class BroadcastServer:
         """Add a document to the broadcast collection between cycles.
 
         Resolution caches are dropped (new structure can match old query
-        strings); already-admitted queries keep their admission-time
-        result sets, exactly as a real server that resolved them on
-        arrival would.
+        strings) and the cycle-build caches invalidated; already-admitted
+        queries keep their admission-time result sets, exactly as a real
+        server that resolved them on arrival would.
         """
         self.store.add_document(document)
         self._resolution_cache.clear()
+        if self.cache is not None:
+            self.cache.invalidate_collection()
 
     def remove_document(self, doc_id: int) -> XMLDocument:
         """Remove a document; pending queries stop waiting for it.
 
         Any pending query whose remaining set contained the document has
         it dropped (it can never be broadcast again); queries fully
-        satisfied by the removal leave the queue.
+        satisfied by the removal leave the queue.  A query satisfied this
+        way gets a ``satisfied_time`` stamp, but ``satisfied_cycle`` only
+        if some cycle actually served it (``first_indexed_cycle`` set) --
+        a query whose whole result set vanished before it was ever
+        indexed was never broadcast-satisfied, so its ``cycles_listened``
+        stays ``None`` instead of reporting a bogus pre-arrival cycle.
         """
         document = self.store.remove_document(doc_id)
         self._resolution_cache.clear()
+        if self.cache is not None:
+            self.cache.invalidate_collection()
+        self.demand.discard_doc(doc_id)
         for pending in self.pending:
             pending.remaining_doc_ids.discard(doc_id)
             if pending.is_satisfied and pending.satisfied_time is None:
-                pending.satisfied_cycle = max(0, self.cycle_number - 1)
                 pending.satisfied_time = self.clock
+                if pending.first_indexed_cycle is not None:
+                    pending.satisfied_cycle = self.cycle_number - 1
         self._reap_satisfied()
         return document
 
@@ -430,16 +534,25 @@ class BroadcastServer:
         Only meaningful with ``acknowledged_delivery=True``: the query's
         remaining set shrinks to the documents its client has actually
         received, so erased frames stay scheduled for rebroadcast.
+        Documents that left the collection since admission stay dropped
+        (resetting from ``result_doc_ids`` must not resurrect a document
+        ``remove_document`` already gave up on).
         """
         if not self.acknowledged_delivery:
             raise RuntimeError(
                 "confirm_delivery requires acknowledged_delivery=True"
             )
-        before = len(pending.remaining_doc_ids)
-        pending.remaining_doc_ids = set(pending.result_doc_ids) - set(
-            received_doc_ids
-        )
-        if before and not pending.remaining_doc_ids:
+        before_set = set(pending.remaining_doc_ids)
+        pending.remaining_doc_ids = {
+            doc_id
+            for doc_id in pending.result_doc_ids
+            if doc_id not in received_doc_ids and doc_id in self.store.by_id
+        }
+        for doc_id in before_set - pending.remaining_doc_ids:
+            self.demand.discard(doc_id, pending)
+        for doc_id in pending.remaining_doc_ids - before_set:
+            self.demand.add_entry(doc_id, pending)
+        if before_set and not pending.remaining_doc_ids:
             pending.satisfied_cycle = cycle.cycle_number
             pending.satisfied_time = cycle.end_time
         self._reap_satisfied()

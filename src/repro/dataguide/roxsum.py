@@ -181,6 +181,10 @@ def _merge(guide: DataGuide, combined_root: CombinedGuideNode) -> None:
     while stack:
         guide_node, combined_node = stack.pop()
         combined_node.containing_count += 1
+        # Containment unions change only along the merged document's own
+        # paths, and every affected ancestor is itself on such a path --
+        # invalidating the visited nodes is exact, no full-tree sweep.
+        combined_node._containing_cache = None
         if guide_node.is_leaf_occurrence:
             combined_node.leaf_docs.add(guide.doc_id)
         for label, child in guide_node.children.items():
@@ -212,7 +216,9 @@ def add_document_to_guide(
     if combined.virtual_root:
         target = combined.root.ensure_child(guide.root.label)
         _merge(guide, target)
-        combined.root.invalidate_caches()
+        # _merge invalidates along the merged paths (from *target* down);
+        # the virtual root sits above the merge start and is dirtied here.
+        combined.root._containing_cache = None
         return CombinedDataGuide(
             root=combined.root,
             doc_ids=combined.doc_ids | {document.doc_id},
@@ -221,7 +227,6 @@ def add_document_to_guide(
 
     if guide.root.label == combined.root.label:
         _merge(guide, combined.root)
-        combined.root.invalidate_caches()
         return CombinedDataGuide(
             root=combined.root,
             doc_ids=combined.doc_ids | {document.doc_id},
@@ -232,7 +237,6 @@ def add_document_to_guide(
     new_root = CombinedGuideNode(CombinedDataGuide.VIRTUAL_ROOT_LABEL)
     new_root.children[combined.root.label] = combined.root
     _merge(guide, new_root.ensure_child(guide.root.label))
-    new_root.invalidate_caches()
     return CombinedDataGuide(
         root=new_root,
         doc_ids=combined.doc_ids | {document.doc_id},
@@ -264,7 +268,8 @@ def remove_document_from_guide(
         _unmerge(guide.root, anchor, guide.doc_id)
         if anchor.containing_count == 0:
             del combined.root.children[guide.root.label]
-        combined.root.invalidate_caches()
+        # _unmerge dirties the removed paths; the virtual root is above them.
+        combined.root._containing_cache = None
         remaining_roots = list(combined.root.children)
         if len(remaining_roots) == 1:
             # Collapse the virtual root once only one real root remains.
@@ -283,7 +288,6 @@ def remove_document_from_guide(
     if guide.root.label != combined.root.label:
         raise ValueError("guide root does not match the combined guide")
     _unmerge(guide.root, combined.root, guide.doc_id)
-    combined.root.invalidate_caches()
     return CombinedDataGuide(
         root=combined.root,
         doc_ids=combined.doc_ids - {document.doc_id},
@@ -295,6 +299,7 @@ def _unmerge(guide_node, combined_node: CombinedGuideNode, doc_id: int) -> None:
     combined_node.containing_count -= 1
     if combined_node.containing_count < 0:
         raise ValueError("reference counts corrupted (double removal?)")
+    combined_node._containing_cache = None  # see _merge: path-local is exact
     combined_node.leaf_docs.discard(doc_id)
     for label, child in guide_node.children.items():
         combined_child = combined_node.children.get(label)

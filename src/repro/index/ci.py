@@ -20,7 +20,7 @@ Two builders cover the paper's two uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dataguide.roxsum import (
     CombinedDataGuide,
@@ -83,6 +83,11 @@ class CompactIndex:
         self.annotation = annotation
         self.nodes: List[IndexNode] = assign_preorder_ids(root)
         validate_tree(root)
+        # Index trees are immutable once constructed, and the cycle-build
+        # cache hands the same CI to every cycle's pruning stats -- memoise
+        # the whole-tree measures instead of re-walking per cycle.
+        self._size_bytes: Dict[bool, int] = {}
+        self._total_doc_entries: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -139,7 +144,9 @@ class CompactIndex:
 
     def total_doc_entries(self) -> int:
         """Total ``<doc, pointer>`` entries across all nodes."""
-        return sum(len(node.doc_ids) for node in self.nodes)
+        if self._total_doc_entries is None:
+            self._total_doc_entries = sum(len(node.doc_ids) for node in self.nodes)
+        return self._total_doc_entries
 
     def annotated_doc_ids(self) -> FrozenSet[int]:
         """All documents the index can locate."""
@@ -155,7 +162,11 @@ class CompactIndex:
 
     def size_bytes(self, one_tier: bool = True) -> int:
         """Total serialized index size (one-tier or first-tier layout)."""
-        return sum(self.node_bytes(node, one_tier) for node in self.nodes)
+        cached = self._size_bytes.get(one_tier)
+        if cached is None:
+            cached = sum(self.node_bytes(node, one_tier) for node in self.nodes)
+            self._size_bytes[one_tier] = cached
+        return cached
 
     def find_node(self, path: LabelPath) -> Optional[IndexNode]:
         """The node at a document label path, if present."""

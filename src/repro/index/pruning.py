@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.filtering.dfa import DFAState, LazyQueryDFA
 from repro.index.ci import CompactIndex
 from repro.index.nodes import IndexNode
@@ -68,10 +69,14 @@ def prune_to_pci(
     """Prune *ci* against the pending *queries*; return (PCI, stats).
 
     A pre-built *dfa* over the same query set may be passed to share the
-    memoised transitions across broadcast cycles.
+    memoised transitions across broadcast cycles (the server's cycle-build
+    cache does exactly that); the ``pruning.dfa_transitions_materialised``
+    counter then shows the per-cycle determinisation work decaying.
     """
     if dfa is None:
+        obs.counter("pruning.dfa_built_total").inc()
         dfa = LazyQueryDFA.from_queries(list(queries))
+    transitions_before = dfa.materialised_transitions
 
     outcome = _prune_node(
         node=ci.root,
@@ -97,6 +102,9 @@ def prune_to_pci(
         doc_entries_after=pci.total_doc_entries(),
         bytes_before=ci.size_bytes(one_tier=True),
         bytes_after=pci.size_bytes(one_tier=True),
+    )
+    obs.counter("pruning.dfa_transitions_materialised_total").inc(
+        dfa.materialised_transitions - transitions_before
     )
     return pci, stats
 

@@ -20,6 +20,7 @@ The discrete-event engine drives two event types:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -68,7 +69,7 @@ class _Session:
 
     plan: ArrivalPlan
     clients: List[AccessProtocol]
-    pending: "PendingQuery" = None
+    pending: Optional["PendingQuery"] = None
 
     @property
     def satisfied(self) -> bool:
@@ -95,6 +96,7 @@ class Simulation:
             cycle_data_capacity=config.cycle_data_capacity,
             packing=config.packing,
             acknowledged_delivery=self.lossy,
+            enable_caches=config.server_caches,
         )
         if self.lossy:
             from repro.broadcast.loss import PacketLossModel
@@ -168,14 +170,29 @@ class Simulation:
         self.sessions.append(_Session(plan=plan, clients=clients, pending=pending))
         obs.counter("sim.arrivals_total").inc()
 
-    def _schedule_arrivals(self, plans: Sequence[ArrivalPlan]) -> None:
+    def _admit_batch(self, plans: Sequence[ArrivalPlan]) -> None:
+        # One shared-NFA walk resolves the whole batch; the per-query
+        # submits inside _admit then hit the server's resolution cache.
+        self.server.resolve_batch([plan.query for plan in plans])
         for plan in plans:
+            self._admit(plan)
+
+    def _schedule_arrivals(self, plans: Sequence[ArrivalPlan]) -> None:
+        # Same-time arrivals are admitted as one batch so the server can
+        # resolve them in a single combined-guide walk.  Plans arrive
+        # sorted by arrival_time (workload contract), so groupby batches
+        # are maximal; admission order within a batch is preserved.
+        for _time, group in itertools.groupby(plans, key=lambda p: p.arrival_time):
+            batch = list(group)
             # priority 0: arrivals at time T are admitted before a cycle
             # built at time T sees them? No -- the server filters on
             # arrival_time <= now anyway; priority only keeps ordering
             # deterministic.
             self._queue.schedule(
-                plan.arrival_time, lambda p=plan: self._admit(p), priority=0, label="arrival"
+                batch[0].arrival_time,
+                lambda b=batch: self._admit_batch(b),
+                priority=0,
+                label="arrival",
             )
 
     def _cycle_event(self) -> None:

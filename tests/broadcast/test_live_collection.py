@@ -101,3 +101,58 @@ class TestServerMaintenance:
         assert victim not in pending.remaining_doc_ids
         if pending.remaining_doc_ids:
             assert not pending.is_satisfied
+
+    def test_remove_satisfies_never_indexed_query(self):
+        """Regression: removal satisfying a query that no cycle ever served
+        must not stamp a bogus pre-arrival ``satisfied_cycle``."""
+        docs = [
+            XMLDocument(0, build_element("a", build_element("b"))),
+            XMLDocument(1, build_element("a", build_element("zz"))),
+        ]
+        server = BroadcastServer(DocumentStore(docs))
+        pending = server.submit(parse_query("/a/zz"), arrival_time=0)
+        assert pending.result_doc_ids == {1}
+        # The sole result document vanishes before any cycle is built.
+        server.remove_document(1)
+        assert pending.is_satisfied
+        assert pending.satisfied_time is not None
+        assert pending.satisfied_cycle is None  # was cycle_number - 1 == -1
+        assert pending.cycles_listened is None
+        assert server.pending == []
+
+    def test_remove_satisfying_indexed_query_stamps_cycle(self):
+        """A query some cycle *did* serve keeps its satisfied_cycle stamp
+        when removal finishes it off."""
+        server = BroadcastServer(paper_store(), cycle_data_capacity=128)
+        pending = server.submit(parse_query("/a/b/a"), 0)  # d1, d2
+        server.build_cycle()
+        assert pending.first_indexed_cycle == 0
+        remaining_doc = next(iter(pending.remaining_doc_ids))
+        server.remove_document(remaining_doc)
+        assert pending.is_satisfied
+        assert pending.satisfied_cycle == 0
+        assert pending.cycles_listened == 1
+
+    def test_resolution_cache_invalidated_on_remove(self):
+        server = BroadcastServer(paper_store())
+        before = server.resolve(parse_query("/a/b"))
+        victim = next(iter(before))
+        server.remove_document(victim)
+        after = server.resolve(parse_query("/a/b"))
+        assert victim in before and victim not in after
+
+    def test_confirm_delivery_does_not_resurrect_removed_doc(self):
+        """Regression: acknowledged delivery resets the remaining set from
+        ``result_doc_ids``; documents removed from the collection since
+        admission must stay dropped."""
+        server = BroadcastServer(
+            paper_store(), cycle_data_capacity=10**6, acknowledged_delivery=True
+        )
+        pending = server.submit(parse_query("/a/b/a"), 0)  # d1, d2 -> {0, 1}
+        cycle = server.build_cycle()
+        server.remove_document(1)
+        assert pending.remaining_doc_ids == {0}
+        server.confirm_delivery(pending, received_doc_ids=set(), cycle=cycle)
+        assert pending.remaining_doc_ids == {0}  # doc 1 stays gone
+        server.confirm_delivery(pending, received_doc_ids={0}, cycle=cycle)
+        assert pending.is_satisfied

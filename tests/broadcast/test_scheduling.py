@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.broadcast.scheduling import (
+    DemandTable,
     FCFSScheduler,
     LeeLoScheduler,
     MostRequestedFirstScheduler,
     RxWScheduler,
+    _demand_table,
     make_scheduler,
     scheduler_names,
 )
@@ -82,17 +86,29 @@ class TestLeeLo:
     def test_completion_first(self):
         """A document finishing a nearly-done query beats a fragment of a
         huge query."""
-        scheduler = LeeLoScheduler()
+        with pytest.warns(RuntimeWarning, match="without a document store"):
+            scheduler = LeeLoScheduler()
         nearly_done = pending(0, 0, {7})
         huge = pending(1, 0, {i for i in range(10, 30)})
         ranked = scheduler.rank([nearly_done, huge], now=0)
         assert ranked[0] == 7
 
     def test_shared_docs_accumulate_score(self):
-        scheduler = LeeLoScheduler()
+        with pytest.warns(RuntimeWarning, match="without a document store"):
+            scheduler = LeeLoScheduler()
         queries = [pending(0, 0, {1, 2}), pending(1, 0, {2, 3})]
         ranked = scheduler.rank(queries, now=0)
         assert ranked[0] == 2  # scores 0.5 + 0.5 vs 0.5
+
+    def test_storeless_construction_warns(self):
+        with pytest.warns(RuntimeWarning, match="tie-break degrades"):
+            LeeLoScheduler()
+
+    def test_store_construction_is_silent(self):
+        store = tiny_store()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LeeLoScheduler(store)
 
     def test_size_tie_break_with_store(self):
         store = tiny_store()
@@ -132,6 +148,36 @@ class TestSelect:
         store = tiny_store()
         assert FCFSScheduler().select([], store, 1000, now=0) == []
 
+    def test_oversized_first_doc_still_scheduled(self):
+        """A document larger than the whole cycle is scheduled alone --
+        otherwise it could never be delivered."""
+        store = tiny_store()
+        capacity = store.air_bytes(3) - 1
+        chosen = FCFSScheduler().select([pending(0, 0, {3})], store, capacity, now=0)
+        assert chosen == [3]
+
+    def test_exact_fit_stops_the_fill(self):
+        """Once the budget is exactly consumed the loop breaks; later
+        candidates are not considered."""
+        store = tiny_store()
+        capacity = store.air_bytes(0) + store.air_bytes(1)
+        chosen = FCFSScheduler().select(
+            [pending(0, 0, {0, 1, 2})], store, capacity, now=0
+        )
+        assert chosen == [0, 1]
+        assert sum(store.air_bytes(d) for d in chosen) == capacity
+
+    def test_skip_then_fit(self):
+        """A too-big candidate mid-list is skipped, not a hard stop: a
+        later, smaller document can still use the remaining budget."""
+        store = tiny_store()
+        # FCFS rank order: [0, 3, 1] (older query's docs sorted, then newer).
+        queries = [pending(0, 0, {0, 3}), pending(1, 1, {1})]
+        capacity = store.air_bytes(0) + store.air_bytes(1)
+        assert store.air_bytes(3) > store.air_bytes(1)  # 3 cannot fit after 0
+        chosen = FCFSScheduler().select(queries, store, capacity, now=5)
+        assert chosen == [0, 1]
+
 
 class TestFactory:
     def test_all_names(self):
@@ -146,3 +192,85 @@ class TestFactory:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             make_scheduler("bogus")
+
+    def test_leelo_without_store_rejected(self):
+        """The factory refuses a degraded Lee-Lo instead of warning."""
+        with pytest.raises(ValueError, match="DocumentStore"):
+            make_scheduler("leelo")
+
+    def test_storeless_names_work_without_store(self):
+        for name in ("fcfs", "mrf", "rxw"):
+            assert make_scheduler(name).name == name
+
+
+class TestDemandTable:
+    def _queries(self):
+        return [
+            pending(0, 0, {0, 1}),
+            pending(1, 5, {1, 2}),
+            pending(2, 50, {3}),  # future arrival at now=10
+        ]
+
+    def test_snapshot_matches_rebuild(self):
+        queries = self._queries()
+        table = DemandTable()
+        for q in queries:
+            table.add_query(q)
+        now = 10
+        active = [q for q in queries if q.arrival_time <= now]
+        rebuilt = _demand_table(active)
+        snap = table.snapshot(now)
+        assert set(snap) == set(rebuilt)
+        for doc_id in rebuilt:
+            assert {q.query_id for q in snap[doc_id]} == {
+                q.query_id for q in rebuilt[doc_id]
+            }
+
+    def test_satisfied_queries_vanish_when_mirrored(self):
+        """The server mirrors every remaining-set shrink; once a query's
+        last edge is discarded the table forgets it entirely."""
+        q = pending(0, 0, {0, 1})
+        table = DemandTable()
+        table.add_query(q)
+        q.remaining_doc_ids = set()  # satisfied...
+        table.discard(0, q)
+        table.discard(1, q)  # ...and mirrored
+        assert table.snapshot(now=10) == {}
+
+    def test_future_arrival_filtered_then_visible(self):
+        q = pending(0, 50, {0})
+        table = DemandTable()
+        table.add_query(q)
+        assert table.snapshot(now=10) == {}  # not yet arrived
+        snap = table.snapshot(now=50)
+        assert {p.query_id for p in snap[0]} == {0}
+
+    def test_discard_edge_and_doc(self):
+        queries = self._queries()
+        table = DemandTable()
+        for q in queries:
+            table.add_query(q)
+        table.discard(1, queries[0])
+        snap = table.snapshot(now=10)
+        assert {q.query_id for q in snap[1]} == {1}
+        table.discard(1, queries[1])
+        assert 1 not in table.snapshot(now=10)
+        table.discard_doc(0)
+        assert 0 not in table.snapshot(now=10)
+        # Discarding absent edges is a no-op, not an error.
+        table.discard(99, queries[0])
+
+    def test_rank_with_table_matches_rank_without(self):
+        store = tiny_store()
+        queries = [pending(0, 0, {0, 1}), pending(1, 2, {1, 2}), pending(2, 4, {3})]
+        table = DemandTable()
+        for q in queries:
+            table.add_query(q)
+        for scheduler in (
+            MostRequestedFirstScheduler(),
+            RxWScheduler(),
+            LeeLoScheduler(store),
+        ):
+            assert scheduler.rank(queries, now=10, demand=table) == scheduler.rank(
+                queries, now=10
+            )

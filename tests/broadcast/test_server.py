@@ -72,6 +72,38 @@ class TestResolve:
         assert server.resolve(parse_query("/a/c/*")) == {1, 3, 4}
 
 
+class TestResolveBatch:
+    def test_matches_single_resolution(self, nitf_store, nitf_queries):
+        batch_server = BroadcastServer(nitf_store)
+        single_server = BroadcastServer(nitf_store)
+        batch = batch_server.resolve_batch(nitf_queries[:15])
+        singles = [single_server.resolve(q) for q in nitf_queries[:15]]
+        assert batch == singles
+
+    def test_duplicate_queries_share_one_result(self):
+        server = BroadcastServer(paper_store())
+        a, b = server.resolve_batch([parse_query("/a/b"), parse_query("/a/b")])
+        assert a is b  # one resolution, one cached frozenset
+
+    def test_mixed_hits_and_misses(self):
+        server = BroadcastServer(paper_store())
+        warm = server.resolve(parse_query("/a/b"))
+        results = server.resolve_batch(
+            [parse_query("/a//c"), parse_query("/a/b"), parse_query("/a/c/*")]
+        )
+        assert results[0] == {1, 2, 3, 4}
+        assert results[1] is warm  # cache hit kept its position
+        assert results[2] == {1, 3, 4}
+
+    def test_empty_batch(self):
+        assert BroadcastServer(paper_store()).resolve_batch([]) == []
+
+    def test_predicate_query_rejected(self):
+        server = BroadcastServer(paper_store())
+        with pytest.raises(ValueError, match="structural"):
+            server.resolve_batch([parse_query("/a/b[c]")])
+
+
 class TestSubmit:
     def test_pending_created(self):
         server = BroadcastServer(paper_store())
@@ -90,6 +122,26 @@ class TestSubmit:
         first = server.submit(parse_query("/a/b"), 0)
         second = server.submit(parse_query("/a//c"), 0)
         assert second.query_id == first.query_id + 1
+
+    def test_batch_admission(self):
+        server = BroadcastServer(paper_store())
+        admitted = server.submit_batch(
+            [parse_query("/a/b"), parse_query("/a//c")], arrival_time=5
+        )
+        assert [p.query_id for p in admitted] == [0, 1]
+        assert all(p.arrival_time == 5 for p in admitted)
+        assert server.pending == admitted
+
+    def test_batch_admission_is_atomic(self):
+        """One empty-result query rejects the whole batch before any
+        admission happens."""
+        server = BroadcastServer(paper_store())
+        with pytest.raises(ValueError, match="empty result set"):
+            server.submit_batch(
+                [parse_query("/a/b"), parse_query("/nothing/here")], arrival_time=0
+            )
+        assert server.pending == []
+        assert len(server.demand) == 0
 
 
 class TestBuildCycle:

@@ -106,6 +106,22 @@ class TestPruningProperties:
             expected = set(ci.lookup(query).doc_ids)
             assert set(pci.lookup(query).doc_ids) == expected, str(query)
 
+    @given(
+        document_collections(min_docs=2), st.lists(queries(), min_size=1, max_size=4)
+    )
+    def test_transparency_under_virtual_root(self, docs, query_list):
+        """Transparency when the collection needs a synthetic root: mixed
+        root labels force ``virtual_root=True`` and the depth-shifted DFA
+        walk, which plain random collections only sometimes exercise."""
+        for index, doc in enumerate(docs):
+            doc.root.tag = ("a", "b")[index % 2]  # guarantee >= 2 root labels
+        ci = build_full_ci(docs)
+        assert ci.virtual_root
+        pci, _stats = prune_to_pci(ci, query_list)
+        for query in query_list:
+            expected = set(ci.lookup(query).doc_ids)
+            assert set(pci.lookup(query).doc_ids) == expected, str(query)
+
     @given(document_collections(), st.lists(queries(), min_size=1, max_size=4))
     def test_pci_never_larger(self, docs, query_list):
         """Pruning must reduce (or preserve) index size -- the headline."""

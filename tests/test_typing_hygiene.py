@@ -1,0 +1,82 @@
+"""Typing hygiene over ``src/repro``: no implicit-Optional annotations.
+
+mypy (with ``no_implicit_optional``, see ``pyproject.toml``) runs in CI
+but is not part of the local toolchain, so this AST-level check enforces
+the rule under the plain test suite: a parameter or annotated assignment
+defaulting to ``None`` must spell out ``Optional[...]`` (or an explicit
+``None``-admitting union) in its annotation.  ``store: "DocumentStore"
+= None``-style hints are exactly the lie this catches -- the annotation
+promises a value that is not there.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _admits_none(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return (
+        "Optional" in text
+        or "None" in text
+        or "Any" in text
+        or text.startswith("object")
+    )
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _implicit_optionals(tree: ast.AST, path: pathlib.Path):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            positional = node.args.posonlyargs + node.args.args
+            defaults = node.args.defaults
+            for arg, default in zip(positional[len(positional) - len(defaults):],
+                                    defaults):
+                if (
+                    _is_none(default)
+                    and arg.annotation is not None
+                    and not _admits_none(arg.annotation)
+                ):
+                    yield f"{path}:{arg.lineno}: parameter {arg.arg!r} " \
+                        f"defaults to None but is annotated " \
+                        f"{ast.unparse(arg.annotation)!r}"
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+                if (
+                    default is not None
+                    and _is_none(default)
+                    and arg.annotation is not None
+                    and not _admits_none(arg.annotation)
+                ):
+                    yield f"{path}:{arg.lineno}: keyword parameter {arg.arg!r} " \
+                        f"defaults to None but is annotated " \
+                        f"{ast.unparse(arg.annotation)!r}"
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                node.value is not None
+                and _is_none(node.value)
+                and not _admits_none(node.annotation)
+            ):
+                target = ast.unparse(node.target)
+                yield f"{path}:{node.lineno}: {target!r} assigned None but " \
+                    f"annotated {ast.unparse(node.annotation)!r}"
+
+
+def test_no_implicit_optional_in_src():
+    offences = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        offences.extend(_implicit_optionals(tree, path.relative_to(SRC.parent.parent)))
+    assert not offences, "implicit Optional annotations:\n" + "\n".join(offences)
+
+
+def test_checker_catches_a_planted_offence():
+    """The guard itself must actually fire on the pattern it polices."""
+    planted = ast.parse("def f(store: DocumentStore = None): ...")
+    offences = list(_implicit_optionals(planted, pathlib.Path("planted.py")))
+    assert len(offences) == 1 and "'store'" in offences[0]
