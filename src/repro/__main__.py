@@ -60,6 +60,26 @@ def _add_collection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
 
 
+def _add_channel_args(parser: argparse.ArgumentParser) -> None:
+    from repro.broadcast.multichannel import ALLOCATION_POLICIES
+
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        metavar="K",
+        help="broadcast documents over K parallel data channels "
+        "(default: the paper's single channel; K=1 is byte-identical "
+        "to the default and exists for differential testing)",
+    )
+    parser.add_argument(
+        "--allocation",
+        choices=ALLOCATION_POLICIES,
+        default="balanced",
+        help="how the schedule splits across data channels",
+    )
+
+
 def cmd_generate(args) -> int:
     documents = generate_collection(
         _dtd(args.dtd), args.count, config=GeneratorConfig(seed=args.seed)
@@ -150,6 +170,8 @@ def _simulation_config(args) -> SimulationConfig:
         loss_prob=getattr(args, "loss", 0.0),
         arrival_cycles=args.arrival_cycles,
         server_caches=not getattr(args, "no_cache", False),
+        num_data_channels=getattr(args, "channels", None),
+        channel_allocation=getattr(args, "allocation", "balanced"),
     )
 
 
@@ -245,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
     )
     simulate.add_argument("--loss", type=float, default=0.0)
+    _add_channel_args(simulate)
     simulate.add_argument(
         "--no-cache",
         action="store_true",
@@ -273,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
     )
+    _add_channel_args(stats)
     stats.add_argument(
         "--no-cache",
         action="store_true",

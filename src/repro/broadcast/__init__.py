@@ -12,6 +12,9 @@ requests [8], re-implemented here along with simpler baselines.
   FCFS, most-requested-first, RxW);
 * :mod:`repro.broadcast.program` -- cycle assembly with byte-exact
   offsets for one-tier and two-tier index schemes;
+* :mod:`repro.broadcast.multichannel` -- K-data-channel cycle programs
+  (channel allocation policies, extended ``<doc, channel, offset>``
+  second tier);
 * :mod:`repro.broadcast.server` -- the server loop: query admission,
   resolution, per-cycle PCI construction and program emission.
 """
@@ -26,6 +29,13 @@ from repro.broadcast.scheduling import (
     make_scheduler,
 )
 from repro.broadcast.program import BroadcastCycle, IndexScheme, build_cycle_program
+from repro.broadcast.multichannel import (
+    ALLOCATION_POLICIES,
+    ChannelOffsetList,
+    MultiChannelCycle,
+    allocate_channels,
+    build_multichannel_program,
+)
 from repro.broadcast.server import BroadcastServer, DocumentStore, PendingQuery
 from repro.broadcast.loss import LOSSLESS, PacketLossModel
 from repro.broadcast.validate import CycleValidationError, validate_cycle
@@ -42,6 +52,11 @@ __all__ = [
     "BroadcastCycle",
     "IndexScheme",
     "build_cycle_program",
+    "ALLOCATION_POLICIES",
+    "ChannelOffsetList",
+    "MultiChannelCycle",
+    "allocate_channels",
+    "build_multichannel_program",
     "BroadcastServer",
     "DocumentStore",
     "PendingQuery",

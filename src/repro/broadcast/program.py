@@ -193,11 +193,18 @@ def program_signature(cycle: BroadcastCycle) -> str:
     """Deterministic fingerprint of everything a cycle puts on air.
 
     Covers the PCI tree (structure + annotations), both index packings,
-    the offset list, the document schedule with its offsets/air sizes and
-    the segment layout.  Two cycles with equal signatures broadcast
-    byte-identical programs -- this is what the cache-equivalence tests
-    and the CI smoke job compare between cached and ``--no-cache`` runs.
+    the offset list, the document schedule with its offsets/air sizes,
+    the segment layout and -- for multi-channel cycles -- the data
+    channel count and per-document channel assignment.  A plain
+    single-channel cycle signs as one data channel with every document
+    on channel 0, which is exactly what a K=1
+    :class:`~repro.broadcast.multichannel.MultiChannelCycle` carries:
+    the K=1 collapse is therefore signature-exact (differentially
+    tested).  Two cycles with equal signatures broadcast byte-identical
+    programs -- this is what the cache-equivalence tests and the CI
+    smoke job compare between cached and ``--no-cache`` runs.
     """
+    doc_channels = getattr(cycle, "doc_channels", None) or {}
     form = (
         cycle.cycle_number,
         cycle.scheme.value,
@@ -216,5 +223,10 @@ def program_signature(cycle: BroadcastCycle) -> str:
         ),
         cycle.layout.packet_bytes,
         cycle.total_bytes,
+        getattr(cycle, "num_data_channels", 1),
+        tuple(
+            (doc_id, doc_channels.get(doc_id, 0))
+            for doc_id in sorted(cycle.doc_ids)
+        ),
     )
     return hashlib.sha256(repr(form).encode("utf-8")).hexdigest()

@@ -23,6 +23,11 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro import obs
 from repro.broadcast.cycle_cache import CycleBuildCache
+from repro.broadcast.multichannel import (
+    ALLOCATION_POLICIES,
+    MultiChannelCycle,
+    build_multichannel_program,
+)
 from repro.broadcast.program import (
     BroadcastCycle,
     IndexScheme,
@@ -194,14 +199,36 @@ class BroadcastServer:
         packing: PackingStrategy = PackingStrategy.GREEDY_DFS,
         acknowledged_delivery: bool = False,
         enable_caches: bool = True,
+        num_data_channels: Optional[int] = None,
+        channel_allocation: str = "balanced",
     ) -> None:
         if cycle_data_capacity <= 0:
             raise ValueError("cycle_data_capacity must be positive")
+        if num_data_channels is not None:
+            if num_data_channels < 1:
+                raise ValueError("num_data_channels must be at least 1")
+            if num_data_channels > 1 and scheme is not IndexScheme.TWO_TIER:
+                raise ValueError(
+                    "multi-channel broadcast requires the two-tier scheme"
+                )
+            if channel_allocation not in ALLOCATION_POLICIES:
+                raise ValueError(
+                    f"unknown channel allocation {channel_allocation!r}; "
+                    f"choose from {ALLOCATION_POLICIES}"
+                )
         self.store = store
         self.scheduler = scheduler or LeeLoScheduler(store)
         self.scheme = scheme
         self.cycle_data_capacity = cycle_data_capacity
         self.packing = packing
+        #: ``None`` -> the single-channel program builder (the paper's
+        #: layout).  An integer K >= 1 routes cycle assembly through the
+        #: multi-channel builder with K data channels; K=1 is
+        #: byte-identical to ``None`` (differentially tested), so the
+        #: flag only changes *which* builder runs, never what goes on
+        #: air for a single channel.
+        self.num_data_channels = num_data_channels
+        self.channel_allocation = channel_allocation
         #: Incremental cycle-build caches (CI delta maintenance, pruning-DFA
         #: LRU, PCI reuse) plus demand-table reads by the scheduler.  With
         #: ``enable_caches=False`` (the CLI's ``--no-cache``) every cycle is
@@ -408,22 +435,46 @@ class BroadcastServer:
                     pci, pruning_stats = prune_to_pci(ci, queries)
 
             with registry.span("server.scheduling"):
+                # Capacity is per data channel: K parallel channels carry K
+                # full data segments in the same wall-clock span, so the
+                # scheduler may fill K times the single-channel budget.
+                # (K=1 multiplies by one and stays byte-identical.)
+                capacity = self.cycle_data_capacity * (self.num_data_channels or 1)
                 scheduled = self.scheduler.select(
                     active,
                     self.store,
-                    self.cycle_data_capacity,
+                    capacity,
                     now,
                     demand=self.demand if self.cache is not None else None,
                 )
             with registry.span("server.cycle_assembly") as assembly_span:
-                cycle = build_cycle_program(
-                    cycle_number=self.cycle_number,
-                    pci=pci,
-                    scheduled_doc_ids=scheduled,
-                    store=self.store,
-                    scheme=self.scheme,
-                    packing=self.packing,
-                )
+                if self.num_data_channels is None:
+                    cycle: BroadcastCycle = build_cycle_program(
+                        cycle_number=self.cycle_number,
+                        pci=pci,
+                        scheduled_doc_ids=scheduled,
+                        store=self.store,
+                        scheme=self.scheme,
+                        packing=self.packing,
+                    )
+                else:
+                    demand_sets = None
+                    if self.channel_allocation == "demand":
+                        demand_sets = {
+                            doc_id: frozenset(q.query_id for q in queries_for)
+                            for doc_id, queries_for in self.demand.items_for(now)
+                        }
+                    cycle = build_multichannel_program(
+                        cycle_number=self.cycle_number,
+                        pci=pci,
+                        scheduled_doc_ids=scheduled,
+                        store=self.store,
+                        num_channels=self.num_data_channels,
+                        allocation=self.channel_allocation,
+                        scheme=self.scheme,
+                        packing=self.packing,
+                        demand_sets=demand_sets,
+                    )
         cycle.start_time = now
 
         phase_seconds: Dict[str, float] = {}
@@ -447,6 +498,17 @@ class BroadcastServer:
             registry.histogram(
                 "server.cycle_assembly_seconds", scheduler=self.scheduler.name
             ).observe(assembly_span.elapsed)
+            if isinstance(cycle, MultiChannelCycle):
+                for channel, span_bytes in enumerate(cycle.channel_spans):
+                    registry.counter(
+                        "server.channel_air_bytes_total", channel=str(channel)
+                    ).inc(span_bytes)
+                    registry.counter(
+                        "server.channel_docs_total", channel=str(channel)
+                    ).inc(len(cycle.channel_queues[channel]))
+                registry.counter("server.channel_idle_bytes_total").inc(
+                    cycle.idle_padding_bytes
+                )
 
         broadcast_set = set(scheduled)
         for query in active:

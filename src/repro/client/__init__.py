@@ -23,6 +23,7 @@ from repro.client.onetier import OneTierClient
 from repro.client.twotier import TwoTierClient
 from repro.client.lossy import LossyTwoTierClient
 from repro.client.dualchannel import DualChannelTwoTierClient
+from repro.client.multichannel import MultiChannelTwoTierClient
 from repro.client.naive import NaiveClient
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "NaiveClient",
     "LossyTwoTierClient",
     "DualChannelTwoTierClient",
+    "MultiChannelTwoTierClient",
 ]

@@ -1,0 +1,136 @@
+"""Multi-channel two-tier client (single tuner over K data channels).
+
+The :class:`~repro.broadcast.multichannel.MultiChannelCycle` airs the
+cycle's documents on K parallel data channels.  A mobile client has one
+tuner: it can listen to only one channel at a time and retuning is
+instantaneous at byte granularity (the usual simplifying assumption of
+the multichannel air-indexing literature).  The protocol is the two-tier
+protocol with a *cross-channel tune plan* bolted on:
+
+1. initial probe, then (first cycle only) a selective first-tier read to
+   record the result-document IDs;
+2. every cycle, read the extended ``<doc, channel, offset>`` second tier
+   -- the tuner is parked on the index channel until ``data_start``;
+3. plan the data phase: walk the needed documents in start-offset order
+   and greedily take every document whose start lies at or after the
+   time the tuner frees up (``offset >= free`` -- the same boundary
+   predicate as the dual-channel mid-cycle catch, see
+   ``DualChannelTwoTierClient._download_after``).  A document airing
+   *while* the tuner is busy on another channel is a **conflict**: the
+   loser is deferred to a later cycle.
+
+Deferral terminates because the earliest-starting wanted document of a
+cycle is always catchable (every document starts at or after
+``data_start``, where the tuner is free), so each cycle containing any
+wanted document delivers at least one -- the server's acknowledged
+delivery keeps deferred documents scheduled (see
+``SimulationConfig.num_data_channels``).
+
+At K=1 there are no cross-channel overlaps, every planned document is
+taken, and the accounting collapses exactly to
+:class:`~repro.client.twotier.TwoTierClient` (equivalence-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import obs
+from repro.broadcast.program import BroadcastCycle, IndexScheme
+from repro.broadcast.packets import PacketKind
+from repro.client.protocol import AccessProtocol, LookupFn, default_lookup
+from repro.xpath.ast import XPathQuery
+
+
+class MultiChannelTwoTierClient(AccessProtocol):
+    """Two-tier protocol with a single tuner over K data channels."""
+
+    scheme = IndexScheme.TWO_TIER
+    protocol_name = "two-tier-multi"
+
+    def __init__(
+        self,
+        query: XPathQuery,
+        arrival_time: int,
+        lookup_fn: LookupFn = default_lookup,
+    ) -> None:
+        super().__init__(query, arrival_time, lookup_fn)
+        #: cross-channel conflicts observed (one per deferred document
+        #: per cycle it was deferred in)
+        self.channel_conflicts = 0
+        #: documents deferred at least once before retrieval
+        self.deferred_doc_ids: set = set()
+
+    def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
+        index_bytes = 0
+        if self.expected_doc_ids is None:
+            with obs.span("client.first_tier_read"):
+                lookup = self._lookup(cycle)
+                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
+                    lookup.visited_node_ids
+                )
+                self.expected_doc_ids = frozenset(lookup.doc_ids)
+        with obs.span("client.offset_read"):
+            # The extended second tier: <doc, channel, offset> pointers.
+            offset_bytes = cycle.offset_list_air_bytes
+        with obs.span("client.doc_download"):
+            doc_bytes = self._download_planned(cycle)
+        self.metrics.merge_cycle(
+            probe=probe_bytes,
+            index=index_bytes,
+            offsets=offset_bytes,
+            docs=doc_bytes,
+        )
+
+    def _download_planned(self, cycle: BroadcastCycle) -> int:
+        """Greedy single-tuner tune plan over this cycle's channels."""
+        assert self.expected_doc_ids is not None
+        doc_channels = getattr(cycle, "doc_channels", None) or {}
+        wanted = [
+            doc_id
+            for doc_id in cycle.doc_ids
+            if doc_id in self.expected_doc_ids
+            and doc_id not in self.received_doc_ids
+        ]
+        # Plan in air order; ties (same start on different channels) break
+        # toward the lower channel, then doc id, for determinism.
+        plan = sorted(
+            wanted,
+            key=lambda d: (cycle.doc_offsets[d], doc_channels.get(d, 0), d),
+        )
+        data = cycle.layout.segment(PacketKind.DATA)
+        free = data.start if data else 0  # tuner leaves the index channel
+        doc_bytes = 0
+        last_end = None
+        deferred: List[int] = []
+        for doc_id in plan:
+            offset = cycle.doc_offsets[doc_id]
+            air = cycle.doc_air_bytes[doc_id]
+            if offset >= free:  # catchable iff it has not started yet
+                doc_bytes += air
+                self.received_doc_ids.add(doc_id)
+                free = offset + air
+                last_end = offset + air if last_end is None else max(
+                    last_end, offset + air
+                )
+            else:
+                deferred.append(doc_id)
+        if deferred:
+            self.channel_conflicts += len(deferred)
+            self.deferred_doc_ids.update(deferred)
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "client.channel_conflicts_total", protocol=self.protocol_name
+                ).inc(len(deferred))
+                registry.counter(
+                    "client.deferred_docs_total", protocol=self.protocol_name
+                ).inc(len(deferred))
+        if (
+            self.received_doc_ids >= self.expected_doc_ids
+            and self.metrics.completion_time is None
+        ):
+            end = cycle.start_time + (last_end if last_end is not None else 0)
+            self.metrics.completion_time = end
+            self.metrics.result_doc_count = len(self.expected_doc_ids)
+        return doc_bytes

@@ -14,7 +14,9 @@ even one average document and is clearly an OCR casualty).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from repro.broadcast.multichannel import ALLOCATION_POLICIES
 from repro.broadcast.program import IndexScheme
 from repro.index.packing import PackingStrategy
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
@@ -48,6 +50,22 @@ class SimulationConfig:
     #: separate repeating index channel (mid-cycle admission).  Its records
     #: appear under protocol name "two-tier-dual".
     dual_channel: bool = False
+
+    #: Multi-channel extension: ``None`` keeps the paper's single-channel
+    #: program.  An integer K routes cycle assembly through
+    #: :mod:`repro.broadcast.multichannel` with K parallel data channels
+    #: and additionally tracks a single-tuner
+    #: :class:`~repro.client.multichannel.MultiChannelTwoTierClient`
+    #: (protocol name "two-tier-multi").  K=1 is byte-identical to
+    #: ``None`` (differentially tested); K>=2 switches the server to
+    #: acknowledged delivery so conflict-deferred documents stay
+    #: scheduled until actually received.
+    num_data_channels: Optional[int] = None
+
+    #: How the schedule splits across data channels: "round-robin",
+    #: "balanced" (greedy balanced-air-bytes) or "demand"
+    #: (demand-weighted via the server's DemandTable).
+    channel_allocation: str = "balanced"
 
     #: Per-packet erasure probability of the error-prone-channel
     #: extension; 0.0 is the paper's reliable channel.  Positive values
@@ -86,6 +104,28 @@ class SimulationConfig:
             raise ValueError("cycle_data_capacity must be positive")
         if not 0.0 <= self.loss_prob < 1.0:
             raise ValueError("loss_prob must be in [0, 1)")
+        if self.num_data_channels is not None and self.num_data_channels < 1:
+            raise ValueError("num_data_channels must be at least 1")
+        if self.channel_allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"channel_allocation must be one of {ALLOCATION_POLICIES}"
+            )
+        if (self.num_data_channels or 1) > 1:
+            if self.scheme is not IndexScheme.TWO_TIER:
+                raise ValueError(
+                    "multi-channel broadcast requires the two-tier scheme"
+                )
+            if self.loss_prob > 0.0:
+                raise ValueError(
+                    "multi-channel and lossy-channel modes both repurpose "
+                    "acknowledged delivery; run them separately"
+                )
+            if self.dual_channel:
+                raise ValueError(
+                    "dual_channel models a repeating index channel over the "
+                    "single-channel program; with num_data_channels > 1 the "
+                    "index already has a dedicated channel"
+                )
         if self.arrival_cycles < 1:
             raise ValueError("arrival_cycles must be positive")
         if self.max_cycles < self.arrival_cycles:

@@ -31,6 +31,7 @@ from repro.broadcast.server import BroadcastServer, DocumentStore
 from repro.broadcast.server import PendingQuery
 from repro.client.dualchannel import DualChannelTwoTierClient
 from repro.client.lossy import LossyTwoTierClient
+from repro.client.multichannel import MultiChannelTwoTierClient
 from repro.client.naive import NaiveClient
 from repro.client.onetier import OneTierClient
 from repro.client.protocol import AccessProtocol, FirstTierRead
@@ -70,6 +71,10 @@ class _Session:
     plan: ArrivalPlan
     clients: List[AccessProtocol]
     pending: Optional["PendingQuery"] = None
+    #: the client whose received set drives acknowledged delivery (lossy
+    #: runs: the lossy client; multi-channel runs: the single-tuner
+    #: multi-channel client, so conflict-deferred docs stay scheduled)
+    ack_client: Optional[AccessProtocol] = None
 
     @property
     def satisfied(self) -> bool:
@@ -89,14 +94,19 @@ class Simulation:
         self.documents = list(documents) if documents else build_collection(config)
         self.store = DocumentStore(self.documents, size_model=config.size_model)
         self.lossy = config.loss_prob > 0.0
+        #: K >= 2 data channels: a single tuner can miss conflicting
+        #: documents, so the server must not assume broadcast == received.
+        self.multichannel_deferral = (config.num_data_channels or 1) >= 2
         self.server = BroadcastServer(
             store=self.store,
             scheduler=make_scheduler(config.scheduler, self.store),
             scheme=config.scheme,
             cycle_data_capacity=config.cycle_data_capacity,
             packing=config.packing,
-            acknowledged_delivery=self.lossy,
+            acknowledged_delivery=self.lossy or self.multichannel_deferral,
             enable_caches=config.server_caches,
+            num_data_channels=config.num_data_channels,
+            channel_allocation=config.channel_allocation,
         )
         if self.lossy:
             from repro.broadcast.loss import PacketLossModel
@@ -127,6 +137,7 @@ class Simulation:
     def _admit(self, plan: ArrivalPlan) -> None:
         pending = self.server.submit(plan.query, plan.arrival_time)
         clients: List[AccessProtocol]
+        ack_client: Optional[AccessProtocol] = None
         if self.lossy:
             # Loss degradation study: one lossy two-tier client per query,
             # driving acknowledged delivery (see SimulationConfig.loss_prob).
@@ -139,6 +150,7 @@ class Simulation:
                     lookup_fn=self._cached_lookup,
                 )
             ]
+            ack_client = clients[0]
         else:
             clients = [
                 OneTierClient(
@@ -167,7 +179,20 @@ class Simulation:
                     and self._current_cycle.end_time > plan.arrival_time
                 ):
                     dual.on_cycle(self._current_cycle)
-        self.sessions.append(_Session(plan=plan, clients=clients, pending=pending))
+            if self.config.num_data_channels is not None:
+                multi = MultiChannelTwoTierClient(
+                    plan.query, plan.arrival_time, lookup_fn=self._cached_lookup
+                )
+                clients.append(multi)
+                if self.multichannel_deferral:
+                    # The single tuner decides what was actually received;
+                    # its acknowledgements keep deferred docs scheduled.
+                    ack_client = multi
+        self.sessions.append(
+            _Session(
+                plan=plan, clients=clients, pending=pending, ack_client=ack_client
+            )
+        )
         obs.counter("sim.arrivals_total").inc()
 
     def _admit_batch(self, plans: Sequence[ArrivalPlan]) -> None:
@@ -236,16 +261,20 @@ class Simulation:
             for session in self.sessions:
                 for client in session.clients:
                     client.on_cycle(cycle)
-        if self.lossy:
+        if self.server.acknowledged_delivery:
             # Uplink acknowledgements: the server learns what actually
-            # arrived, so erased frames get rebroadcast.
+            # arrived, so erased frames (lossy runs) or conflict-deferred
+            # documents (multi-channel runs) get rebroadcast.
             for session in self.sessions:
-                if not session.pending.is_satisfied and session.clients[
-                    0
-                ].can_use(cycle):
+                ack = session.ack_client
+                if (
+                    ack is not None
+                    and not session.pending.is_satisfied
+                    and ack.can_use(cycle)
+                ):
                     self.server.confirm_delivery(
                         session.pending,
-                        session.clients[0].received_doc_ids,
+                        ack.received_doc_ids,
                         cycle,
                     )
 

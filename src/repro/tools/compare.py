@@ -86,6 +86,7 @@ def _metrics_of(summary: TraceSummary) -> Dict[str, float]:
     for protocol, stats in sorted(summary.protocols.items()):
         metrics[f"{protocol} lookup bytes"] = stats["index_lookup_bytes"]
         metrics[f"{protocol} tuning bytes"] = stats["tuning_bytes"]
+        metrics[f"{protocol} access bytes"] = stats["access_bytes"]
         metrics[f"{protocol} cycles/query"] = stats["cycles"]
     return metrics
 

@@ -7,6 +7,8 @@ dominates test time otherwise.  Tests must never mutate fixture documents
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import settings
 
@@ -22,7 +24,12 @@ from repro.xpath.generator import QueryGenerator, QueryWorkloadConfig
 # Keep property tests snappy; invariants are also exercised at scale by
 # the integration tests and benches.
 settings.register_profile("repro", max_examples=50, deadline=None)
-settings.load_profile("repro")
+# CI runs derandomized so failures reproduce across reruns of the same
+# commit, and prints the reproduction blob for local replay.
+settings.register_profile(
+    "ci", max_examples=50, deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture(scope="session")

@@ -112,3 +112,70 @@ class TestDualChannelSimulation:
     def test_off_by_default(self):
         result = run_simulation(small_setup())
         assert result.records_for("two-tier-dual") == []
+
+
+class TestMidCycleBoundaryRegression:
+    """Arrival exactly at a document's offset boundary.
+
+    ``_download_after`` admits a document iff ``offset >= ready_offset``
+    where ``ready_offset = (arrival - cycle.start) + index_program`` --
+    a document whose first byte airs the instant the client finishes the
+    index read is caught; one byte later and it is gone.  This is the
+    same boundary predicate the multichannel client's cross-channel
+    tune plan reuses (``offset >= free``), so a regression here would
+    silently skew K-channel conflict accounting too.
+    """
+
+    def _cycle(self):
+        from tests.xpath.test_evaluator import paper_documents
+
+        store = DocumentStore(paper_documents())
+        server = BroadcastServer(store, cycle_data_capacity=100_000)
+        server.submit(parse_query("/a//c"), 0)
+        return server.build_cycle()
+
+    def _index_program_bytes(self, cycle):
+        return cycle.packed_first_tier.total_bytes + cycle.offset_list_air_bytes
+
+    def test_arrival_exactly_at_offset_boundary_catches_doc(self):
+        cycle = self._cycle()
+        index_program = self._index_program_bytes(cycle)
+        boundary_doc = cycle.doc_ids[-1]
+        offset = cycle.doc_offsets[boundary_doc]
+        assert offset > index_program  # otherwise arrival is not mid-cycle
+        # Choose arrival so the client's ready position lands exactly on
+        # the document's first byte: ready = (arrival - start) + program.
+        arrival = cycle.start_time + offset - index_program
+        client = DualChannelTwoTierClient(parse_query("/a//c"), arrival)
+        assert client.can_use(cycle)
+        client.on_cycle(cycle)
+        assert boundary_doc in client.received_doc_ids
+        assert client.caught_mid_cycle == 1
+
+    def test_arrival_one_byte_later_misses_doc(self):
+        cycle = self._cycle()
+        index_program = self._index_program_bytes(cycle)
+        boundary_doc = cycle.doc_ids[-1]
+        offset = cycle.doc_offsets[boundary_doc]
+        arrival = cycle.start_time + offset - index_program + 1
+        client = DualChannelTwoTierClient(parse_query("/a//c"), arrival)
+        assert client.can_use(cycle)
+        client.on_cycle(cycle)
+        assert boundary_doc not in client.received_doc_ids
+        assert client.caught_mid_cycle == 0
+
+    def test_boundary_predicate_matches_multichannel_plan(self):
+        """The two clients agree on the boundary byte: a multichannel
+        plan frees its tuner at exactly ``offset`` and takes the doc."""
+        from repro.client.multichannel import MultiChannelTwoTierClient
+
+        cycle = self._cycle()
+        client = MultiChannelTwoTierClient(parse_query("/a//c"), 0)
+        client.on_cycle(cycle)
+        # Single channel, all docs back-to-back: every doc's offset
+        # equals the previous doc's end (the 'free' position), so every
+        # doc sits exactly on the boundary and all must be taken.
+        assert client.received_doc_ids == set(cycle.doc_ids) & set(
+            client.expected_doc_ids
+        )
+        assert client.channel_conflicts == 0

@@ -146,6 +146,28 @@ class TestSimulate:
         )
         assert code == 0
 
+    def test_channels_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--count", "30",
+                "--queries", "10",
+                "--capacity", "40000",
+                "--channels", "3",
+                "--allocation", "demand",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulation summary" in out
+        assert "completed" in out
+
+    def test_rejects_bad_allocation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--channels", "2", "--allocation", "random"]
+            )
+
 
 STATS_ARGS = ["stats", "--count", "30", "--queries", "10", "--capacity", "40000"]
 
