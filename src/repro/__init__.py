@@ -108,6 +108,14 @@ from repro.sim import (
     run_simulation,
 )
 
+# Fault injection
+from repro.faults import (
+    ChaosSimulation,
+    FaultPlan,
+    default_fault_plan,
+    sample_fault_plan,
+)
+
 __all__ = [
     "__version__",
     # xmlkit
@@ -165,4 +173,9 @@ __all__ = [
     "SimulationResult",
     "paper_setup",
     "run_simulation",
+    # faults
+    "ChaosSimulation",
+    "FaultPlan",
+    "default_fault_plan",
+    "sample_fault_plan",
 ]

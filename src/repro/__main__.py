@@ -156,7 +156,28 @@ def cmd_index(args) -> int:
     return 0
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run under the default fault plan (unreliable uplink, packet "
+        "corruption/erasure behind per-packet checksums, overload-degraded "
+        "builds, mid-cycle collection mutations) with chaos monitors on",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan (every injected fault is deterministic)",
+    )
+
+
 def _simulation_config(args) -> SimulationConfig:
+    faults = None
+    if getattr(args, "faults", False):
+        from repro.faults.plan import default_fault_plan
+
+        faults = default_fault_plan(getattr(args, "fault_seed", 0))
     return SimulationConfig(
         dtd=args.dtd,
         document_count=args.count,
@@ -168,6 +189,7 @@ def _simulation_config(args) -> SimulationConfig:
         scheduler=args.scheduler,
         scheme=IndexScheme(args.scheme),
         loss_prob=getattr(args, "loss", 0.0),
+        faults=faults,
         arrival_cycles=args.arrival_cycles,
         server_caches=not getattr(args, "no_cache", False),
         num_data_channels=getattr(args, "channels", None),
@@ -178,13 +200,20 @@ def _simulation_config(args) -> SimulationConfig:
 def cmd_simulate(args) -> int:
     config = _simulation_config(args)
     documents = load_collection(args.collection) if args.collection else None
-    result = run_simulation(config, documents=documents)
+    chaos = None
+    if config.faults is not None:
+        from repro.faults.chaos import ChaosSimulation
+
+        chaos = ChaosSimulation(config, documents=documents)
+        result = chaos.run()
+    else:
+        result = run_simulation(config, documents=documents)
     if args.trace:
         export_trace(result, args.trace)
         print(f"trace written to {args.trace}")
     rows = [(key, value) for key, value in result.summary().items()]
     rows.append(("completed", int(result.completed)))
-    if args.loss == 0:
+    if args.loss == 0 and config.faults is None:
         rows.append(
             (
                 "improvement (1-tier/2-tier lookup)",
@@ -193,6 +222,17 @@ def cmd_simulate(args) -> int:
             )
         )
     print_table("Simulation summary", ("metric", "value"), rows)
+    if chaos is not None:
+        fault_rows = list(chaos.fault_stats.items())
+        fault_rows.append(("server degraded cycles", chaos.server.degraded_cycles))
+        fault_rows.append(("server dedup hits", chaos.server.uplink_dedup_hits))
+        print_table(
+            f"Fault injection (seed {config.faults.seed}, "
+            f"window {config.faults.fault_cycles} cycles)",
+            ("fault metric", "value"),
+            fault_rows,
+            note="chaos safety/liveness monitors passed on every cycle",
+        )
     return 0
 
 
@@ -267,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
     )
     simulate.add_argument("--loss", type=float, default=0.0)
+    _add_fault_args(simulate)
     _add_channel_args(simulate)
     simulate.add_argument(
         "--no-cache",
@@ -296,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
     )
+    stats.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-packet erasure probability (error-prone channel); the "
+        "report then covers the lossy client's recovery accounting",
+    )
+    _add_fault_args(stats)
     _add_channel_args(stats)
     stats.add_argument(
         "--no-cache",

@@ -114,6 +114,7 @@ class CycleBuildCache:
             "dfa_misses": 0,
             "pci_hits": 0,
             "pci_misses": 0,
+            "pci_stale_served": 0,
         }
 
     # ------------------------------------------------------------------
@@ -240,6 +241,25 @@ class CycleBuildCache:
         self._pci_stats = stats
         self._count("pci_misses", "server.pci_cache_misses_total")
         return pci, stats
+
+    def stale_pci(
+        self, queries: Sequence[XPathQuery]
+    ) -> Optional[Tuple[CompactIndex, PruningStats]]:
+        """Last cycle's PCI *iff* it was pruned for the same query-string
+        set -- the requested set may have moved on (that is what makes it
+        stale).  Used by the server's overload degradation ladder; never
+        updates the cache.  ``None`` when no such PCI is held (cold
+        cache, different query set, or a collection mutation dropped it).
+        """
+        if (
+            self._pci is None
+            or self._pci_stats is None
+            or self._pci_key is None
+            or self._pci_key[1] != self._key_of(queries)
+        ):
+            return None
+        self._count("pci_stale_served", "server.pci_cache_stale_served_total")
+        return self._pci, self._pci_stats
 
     # ------------------------------------------------------------------
     # Accounting

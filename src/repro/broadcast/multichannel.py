@@ -365,7 +365,11 @@ def build_multichannel_program(
         segments.append(Segment(PacketKind.FIRST_TIER_INDEX, 0, index_air))
         segments.append(Segment(PacketKind.SECOND_TIER_INDEX, index_air, offset_air))
     segments.append(Segment(PacketKind.DATA, data_start, data_length))
-    layout = CycleLayout(tuple(segments), packet_bytes=size_model.packet_bytes)
+    layout = CycleLayout(
+        tuple(segments),
+        packet_bytes=size_model.packet_bytes,
+        checksum_bytes=size_model.checksum_bytes,
+    )
 
     return MultiChannelCycle(
         cycle_number=cycle_number,

@@ -64,8 +64,16 @@ class CycleLayout:
 
     segments: Tuple[Segment, ...]
     packet_bytes: int
+    #: per-packet checksum trailer carried by every packet of the cycle
+    #: (0 on the paper's perfect channel).  Recorded on the layout so
+    #: clients know how much of each packet is verifiable payload; the
+    #: byte arithmetic below is unchanged -- checksums ride inside the
+    #: fixed packet size, they do not change segment lengths.
+    checksum_bytes: int = 0
 
     def __post_init__(self) -> None:
+        if not 0 <= self.checksum_bytes < self.packet_bytes:
+            raise ValueError("checksum_bytes must be in [0, packet_bytes)")
         position = 0
         for segment in self.segments:
             if segment.start != position:
@@ -87,6 +95,24 @@ class CycleLayout:
     @property
     def total_packets(self) -> int:
         return self.total_bytes // self.packet_bytes
+
+    @property
+    def payload_bytes(self) -> int:
+        """Verifiable payload per packet (packet minus checksum trailer)."""
+        return self.packet_bytes - self.checksum_bytes
+
+    def packet_index_at(self, offset: int) -> int:
+        """Cycle-wide packet sequence number carrying byte *offset*."""
+        if not 0 <= offset < max(self.total_bytes, 1):
+            raise ValueError(
+                f"offset {offset} outside cycle of {self.total_bytes} bytes"
+            )
+        return offset // self.packet_bytes
+
+    def segment_packets(self, kind: PacketKind) -> int:
+        """Number of packets a segment occupies (0 when absent)."""
+        segment = self.segment(kind)
+        return segment.length // self.packet_bytes if segment else 0
 
     def segment(self, kind: PacketKind) -> Optional[Segment]:
         for segment in self.segments:

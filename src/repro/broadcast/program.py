@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.broadcast.packets import CycleLayout, PacketKind, Segment
@@ -59,6 +59,13 @@ class BroadcastCycle:
     layout: CycleLayout
     #: channel byte-time at which the cycle starts (set by the server)
     start_time: int = 0
+    #: ``None`` for a full-quality build; ``"pci-stale"`` or
+    #: ``"ci-unpruned"`` when the server's build budget was exceeded and
+    #: the degradation ladder served a fallback index (see
+    #: ``BroadcastServer.build_budget``).  Clients that have not read the
+    #: first tier yet defer their one-shot read on a ``"pci-stale"``
+    #: cycle: a stale pruning may omit documents admitted after it.
+    degraded: Optional[str] = None
 
     @property
     def total_bytes(self) -> int:
@@ -153,7 +160,11 @@ def build_cycle_program(
         segments.append(Segment(PacketKind.FIRST_TIER_INDEX, 0, index_air))
         segments.append(Segment(PacketKind.SECOND_TIER_INDEX, index_air, offset_air))
     segments.append(Segment(PacketKind.DATA, data_start, position - data_start))
-    layout = CycleLayout(tuple(segments), packet_bytes=size_model.packet_bytes)
+    layout = CycleLayout(
+        tuple(segments),
+        packet_bytes=size_model.packet_bytes,
+        checksum_bytes=size_model.checksum_bytes,
+    )
 
     return BroadcastCycle(
         cycle_number=cycle_number,
@@ -222,6 +233,7 @@ def program_signature(cycle: BroadcastCycle) -> str:
             for segment in cycle.layout.segments
         ),
         cycle.layout.packet_bytes,
+        cycle.layout.checksum_bytes,
         cycle.total_bytes,
         getattr(cycle, "num_data_channels", 1),
         tuple(

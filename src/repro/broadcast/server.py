@@ -18,8 +18,20 @@ the chance to download everything).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro import obs
 from repro.broadcast.cycle_cache import CycleBuildCache
@@ -185,6 +197,55 @@ class CycleRecord:
     #: wall-clock seconds per server phase of this cycle's construction;
     #: empty unless the run was observed (``obs.observed()``)
     phase_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: ``None`` for a full build; ``"pci-stale"`` / ``"ci-unpruned"``
+    #: when the build budget was exceeded and the degradation ladder ran
+    degraded: Optional[str] = None
+
+
+@dataclass
+class BuildBudget:
+    """Cycle-build budget; exceeding it triggers graceful degradation.
+
+    The server checks the budget instead of stalling: a cycle whose
+    build would blow the budget still airs on time, carrying the best
+    index the degradation ladder can produce (the previous cycle's PCI
+    if the pending query-string set is unchanged, else the unpruned CI).
+
+    ``max_requested_bytes`` caps the requested-document volume a full
+    build may index; ``max_build_seconds`` caps wall-clock from build
+    start.  Both are checked right after the CI phase: the CI is needed
+    even when degrading (it is the ``"ci-unpruned"`` fallback), so what
+    an over-budget cycle skips is the pruning phase.  ``force_overload``
+    lets a fault plan or test declare a specific cycle over budget
+    deterministically.
+    """
+
+    max_build_seconds: Optional[float] = None
+    max_requested_bytes: Optional[int] = None
+    force_overload: Optional[Callable[[int], bool]] = None
+    #: injectable clock (seconds); tests replace it to force timeouts
+    clock: Callable[[], float] = time.perf_counter
+
+    def overload_reason(
+        self,
+        cycle_number: int,
+        requested_bytes: int,
+        build_started: float,
+    ) -> Optional[str]:
+        """Why this build is over budget, or ``None`` when it is not."""
+        if self.force_overload is not None and self.force_overload(cycle_number):
+            return "forced"
+        if (
+            self.max_requested_bytes is not None
+            and requested_bytes > self.max_requested_bytes
+        ):
+            return "bytes"
+        if (
+            self.max_build_seconds is not None
+            and self.clock() - build_started > self.max_build_seconds
+        ):
+            return "time"
+        return None
 
 
 class BroadcastServer:
@@ -201,6 +262,7 @@ class BroadcastServer:
         enable_caches: bool = True,
         num_data_channels: Optional[int] = None,
         channel_allocation: str = "balanced",
+        build_budget: Optional[BuildBudget] = None,
     ) -> None:
         if cycle_data_capacity <= 0:
             raise ValueError("cycle_data_capacity must be positive")
@@ -242,11 +304,24 @@ class BroadcastServer:
         #: in a query's remaining set until :meth:`confirm_delivery`
         #: reports them received, so lost frames get rebroadcast.
         self.acknowledged_delivery = acknowledged_delivery
+        #: ``None`` -> unbounded builds (the paper's server).  A
+        #: :class:`BuildBudget` makes over-budget cycles degrade through
+        #: the ladder (stale PCI, then unpruned CI) instead of stalling.
+        self.build_budget = build_budget
         self.pending: List[PendingQuery] = []
         self.completed: List[PendingQuery] = []
         self.records: List[CycleRecord] = []
         self._next_query_id = 0
         self._resolution_cache: Dict[str, FrozenSet[int]] = {}
+        #: idempotent-uplink dedup: ``(client_key, query string)`` of
+        #: every keyed admission ever made.  A retried submission with
+        #: the same key returns the *existing* PendingQuery -- never a
+        #: second admission, never a reset of its arrival bookkeeping.
+        self._uplink_dedup: Dict[Tuple[int, str], PendingQuery] = {}
+        #: plain-int mirrors of the fault/recovery counters so tests and
+        #: the CLI can read them without enabling a registry
+        self.uplink_dedup_hits = 0
+        self.degraded_cycles = 0
         #: doc id -> pending queries still missing it, mirrored across every
         #: remaining-set mutation so schedulers stop rebuilding it per cycle
         self.demand = DemandTable()
@@ -351,40 +426,77 @@ class BroadcastServer:
                 stack.append((child, nfa.move(configuration, child.label)))
         return collected
 
-    def submit(self, query: XPathQuery, arrival_time: int) -> PendingQuery:
+    def submit(
+        self,
+        query: XPathQuery,
+        arrival_time: int,
+        client_key: Optional[int] = None,
+    ) -> PendingQuery:
         """Admit a query; resolution happens immediately.
 
         Queries with empty result sets are rejected (the paper assumes
         non-empty result sets; the workload generator guarantees it).
+
+        With a *client_key* (unreliable-uplink extension) admission is
+        idempotent: a retry of an already-admitted ``(client_key,
+        query)`` returns the existing :class:`PendingQuery` unchanged --
+        duplicates never double-admit and never reset ``arrival_time``
+        or delivery bookkeeping.
         """
-        return self.submit_batch([query], arrival_time)[0]
+        return self.submit_batch(
+            [query], arrival_time, client_keys=[client_key]
+        )[0]
 
     def submit_batch(
-        self, queries: Sequence[XPathQuery], arrival_time: int
+        self,
+        queries: Sequence[XPathQuery],
+        arrival_time: int,
+        client_keys: Optional[Sequence[Optional[int]]] = None,
     ) -> List[PendingQuery]:
         """Admit several same-time queries with one shared resolution pass.
 
-        Admission is atomic: if any query resolves to an empty result set,
-        the whole batch is rejected before a single query is admitted.
+        Admission is atomic over the *fresh* queries of the batch: if
+        any of them resolves to an empty result set, the whole batch is
+        rejected before a single query is admitted.  Keyed duplicates
+        (see :meth:`submit`) are returned as-is without re-validation.
         """
-        results = self.resolve_batch(queries)
-        for query, result in zip(queries, results):
-            if not result:
-                raise ValueError(f"query {query} has an empty result set")
-        admitted: List[PendingQuery] = []
-        for query, result in zip(queries, results):
-            pending = PendingQuery(
-                query_id=self._next_query_id,
-                query=query,
-                arrival_time=arrival_time,
-                result_doc_ids=result,
-            )
-            self._next_query_id += 1
-            self.pending.append(pending)
-            self.demand.add_query(pending)
-            admitted.append(pending)
-        obs.counter("server.queries_total").inc(len(admitted))
-        return admitted
+        if client_keys is None:
+            client_keys = [None] * len(queries)
+        if len(client_keys) != len(queries):
+            raise ValueError("client_keys must match queries one-to-one")
+        out: List[Optional[PendingQuery]] = [None] * len(queries)
+        fresh_positions: List[int] = []
+        for position, (query, key) in enumerate(zip(queries, client_keys)):
+            if key is not None:
+                existing = self._uplink_dedup.get((key, str(query)))
+                if existing is not None:
+                    out[position] = existing
+                    self.uplink_dedup_hits += 1
+                    obs.counter("server.uplink_dedup_hits_total").inc()
+                    continue
+            fresh_positions.append(position)
+        if fresh_positions:
+            fresh = [queries[position] for position in fresh_positions]
+            results = self.resolve_batch(fresh)
+            for query, result in zip(fresh, results):
+                if not result:
+                    raise ValueError(f"query {query} has an empty result set")
+            for position, result in zip(fresh_positions, results):
+                pending = PendingQuery(
+                    query_id=self._next_query_id,
+                    query=queries[position],
+                    arrival_time=arrival_time,
+                    result_doc_ids=result,
+                )
+                self._next_query_id += 1
+                self.pending.append(pending)
+                self.demand.add_query(pending)
+                key = client_keys[position]
+                if key is not None:
+                    self._uplink_dedup[(key, str(pending.query))] = pending
+                out[position] = pending
+            obs.counter("server.queries_total").inc(len(fresh_positions))
+        return [pending for pending in out if pending is not None]
 
     # ------------------------------------------------------------------
     # Cycle construction
@@ -421,18 +533,47 @@ class BroadcastServer:
             queries = [query.query for query in active]
 
             requested_key = frozenset(requested)
+            budget = self.build_budget
+            build_started = budget.clock() if budget is not None else 0.0
             with registry.span("server.ci_build"):
                 if self.cache is not None:
                     ci = self.cache.ci_for(requested_key)
                 else:
                     ci = build_ci_from_store(self.store, requested)
-            with registry.span("server.prune_to_pci"):
-                if self.cache is not None:
-                    pci, pruning_stats = self.cache.pci_for(
-                        ci, requested_key, queries
+
+            overload_reason: Optional[str] = None
+            if budget is not None:
+                requested_bytes = (
+                    sum(self.store.air_bytes(doc_id) for doc_id in requested)
+                    if budget.max_requested_bytes is not None
+                    else 0
+                )
+                overload_reason = budget.overload_reason(
+                    self.cycle_number, requested_bytes, build_started
+                )
+
+            degraded: Optional[str] = None
+            if overload_reason is None:
+                with registry.span("server.prune_to_pci"):
+                    if self.cache is not None:
+                        pci, pruning_stats = self.cache.pci_for(
+                            ci, requested_key, queries
+                        )
+                    else:
+                        pci, pruning_stats = prune_to_pci(ci, queries)
+            else:
+                # Over budget: skip the pruning phase and walk down the
+                # degradation ladder -- the cycle still airs on time.
+                with registry.span("server.degraded_build"):
+                    pci, pruning_stats, degraded = self._degraded_pci(
+                        ci, queries
                     )
-                else:
-                    pci, pruning_stats = prune_to_pci(ci, queries)
+                self.degraded_cycles += 1
+                obs.counter(
+                    "server.degraded_cycles_total",
+                    mode=degraded,
+                    reason=overload_reason,
+                ).inc()
 
             with registry.span("server.scheduling"):
                 # Capacity is per data channel: K parallel channels carry K
@@ -476,6 +617,7 @@ class BroadcastServer:
                         demand_sets=demand_sets,
                     )
         cycle.start_time = now
+        cycle.degraded = degraded
 
         phase_seconds: Dict[str, float] = {}
         if observing:
@@ -535,12 +677,49 @@ class BroadcastServer:
                 pci_nodes=pci.node_count,
                 pruning=pruning_stats,
                 phase_seconds=phase_seconds,
+                degraded=degraded,
             )
         )
         self.cycle_number += 1
         self.clock = cycle.end_time
         return cycle
 
+    def _degraded_pci(
+        self, ci: CompactIndex, queries: Sequence[XPathQuery]
+    ) -> Tuple[CompactIndex, PruningStats, str]:
+        """The degradation ladder of an over-budget build.
+
+        1. **stale PCI** -- if the cycle cache still holds a PCI pruned
+           for the *same query-string set*, serve it as-is.  Its doc
+           annotations may predate the latest remaining-set shrinkage
+           (clients that already read the first tier are unaffected;
+           clients that have not defer their read -- see
+           ``BroadcastCycle.degraded``), but lookups stay sound: every
+           annotation was a true result at pruning time.
+        2. **unpruned CI** -- otherwise serve the CI itself.  It covers
+           the full current requested set (complete, just bigger on
+           air), so even first-tier reads are safe on it.
+
+        Never caches its output: a degraded index must not poison the
+        PCI layer for the next full build.
+        """
+        if self.cache is not None:
+            stale = self.cache.stale_pci(queries)
+            if stale is not None:
+                return stale[0], stale[1], "pci-stale"
+        doc_entries = sum(
+            len(node.doc_ids) for node in ci.root.iter_preorder()
+        )
+        size = ci.size_bytes(one_tier=True)
+        no_op = PruningStats(
+            nodes_before=ci.node_count,
+            nodes_after=ci.node_count,
+            doc_entries_before=doc_entries,
+            doc_entries_after=doc_entries,
+            bytes_before=size,
+            bytes_after=size,
+        )
+        return ci, no_op, "ci-unpruned"
 
     # ------------------------------------------------------------------
     # Live collection changes

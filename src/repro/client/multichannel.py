@@ -29,6 +29,15 @@ delivery keeps deferred documents scheduled (see
 At K=1 there are no cross-channel overlaps, every planned document is
 taken, and the accounting collapses exactly to
 :class:`~repro.client.twotier.TwoTierClient` (equivalence-tested).
+
+The client is loss-aware: with a non-lossless
+:class:`~repro.broadcast.loss.PacketLossModel` it applies the same
+recovery ladder as :class:`~repro.client.lossy.LossyTwoTierClient` --
+a lost first-tier packet forces an index retry next cycle, a lost
+offset-list packet blinds the whole cycle, and a document with any lost
+frame is *not* recorded but still occupies the tuner (the loss is
+discovered only once the frames have been listened to), so its air time
+is charged and can still shadow later conflicting documents.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from __future__ import annotations
 from typing import List
 
 from repro import obs
+from repro.broadcast.loss import LOSSLESS, PacketLossModel
 from repro.broadcast.program import BroadcastCycle, IndexScheme
 from repro.broadcast.packets import PacketKind
 from repro.client.protocol import AccessProtocol, LookupFn, default_lookup
@@ -53,26 +63,49 @@ class MultiChannelTwoTierClient(AccessProtocol):
         query: XPathQuery,
         arrival_time: int,
         lookup_fn: LookupFn = default_lookup,
+        loss_model: PacketLossModel = LOSSLESS,
+        client_key: int = 0,
     ) -> None:
         super().__init__(query, arrival_time, lookup_fn)
+        self.loss_model = loss_model
+        self.client_key = client_key
         #: cross-channel conflicts observed (one per deferred document
         #: per cycle it was deferred in)
         self.channel_conflicts = 0
         #: documents deferred at least once before retrieval
         self.deferred_doc_ids: set = set()
+        #: cycles in which a loss forced a retry (diagnostics)
+        self.index_retries = 0
+        self.blind_cycles = 0
 
     def _consume(self, cycle: BroadcastCycle, probe_bytes: int) -> None:
         index_bytes = 0
         if self.expected_doc_ids is None:
             with obs.span("client.first_tier_read"):
                 lookup = self._lookup(cycle)
-                index_bytes = cycle.packed_first_tier.tuning_bytes_for_nodes(
-                    lookup.visited_node_ids
+                packed = cycle.packed_first_tier
+                needed_packets = packed.packets_for_nodes(lookup.visited_node_ids)
+                index_bytes = len(needed_packets) * packed.packet_bytes
+                lost = self.loss_model.any_lost(
+                    self.client_key, cycle.cycle_number, needed_packets
                 )
-                self.expected_doc_ids = frozenset(lookup.doc_ids)
+            if lost:
+                # Incomplete index read: charge it, retry next cycle.
+                self.index_retries += 1
+                self.metrics.merge_cycle(probe=probe_bytes, index=index_bytes)
+                return
+            self.expected_doc_ids = frozenset(lookup.doc_ids)
         with obs.span("client.offset_read"):
             # The extended second tier: <doc, channel, offset> pointers.
             offset_bytes = cycle.offset_list_air_bytes
+            offsets_lost = self._offsets_lost(cycle)
+        if offsets_lost:
+            # Blind cycle: without intact offsets there is no tune plan.
+            self.blind_cycles += 1
+            self.metrics.merge_cycle(
+                probe=probe_bytes, index=index_bytes, offsets=offset_bytes
+            )
+            return
         with obs.span("client.doc_download"):
             doc_bytes = self._download_planned(cycle)
         self.metrics.merge_cycle(
@@ -80,6 +113,18 @@ class MultiChannelTwoTierClient(AccessProtocol):
             index=index_bytes,
             offsets=offset_bytes,
             docs=doc_bytes,
+        )
+
+    def _offsets_lost(self, cycle: BroadcastCycle) -> bool:
+        # Same packet identity convention as LossyTwoTierClient: the k-th
+        # second-tier packet samples as (cycle, 1_000_000 + k).
+        if self.loss_model.is_lossless:
+            return False
+        return any(
+            self.loss_model.packet_lost(
+                self.client_key, cycle.cycle_number, 1_000_000 + k
+            )
+            for k in range(cycle.offset_list.packet_count)
         )
 
     def _download_planned(self, cycle: BroadcastCycle) -> int:
@@ -108,8 +153,18 @@ class MultiChannelTwoTierClient(AccessProtocol):
             air = cycle.doc_air_bytes[doc_id]
             if offset >= free:  # catchable iff it has not started yet
                 doc_bytes += air
-                self.received_doc_ids.add(doc_id)
                 free = offset + air
+                frames = air // cycle.layout.packet_bytes
+                start_packet = offset // cycle.layout.packet_bytes
+                if not self.loss_model.is_lossless and self.loss_model.span_lost(
+                    self.client_key, cycle.cycle_number, start_packet, frames
+                ):
+                    # Corrupted frame(s): the tuner was committed for the
+                    # document's full air time before the loss surfaced, so
+                    # the bytes are charged and `free` stands -- but the
+                    # document is not recorded and waits for a rebroadcast.
+                    continue
+                self.received_doc_ids.add(doc_id)
                 last_end = offset + air if last_end is None else max(
                     last_end, offset + air
                 )

@@ -104,6 +104,25 @@ class AccessProtocol(abc.ABC):
             with registry.span("client.probe"):
                 probe = cycle.layout.packet_bytes
                 self._probed = True
+        if (
+            getattr(cycle, "degraded", None) == "pci-stale"
+            and self.expected_doc_ids is None
+        ):
+            # An overloaded server aired last cycle's PCI.  A stale pruning
+            # may omit documents admitted after it, so locking the expected
+            # set here could under-count the true result set; defer the
+            # one-shot first-tier read to a non-stale cycle.  (The other
+            # degraded mode, "ci-unpruned", is complete and safe to read.)
+            self.metrics.probe_bytes += probe
+            if registry.enabled:
+                label = self.protocol_name
+                registry.counter(
+                    "client.stale_index_deferrals_total", protocol=label
+                ).inc()
+                registry.counter(
+                    "client.probe_bytes_total", protocol=label
+                ).inc(probe)
+            return
         if not registry.enabled:
             self._consume(cycle, probe)
             return

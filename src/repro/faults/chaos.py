@@ -1,0 +1,322 @@
+"""Chaos harness: the simulation under an active :class:`FaultPlan`.
+
+:class:`ChaosSimulation` subclasses the fault-free orchestrator and
+re-routes the three places faults enter the pipeline:
+
+* **admission** -- instead of submitting a query the instant it arrives,
+  the whole uplink retry dialogue is resolved against the plan
+  (:meth:`~repro.faults.plan.FaultPlan.uplink_outcome`) and each
+  delivery -- duplicates included -- is scheduled as its own event.  The
+  server deduplicates by ``(client_key, query)``; the client starts
+  listening only once its admission is acknowledged.
+* **downlink** -- every client is a
+  :class:`~repro.client.lossy.LossyTwoTierClient` on the plan's
+  erasure+corruption channel; with ``FaultPlan.checksum`` the size model
+  reserves a checksum byte per packet (charged to index/data overhead),
+  which is what lets the client *detect* corruption at all.
+* **cycle build** -- the server gets a
+  :class:`~repro.broadcast.server.BuildBudget` wired to the plan's
+  overload draws and caps, and documents are added to / removed from the
+  live collection between admissions and the next build
+  (:meth:`~repro.faults.plan.FaultPlan.mutation`), exercising
+  cycle-cache invalidation under load.
+
+After every aired cycle two invariants are checked, and their violation
+raises :class:`ChaosInvariantError` immediately (not at drain time, so
+the failing cycle is in the error):
+
+* **safety** -- no client ever locks an expected set outside its query's
+  true result set over the live collection, and never records a document
+  outside its expected set;
+* **liveness** -- once the fault window has closed, all uplink dialogues
+  have resolved and arrivals have stopped, every remaining session must
+  drain within :attr:`ChaosSimulation.liveness_grace` clean cycles.
+
+Document removals are *gated*: only documents no unsatisfied session
+needs (not in any locked expected set, pending result set, or in-flight
+query's resolution) are eligible.  An ungated removal could strand a
+client whose locked expected set references a document that will never
+air again -- a genuine unavailability, not a protocol bug, so the chaos
+suite does not inject it.  A removal can still empty a *future* query's
+result set before its delivery; the server then rejects the admission
+(empty result) and the session is dropped as NACKed rather than counted
+against liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.broadcast.server import BuildBudget
+from repro.client.lossy import LossyTwoTierClient
+from repro.client.protocol import FirstTierRead
+from repro.faults.plan import FaultPlan, UplinkOutcome
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import Simulation, _Session
+from repro.sim.workload import ArrivalPlan
+from repro.xmlkit.generator import (
+    DocumentGenerator,
+    GeneratorConfig,
+    dblp_like_dtd,
+    nasa_like_dtd,
+    nitf_like_dtd,
+)
+from repro.xmlkit.model import XMLDocument
+
+
+class ChaosInvariantError(AssertionError):
+    """A chaos run violated a safety or liveness invariant."""
+
+
+class ChaosSimulation(Simulation):
+    """One simulation run under an active fault plan, with monitors."""
+
+    #: clean cycles (faults over, uplink drained, arrivals exhausted) a
+    #: run may take to satisfy every session before liveness fails.
+    #: Generous: a clean cycle airs up to the data capacity and the
+    #: post-fault channel is perfect, so drains take a handful of cycles.
+    liveness_grace = 60
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        documents: Optional[Sequence[XMLDocument]] = None,
+        first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+    ) -> None:
+        plan = config.faults
+        if plan is None:
+            raise ValueError("ChaosSimulation needs SimulationConfig.faults")
+        checksum_bytes = 1 if plan.checksum else 0
+        if config.size_model.checksum_bytes != checksum_bytes:
+            # The checksum trailer is part of the air program: reserving it
+            # here (and only here) keeps the fault-free builder byte-exact.
+            config = config.with_(
+                size_model=replace(
+                    config.size_model, checksum_bytes=checksum_bytes
+                )
+            )
+        super().__init__(config, documents=documents, first_tier_read=first_tier_read)
+        self.plan = plan
+        self._loss_model = plan.channel_model()
+        # Recovery needs rebroadcast: the server must not assume
+        # broadcast == received under erasures/corruption.
+        self.server.acknowledged_delivery = True
+        if (
+            plan.overload_prob > 0.0
+            or plan.build_budget_bytes is not None
+            or plan.build_budget_seconds is not None
+        ):
+            self.server.build_budget = BuildBudget(
+                max_build_seconds=plan.build_budget_seconds,
+                max_requested_bytes=plan.build_budget_bytes,
+                force_overload=plan.overloaded,
+            )
+        dtd = {
+            "nitf": nitf_like_dtd,
+            "nasa": nasa_like_dtd,
+            "dblp": dblp_like_dtd,
+        }[config.dtd]()
+        self._doc_generator = DocumentGenerator(
+            dtd, GeneratorConfig(seed=plan.seed ^ 0xD0C)
+        )
+        self._next_doc_id = max(self.store.by_id) + 1
+        self._next_client_key = 0
+        self._clean_cycles = 0
+        #: plain-int injection/recovery tallies for tests and the CLI
+        self.fault_stats: Dict[str, int] = {
+            "uplink_attempts": 0,
+            "uplink_dropped": 0,
+            "uplink_lost_acks": 0,
+            "uplink_duplicates": 0,
+            "uplink_rejections": 0,
+            "docs_added": 0,
+            "docs_removed": 0,
+            "safety_checks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Injection point 1: the uplink
+    # ------------------------------------------------------------------
+
+    def _admit(self, plan: ArrivalPlan) -> None:
+        client_key = self._next_client_key
+        self._next_client_key += 1
+        if self.plan.active(self.server.cycle_number):
+            outcome = self.plan.uplink_outcome(client_key, plan.arrival_time)
+        else:
+            # Fault window closed: the uplink is reliable and immediate.
+            outcome = UplinkOutcome(
+                deliveries=(plan.arrival_time,),
+                ack_time=plan.arrival_time,
+                attempts=1,
+                dropped_attempts=0,
+                lost_acks=0,
+            )
+        stats = self.fault_stats
+        stats["uplink_attempts"] += outcome.attempts
+        stats["uplink_dropped"] += outcome.dropped_attempts
+        stats["uplink_lost_acks"] += outcome.lost_acks
+        stats["uplink_duplicates"] += outcome.duplicate_deliveries
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("sim.uplink_attempts_total").inc(outcome.attempts)
+            registry.counter("sim.uplink_dropped_total").inc(
+                outcome.dropped_attempts
+            )
+            registry.counter("sim.uplink_duplicates_total").inc(
+                outcome.duplicate_deliveries
+            )
+        # The client exists from the start but can only listen once its
+        # admission is acknowledged -- before the ACK it does not know the
+        # server heard it, so it keeps retrying instead of tuning in.
+        client = LossyTwoTierClient(
+            plan.query,
+            outcome.ack_time,
+            client_key=client_key,
+            loss_model=self._loss_model,
+            lookup_fn=self._cached_lookup,
+        )
+        session = _Session(
+            plan=plan, clients=[client], pending=None, ack_client=client
+        )
+        self.sessions.append(session)
+        obs.counter("sim.arrivals_total").inc()
+        for delivery_time in outcome.deliveries:
+            self._queue.schedule(
+                delivery_time,
+                lambda t=delivery_time: self._uplink_delivery(
+                    session, client_key, t
+                ),
+                priority=0,
+                label="uplink",
+            )
+
+    def _uplink_delivery(
+        self, session: _Session, client_key: int, delivery_time: int
+    ) -> None:
+        """One (possibly duplicate) submit attempt reaches the server."""
+        if session not in self.sessions:
+            return  # NACKed earlier; late duplicates go nowhere
+        try:
+            pending = self.server.submit(
+                session.plan.query, delivery_time, client_key=client_key
+            )
+        except ValueError:
+            # A gated removal can still empty a query's result set before
+            # its (delayed) delivery; the server NACKs the admission and
+            # the session ends -- there is nothing left to broadcast.
+            self.fault_stats["uplink_rejections"] += 1
+            obs.counter("sim.uplink_rejections_total").inc()
+            self.sessions.remove(session)
+            return
+        if session.pending is None:
+            session.pending = pending
+
+    # ------------------------------------------------------------------
+    # Injection point 4: mid-cycle collection mutations
+    # ------------------------------------------------------------------
+
+    def _cycle_event(self) -> None:
+        mode = self.plan.mutation(self.server.cycle_number)
+        if mode == "add":
+            self._inject_add()
+        elif mode == "remove":
+            self._inject_remove(self.server.cycle_number)
+        built_before = self.server.cycle_number
+        super()._cycle_event()
+        if self.server.cycle_number > built_before:
+            self._check_invariants()
+
+    def _inject_add(self) -> None:
+        document = self._doc_generator.generate(self._next_doc_id)
+        self._next_doc_id += 1
+        self.server.add_document(document)
+        self.fault_stats["docs_added"] += 1
+        obs.counter("sim.chaos_mutations_total", kind="add").inc()
+
+    def _inject_remove(self, cycle_number: int) -> None:
+        """Remove one document no unsatisfied session still needs."""
+        protected = set()
+        for session in self.sessions:
+            if session.satisfied:
+                continue
+            for client in session.clients:
+                if client.expected_doc_ids:
+                    protected |= client.expected_doc_ids
+            if session.pending is not None:
+                protected |= session.pending.result_doc_ids
+                protected |= session.pending.remaining_doc_ids
+            else:
+                # Uplink still in flight: the query will resolve against
+                # the post-removal collection, so protect what it would
+                # resolve to *now* -- removing any of it could otherwise
+                # empty the result set mid-dialogue.
+                protected |= self.server.resolve(session.plan.query)
+        candidates = sorted(set(self.store.by_id) - protected)
+        if not candidates or len(self.store.documents) <= 1:
+            return
+        rng = self.plan._rng("mutate-pick", cycle_number)
+        self.server.remove_document(rng.choice(candidates))
+        self.fault_stats["docs_removed"] += 1
+        obs.counter("sim.chaos_mutations_total", kind="remove").inc()
+
+    # ------------------------------------------------------------------
+    # Monitors
+    # ------------------------------------------------------------------
+
+    def _check_invariants(self) -> None:
+        cycle = self._current_cycle
+        assert cycle is not None
+        for session in self.sessions:
+            if session.satisfied:
+                # A drained session's locked set was valid when served;
+                # ungated removals afterwards cannot retroactively
+                # invalidate a completed delivery.
+                continue
+            truth = None
+            for client in session.clients:
+                expected = client.expected_doc_ids
+                if expected is None:
+                    if client.received_doc_ids:
+                        raise ChaosInvariantError(
+                            f"safety violated at cycle {cycle.cycle_number}: "
+                            f"client for {session.plan.query} recorded "
+                            f"{sorted(client.received_doc_ids)} without an "
+                            "index read"
+                        )
+                    continue
+                if truth is None:
+                    truth = self.server.resolve(session.plan.query)
+                if not expected <= truth:
+                    raise ChaosInvariantError(
+                        f"safety violated at cycle {cycle.cycle_number}: "
+                        f"client for {session.plan.query} expects "
+                        f"{sorted(expected - truth)} outside the true "
+                        "result set"
+                    )
+                if not client.received_doc_ids <= expected:
+                    raise ChaosInvariantError(
+                        f"safety violated at cycle {cycle.cycle_number}: "
+                        f"client for {session.plan.query} recorded "
+                        f"{sorted(client.received_doc_ids - expected)} it "
+                        "never asked for"
+                    )
+        self.fault_stats["safety_checks"] += 1
+
+        faults_over = not self.plan.active(cycle.cycle_number)
+        uplink_drained = all(
+            session.pending is not None for session in self.sessions
+        )
+        if faults_over and uplink_drained and self.workload.exhausted:
+            self._clean_cycles += 1
+            stuck = [s for s in self.sessions if not s.satisfied]
+            if stuck and self._clean_cycles > self.liveness_grace:
+                raise ChaosInvariantError(
+                    f"liveness violated: {len(stuck)} session(s) still "
+                    f"unsatisfied {self._clean_cycles} clean cycles after "
+                    f"the fault window closed (first: {stuck[0].plan.query})"
+                )
+        else:
+            self._clean_cycles = 0

@@ -93,11 +93,15 @@ def pack_index(
     """Pack *index* into packets under the given layout and strategy."""
     size_model: SizeModel = index.size_model
     packet_bytes = size_model.packet_bytes
+    # The fill capacity is the packet *payload*: a per-packet checksum
+    # trailer (fault-injection extension) shrinks what index nodes can
+    # occupy, so the checksum cost surfaces as extra packets here.
+    payload_bytes = size_model.payload_bytes
     order = _node_order(index, strategy)
 
     packet_of_node: Dict[int, Tuple[int, ...]] = {}
     next_packet = 0
-    free = 0  # free bytes remaining in the currently open packet
+    free = 0  # free payload bytes remaining in the currently open packet
     used = 0
 
     for node in order:
@@ -109,7 +113,7 @@ def pack_index(
             next_packet += span
             free = 0
             continue
-        if node_size > packet_bytes:
+        if node_size > payload_bytes:
             # Oversized node: dedicated packet run, then start fresh.
             span = size_model.packets_for(node_size)
             packet_of_node[node.node_id] = tuple(range(next_packet, next_packet + span))
@@ -118,7 +122,7 @@ def pack_index(
             continue
         if node_size > free:
             # Greedy rule: open a new packet when the node does not fit.
-            free = packet_bytes
+            free = payload_bytes
             next_packet += 1
         packet_of_node[node.node_id] = (next_packet - 1,)
         free -= node_size

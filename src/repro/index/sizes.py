@@ -40,6 +40,13 @@ class SizeModel:
     #: per-document on-air header: the "delivery time of the next index"
     #: pointer the paper appends to each data object (Section 2.3).
     doc_header_bytes: int = 4
+    #: per-packet checksum trailer (fault-injection extension).  The
+    #: paper's channel is perfect, so the default is 0 and every byte
+    #: count collapses to the paper's model; a positive value reserves
+    #: that many bytes of every packet for a checksum clients verify on
+    #: read, shrinking the usable payload and thus charged to index (and
+    #: document) overhead wherever packets are counted.
+    checksum_bytes: int = 0
 
     def __post_init__(self) -> None:
         for name in (
@@ -49,11 +56,16 @@ class SizeModel:
             "pointer_bytes",
             "doc_id_bytes",
             "doc_header_bytes",
+            "checksum_bytes",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
         if self.packet_bytes < 8:
             raise ValueError("packet_bytes must be at least 8")
+        if self.payload_bytes < 8:
+            raise ValueError(
+                "checksum_bytes leaves fewer than 8 payload bytes per packet"
+            )
 
     # ------------------------------------------------------------------
     # Node sizes
@@ -107,11 +119,16 @@ class SizeModel:
     # Packets and documents
     # ------------------------------------------------------------------
 
+    @property
+    def payload_bytes(self) -> int:
+        """Usable bytes per packet once the checksum trailer is reserved."""
+        return self.packet_bytes - self.checksum_bytes
+
     def packets_for(self, byte_count: int) -> int:
-        """Packets needed to carry *byte_count* bytes."""
+        """Packets needed to carry *byte_count* payload bytes."""
         if byte_count < 0:
             raise ValueError("byte_count must be non-negative")
-        return -(-byte_count // self.packet_bytes)
+        return -(-byte_count // self.payload_bytes)
 
     def packet_aligned_bytes(self, byte_count: int) -> int:
         """Bytes actually occupied on air once packetised."""

@@ -89,7 +89,9 @@ class OffsetList:
         Equation 1 charges the full list (``OffsetRead.FULL``).
         """
         model = self.size_model
-        packet = model.packet_bytes
+        # Entries fill the packet *payload*; a checksum trailer (when
+        # configured) pushes entries into later packets accordingly.
+        packet = model.payload_bytes
         touched = {0}  # the count header lives in packet 0
         wanted = set(doc_ids)
         for position, (doc_id, _offset) in enumerate(self.entries):

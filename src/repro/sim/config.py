@@ -14,12 +14,15 @@ even one average document and is clearly an OCR casualty).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.broadcast.multichannel import ALLOCATION_POLICIES
 from repro.broadcast.program import IndexScheme
 from repro.index.packing import PackingStrategy
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> sim)
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -69,10 +72,22 @@ class SimulationConfig:
 
     #: Per-packet erasure probability of the error-prone-channel
     #: extension; 0.0 is the paper's reliable channel.  Positive values
-    #: switch the simulation to acknowledged delivery with the lossy
-    #: two-tier client only (protocol comparison needs a shared reliable
-    #: schedule, loss degradation does not).
+    #: switch the simulation to acknowledged delivery with a single
+    #: loss-aware client per query (protocol comparison needs a shared
+    #: reliable schedule, loss degradation does not): the lossy two-tier
+    #: client, or -- with ``num_data_channels`` >= 2 -- the loss-aware
+    #: multi-channel client.
     loss_prob: float = 0.0
+
+    #: Fault-injection extension: a :class:`~repro.faults.plan.FaultPlan`
+    #: switches the run to :class:`~repro.faults.chaos.ChaosSimulation`
+    #: (unreliable uplink with retry/backoff, checksummed packets with
+    #: corruption/erasure, overload-degraded builds, mid-cycle collection
+    #: mutations) with safety/liveness monitors checked every cycle.
+    #: ``None`` is the paper's fault-free system.  Mutually exclusive with
+    #: ``loss_prob`` (fold erasures into ``FaultPlan.erase_prob``),
+    #: ``dual_channel`` and ``num_data_channels``.
+    faults: Optional["FaultPlan"] = None
 
     #: Incremental cycle-build caches in the server (CI delta maintenance,
     #: pruning-DFA reuse, PCI reuse, demand-table scheduling).  ``False``
@@ -115,16 +130,27 @@ class SimulationConfig:
                 raise ValueError(
                     "multi-channel broadcast requires the two-tier scheme"
                 )
-            if self.loss_prob > 0.0:
-                raise ValueError(
-                    "multi-channel and lossy-channel modes both repurpose "
-                    "acknowledged delivery; run them separately"
-                )
             if self.dual_channel:
                 raise ValueError(
                     "dual_channel models a repeating index channel over the "
                     "single-channel program; with num_data_channels > 1 the "
                     "index already has a dedicated channel"
+                )
+        if self.faults is not None:
+            if self.scheme is not IndexScheme.TWO_TIER:
+                raise ValueError(
+                    "fault injection requires the two-tier scheme (the "
+                    "recovery ladder is defined on the two-tier protocol)"
+                )
+            if self.loss_prob > 0.0:
+                raise ValueError(
+                    "faults and loss_prob both drive the downlink channel; "
+                    "fold erasures into FaultPlan.erase_prob instead"
+                )
+            if self.num_data_channels is not None or self.dual_channel:
+                raise ValueError(
+                    "fault injection runs on the single-channel program; "
+                    "combine with multi/dual channel in separate runs"
                 )
         if self.arrival_cycles < 1:
             raise ValueError("arrival_cycles must be positive")

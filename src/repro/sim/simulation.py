@@ -138,7 +138,21 @@ class Simulation:
         pending = self.server.submit(plan.query, plan.arrival_time)
         clients: List[AccessProtocol]
         ack_client: Optional[AccessProtocol] = None
-        if self.lossy:
+        if self.lossy and self.multichannel_deferral:
+            # Lossy multi-channel run: the single-tuner client applies the
+            # loss ladder itself, so it both defers conflicts and retries
+            # erased reads; its acks drive rebroadcast for either cause.
+            clients = [
+                MultiChannelTwoTierClient(
+                    plan.query,
+                    plan.arrival_time,
+                    lookup_fn=self._cached_lookup,
+                    loss_model=self._loss_model,
+                    client_key=pending.query_id,
+                )
+            ]
+            ack_client = clients[0]
+        elif self.lossy:
             # Loss degradation study: one lossy two-tier client per query,
             # driving acknowledged delivery (see SimulationConfig.loss_prob).
             clients = [
@@ -269,6 +283,7 @@ class Simulation:
                 ack = session.ack_client
                 if (
                     ack is not None
+                    and session.pending is not None
                     and not session.pending.is_satisfied
                     and ack.can_use(cycle)
                 ):
@@ -346,5 +361,16 @@ def run_simulation(
     documents: Optional[Sequence[XMLDocument]] = None,
     first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
 ) -> SimulationResult:
-    """Convenience wrapper: configure, run, return the result."""
+    """Convenience wrapper: configure, run, return the result.
+
+    A configuration with a :class:`~repro.faults.plan.FaultPlan` routes
+    through :class:`~repro.faults.chaos.ChaosSimulation` (fault injection
+    plus per-cycle safety/liveness monitors).
+    """
+    if config.faults is not None:
+        from repro.faults.chaos import ChaosSimulation
+
+        return ChaosSimulation(
+            config, documents=documents, first_tier_read=first_tier_read
+        ).run()
     return Simulation(config, documents=documents, first_tier_read=first_tier_read).run()

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.broadcast.loss import LOSSLESS, PacketLossModel
 from repro.broadcast.server import BroadcastServer, DocumentStore
 from repro.client.lossy import LossyTwoTierClient
 from repro.client.twotier import TwoTierClient
+from repro.index.sizes import PAPER_SIZE_MODEL
 from repro.xpath.parser import parse_query
 
 
@@ -30,14 +33,52 @@ class _AlwaysLose(PacketLossModel):
         return self._lose_docs
 
 
-def drained_server(capacity=100_000):
+class _LoseOnly(PacketLossModel):
+    """Lose exactly the listed packet indices; record every query."""
+
+    def __init__(self, targets=()):
+        object.__setattr__(self, "loss_prob", 0.5)  # non-zero: not lossless
+        object.__setattr__(self, "seed", 0)
+        self._targets = set(targets)
+        self.packet_queries = []
+
+    def packet_lost(self, client_key, cycle_number, packet_index):
+        self.packet_queries.append(packet_index)
+        return packet_index in self._targets
+
+    def span_lost(self, client_key, cycle_number, start_packet, packet_count):
+        return False
+
+
+class _CountingLoss(PacketLossModel):
+    """Lossless, but record every span draw (single-draw regression)."""
+
+    def __init__(self):
+        object.__setattr__(self, "loss_prob", 0.5)
+        object.__setattr__(self, "seed", 0)
+        self.span_calls = []
+
+    def packet_lost(self, client_key, cycle_number, packet_index):
+        return False
+
+    def span_lost(self, client_key, cycle_number, start_packet, packet_count):
+        self.span_calls.append((start_packet, packet_count))
+        return False
+
+
+def drained_server(capacity=100_000, size_model=PAPER_SIZE_MODEL):
     from tests.xpath.test_evaluator import paper_documents
 
-    store = DocumentStore(paper_documents())
+    store = DocumentStore(paper_documents(), size_model=size_model)
     server = BroadcastServer(
         store, cycle_data_capacity=capacity, acknowledged_delivery=True
     )
     return server
+
+
+#: packets small enough that the paper collection's offset list and
+#: packed first tier both span several packets
+TINY_PACKETS = replace(PAPER_SIZE_MODEL, packet_bytes=24)
 
 
 class TestIndexLoss:
@@ -92,6 +133,19 @@ class TestDocumentLoss:
         assert client.received_doc_ids == set()
         assert client.metrics.doc_bytes > 0  # listened, frames corrupted
 
+    def test_span_lost_drawn_once_per_document(self):
+        """Regression: a document's frame run is one loss draw, not many."""
+        server = drained_server()
+        query = parse_query("/a//c")
+        server.submit(query, 0)
+        cycle = server.build_cycle()
+        model = _CountingLoss()
+        client = LossyTwoTierClient(query, 0, client_key=1, loss_model=model)
+        client.on_cycle(cycle)
+        assert client.received_doc_ids == client.expected_doc_ids
+        assert len(model.span_calls) == len(client.expected_doc_ids)
+        assert len(set(model.span_calls)) == len(model.span_calls)
+
     def test_lossless_model_equals_reliable_client(self):
         server = drained_server()
         query = parse_query("/a//c")
@@ -104,3 +158,60 @@ class TestDocumentLoss:
         assert lossy.received_doc_ids == reliable.received_doc_ids
         assert lossy.metrics.doc_bytes == reliable.metrics.doc_bytes
         assert lossy.metrics.offset_bytes == reliable.metrics.offset_bytes
+
+
+class TestMultiPacketStructures:
+    """Losses inside multi-packet index/offset structures (tiny packets)."""
+
+    def test_one_lost_offset_packet_blinds_the_cycle(self):
+        server = drained_server(size_model=TINY_PACKETS)
+        query = parse_query("/a//c")
+        pending = server.submit(query, 0)
+        cycle = server.build_cycle()
+        assert cycle.offset_list.packet_count > 1  # the point of the test
+
+        # Lose only the *last* offset packet; the first arrives fine.
+        last = 1_000_000 + cycle.offset_list.packet_count - 1
+        client = LossyTwoTierClient(
+            query, 0, client_key=1, loss_model=_LoseOnly({last})
+        )
+        client.on_cycle(cycle)
+        assert client.expected_doc_ids is not None  # index read succeeded
+        assert client.blind_cycles == 1
+        assert client.received_doc_ids == set()
+        assert client.metrics.offset_bytes > 0  # partial list still paid for
+
+        # Healed channel: next cycle's rebroadcast completes the session.
+        client.loss_model = LOSSLESS
+        server.confirm_delivery(pending, client.received_doc_ids, cycle)
+        client.on_cycle(server.build_cycle())
+        assert client.received_doc_ids == client.expected_doc_ids
+
+    def test_one_lost_packet_of_selective_index_read_forces_retry(self):
+        server = drained_server(size_model=TINY_PACKETS)
+        query = parse_query("/a//c")
+        pending = server.submit(query, 0)
+        cycle = server.build_cycle()
+
+        # Discover which first-tier packets the selective read touches.
+        spy = _LoseOnly()
+        probe_client = LossyTwoTierClient(query, 0, client_key=1, loss_model=spy)
+        probe_client.on_cycle(cycle)
+        needed = {p for p in spy.packet_queries if p < 1_000_000}
+        assert len(needed) > 1  # the read really spans several packets
+
+        client = LossyTwoTierClient(
+            query, 0, client_key=1, loss_model=_LoseOnly({max(needed)})
+        )
+        client.on_cycle(cycle)
+        assert client.index_retries == 1
+        assert client.expected_doc_ids is None
+        # All needed packets were listened to before the loss surfaced.
+        packed = cycle.packed_first_tier
+        assert client.metrics.index_bytes == len(needed) * packed.packet_bytes
+        assert client.metrics.offset_bytes == 0
+
+        client.loss_model = LOSSLESS
+        server.confirm_delivery(pending, client.received_doc_ids, cycle)
+        client.on_cycle(server.build_cycle())
+        assert client.received_doc_ids == client.expected_doc_ids

@@ -1,0 +1,122 @@
+"""Per-packet checksum accounting across the air program.
+
+The checksum trailer reserves bytes of every packet, shrinking the
+usable payload; every packetised structure (packed index, second-tier
+offset list, document frames) must charge it, and the cycle layout must
+carry it so clients and the program signature see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.broadcast.packets import CycleLayout, PacketKind, Segment
+from repro.broadcast.program import build_cycle_program, program_signature
+from repro.broadcast.server import BroadcastServer, DocumentStore
+from repro.index.packing import pack_index
+from repro.index.sizes import PAPER_SIZE_MODEL, SizeModel
+from repro.xpath.parser import parse_query
+
+
+CHECKSUMMED = replace(PAPER_SIZE_MODEL, checksum_bytes=16)
+
+
+def paper_store(size_model=PAPER_SIZE_MODEL):
+    from tests.xpath.test_evaluator import paper_documents
+
+    return DocumentStore(paper_documents(), size_model=size_model)
+
+
+class TestSizeModel:
+    def test_payload_shrinks_by_checksum(self):
+        assert CHECKSUMMED.payload_bytes == PAPER_SIZE_MODEL.packet_bytes - 16
+        assert PAPER_SIZE_MODEL.payload_bytes == PAPER_SIZE_MODEL.packet_bytes
+
+    def test_packets_for_uses_payload(self):
+        # 128 bytes fit one clean packet; with a 16-byte trailer they spill.
+        assert PAPER_SIZE_MODEL.packets_for(128) == 1
+        assert CHECKSUMMED.packets_for(128) == 2
+
+    def test_checksum_cannot_eat_the_packet(self):
+        with pytest.raises(ValueError, match="payload"):
+            SizeModel(packet_bytes=16, checksum_bytes=9)
+        with pytest.raises(ValueError):
+            SizeModel(checksum_bytes=-1)
+
+    def test_zero_checksum_collapses_to_paper_model(self):
+        assert replace(CHECKSUMMED, checksum_bytes=0) == PAPER_SIZE_MODEL
+
+
+class TestLayout:
+    def test_layout_validation(self):
+        segment = (Segment(PacketKind.DATA, 0, 128),)
+        with pytest.raises(ValueError):
+            CycleLayout(segment, packet_bytes=128, checksum_bytes=128)
+        with pytest.raises(ValueError):
+            CycleLayout(segment, packet_bytes=128, checksum_bytes=-1)
+        layout = CycleLayout(segment, packet_bytes=128, checksum_bytes=16)
+        assert layout.payload_bytes == 112
+
+
+class TestIndexAccounting:
+    @staticmethod
+    def _packed(size_model):
+        store = paper_store(size_model=size_model)
+        server = BroadcastServer(store)
+        server.submit(parse_query("/a//c"), 0)
+        return pack_index(server.build_cycle().pci, one_tier=True)
+
+    def test_packing_charges_checksum(self):
+        small = replace(PAPER_SIZE_MODEL, packet_bytes=32)
+        tight = replace(small, checksum_bytes=16)
+        plain = self._packed(small)
+        checked = self._packed(tight)
+        # Same tree, half the payload: strictly more packets on air.
+        assert checked.packet_count > plain.packet_count
+        # On-air size still counts whole packets, trailer included.
+        assert checked.total_bytes == checked.packet_count * tight.packet_bytes
+
+    def test_offset_list_packet_mapping_uses_payload(self):
+        small = replace(PAPER_SIZE_MODEL, packet_bytes=32, checksum_bytes=8)
+        store = paper_store(size_model=small)
+        server = BroadcastServer(store, cycle_data_capacity=100_000)
+        server.submit(parse_query("/a//c"), 0)
+        cycle = server.build_cycle()
+        offsets = cycle.offset_list
+        assert offsets.packet_count == small.packets_for(offsets.size_bytes)
+        # Entry k sits in packet (k * entry_bytes) // payload, not // packet.
+        per_payload = {
+            doc_id: (position * small.offset_entry_bytes + small.count_bytes)
+            // small.payload_bytes
+            for position, (doc_id, _offset) in enumerate(offsets.entries)
+        }
+        for doc_id in cycle.doc_ids:
+            packets = offsets.packets_for_docs([doc_id])
+            assert per_payload[doc_id] in packets
+
+
+class TestProgramSignature:
+    def build(self, size_model):
+        store = paper_store(size_model=size_model)
+        server = BroadcastServer(store)
+        server.submit(parse_query("/a//c"), 0)
+        return server.build_cycle()
+
+    def test_checksum_changes_the_signature(self):
+        plain = self.build(PAPER_SIZE_MODEL)
+        checked = self.build(CHECKSUMMED)
+        assert plain.layout.checksum_bytes == 0
+        assert checked.layout.checksum_bytes == 16
+        assert program_signature(plain) != program_signature(checked)
+
+    def test_signature_stable_for_equal_models(self):
+        assert program_signature(self.build(CHECKSUMMED)) == program_signature(
+            self.build(CHECKSUMMED)
+        )
+
+    def test_cycle_layout_carries_size_model_checksum(self):
+        cycle = self.build(CHECKSUMMED)
+        assert cycle.layout.checksum_bytes == CHECKSUMMED.checksum_bytes
+        assert cycle.layout.payload_bytes == CHECKSUMMED.payload_bytes

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.broadcast",
     "repro.client",
     "repro.sim",
+    "repro.faults",
     "repro.baselines",
     "repro.analysis",
     "repro.experiments",
