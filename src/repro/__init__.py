@@ -116,6 +116,14 @@ from repro.faults import (
     sample_fault_plan,
 )
 
+# Live serving
+from repro.net import (
+    AsyncTwoTierClient,
+    BroadcastDaemon,
+    ClientReport,
+    DaemonConfig,
+)
+
 __all__ = [
     "__version__",
     # xmlkit
@@ -178,4 +186,9 @@ __all__ = [
     "FaultPlan",
     "default_fault_plan",
     "sample_fault_plan",
+    # net
+    "AsyncTwoTierClient",
+    "BroadcastDaemon",
+    "ClientReport",
+    "DaemonConfig",
 ]

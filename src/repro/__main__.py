@@ -11,9 +11,15 @@ Subcommands:
 * ``stats``     -- phase-timing + byte-accounting perf report, from a
   saved trace (``--trace``) or a fresh observed run; ``--json`` for the
   machine-readable form the benchmark harness snapshots;
-* ``figures``   -- alias of ``python -m repro.experiments``.
+* ``serve``     -- run the live broadcast daemon: asyncio uplink for
+  XPath submissions, paced downlink streaming each built cycle as wire
+  frames (see ``repro.net``); SIGINT drains gracefully;
+* ``client``    -- submit one query to a running daemon, tune in with
+  the two-tier protocol and print the access/tuning byte accounting;
+* ``figures``   -- pointer to ``python -m repro.experiments``.
 
-Everything is seeded and offline; see ``--help`` of each subcommand.
+Everything except ``serve``/``client`` (which talk TCP on localhost by
+default) is seeded and offline; see ``--help`` of each subcommand.
 """
 
 from __future__ import annotations
@@ -264,6 +270,112 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the live broadcast daemon until SIGINT/SIGTERM drains it."""
+    import asyncio
+    import pathlib
+    import signal
+
+    from repro.net import BroadcastDaemon, DaemonConfig
+
+    documents = _collection_for(args)
+    store = DocumentStore(documents)
+    config = SimulationConfig(
+        dtd=args.dtd,
+        document_count=args.count,
+        collection_seed=args.seed,
+        cycle_data_capacity=args.capacity,
+        scheduler=args.scheduler,
+        scheme=IndexScheme(args.scheme),
+        num_data_channels=getattr(args, "channels", None),
+        channel_allocation=getattr(args, "allocation", "balanced"),
+    )
+    net = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        bandwidth=args.bandwidth,
+        max_pending=args.max_pending,
+        max_queries=args.max_queries,
+    )
+    preload = load_workload(args.workload) if args.workload else []
+
+    async def _serve() -> None:
+        daemon = BroadcastDaemon(store, config, net)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, daemon.request_stop)
+        if preload:
+            admitted = daemon.preload(preload)
+            print(f"preloaded {admitted}/{len(preload)} workload queries")
+        print(
+            f"broadcast daemon on {args.host}:{daemon.port} "
+            f"({len(documents)} docs, scheme={config.scheme.value}, "
+            f"K={config.num_data_channels or 1}, "
+            f"bandwidth={args.bandwidth or 'unpaced'})",
+            flush=True,
+        )
+        if args.port_file:
+            pathlib.Path(args.port_file).write_text(f"{daemon.port}\n")
+        await daemon.wait_done()
+        status = daemon.status()
+        print(
+            f"drained: {status['admitted']} admitted, "
+            f"{status['completed']} completed, {status['cycles']} cycles, "
+            f"{daemon.bytes_streamed:,} bytes streamed"
+        )
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Submit one query to a running daemon and report the byte costs."""
+    import asyncio
+
+    from repro.net import AsyncTwoTierClient
+
+    client = AsyncTwoTierClient(
+        args.query,
+        host=args.host,
+        port=args.port,
+        arrival_time=args.arrival,
+        client_key=args.key,
+    )
+    report = asyncio.run(client.run())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "query_id": report.query_id,
+                    "protocol": report.protocol,
+                    "satisfied": report.satisfied,
+                    "access_bytes": report.access_bytes,
+                    "tuning_bytes": report.tuning_bytes,
+                    "index_lookup_bytes": report.metrics.index_lookup_bytes,
+                    "cycles_listened": report.metrics.cycles_listened,
+                    "cycles_verified": report.cycles_verified,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print_table(
+            f"Query {report.query_id} ({report.protocol})",
+            ("metric", "value"),
+            [
+                ("satisfied", str(report.satisfied)),
+                ("access bytes", report.access_bytes),
+                ("tuning bytes", report.tuning_bytes),
+                ("index look-up bytes", report.metrics.index_lookup_bytes),
+                ("cycles listened", report.metrics.cycles_listened),
+                ("cycles signature-verified", report.cycles_verified),
+            ],
+        )
+    return 0 if report.satisfied else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -362,15 +474,87 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--out", help="also write the JSON report to a file")
     stats.set_defaults(func=cmd_stats)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the live broadcast daemon",
+        description="Serve a collection over TCP: framed uplink for XPath "
+        "submissions, paced downlink streaming every built cycle as wire "
+        "frames.  SIGINT/SIGTERM drain gracefully (pending queries are "
+        "served, then subscribers get SERVER_BYE).",
+    )
+    _add_collection_args(serve)
+    serve.add_argument("--collection", help="load a saved collection directory")
+    serve.add_argument("--workload", help="preload a saved workload at t=0")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument(
+        "--port-file", help="write the bound port here (scripted clients)"
+    )
+    serve.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        metavar="BYTES_PER_SEC",
+        help="pace the downlink at this on-air byte rate (default: unpaced)",
+    )
+    serve.add_argument("--capacity", type=int, default=200_000)
+    serve.add_argument(
+        "--scheduler", choices=("leelo", "fcfs", "mrf", "rxw"), default="leelo"
+    )
+    serve.add_argument(
+        "--scheme", choices=("one-tier", "two-tier"), default="two-tier"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission bound; excess SUBMITs get RETRY_AFTER",
+    )
+    serve.add_argument(
+        "--max-queries",
+        type=int,
+        default=None,
+        help="stop admitting after this many queries and drain (smoke runs)",
+    )
+    _add_channel_args(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    client = commands.add_parser(
+        "client",
+        help="submit one query to a running daemon",
+        description="Connect to a broadcast daemon, submit one XPath query, "
+        "tune into the downlink with the two-tier protocol and print the "
+        "paper's access/tuning byte accounting for the live session.",
+    )
+    client.add_argument("query", help="XPath query, e.g. '/nitf//tobject'")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument(
+        "--arrival",
+        type=int,
+        default=None,
+        help="scripted arrival byte-time (replay); default: stamped on air",
+    )
+    client.add_argument(
+        "--key", type=int, default=None, help="idempotent-uplink client key"
+    )
+    client.add_argument("--json", action="store_true")
+    client.set_defaults(func=cmd_client)
+
+    figures = commands.add_parser(
+        "figures",
+        help="pointer to the experiments runner",
+        description="The paper's tables and figures live in their own "
+        "entry point with sweep caching: python -m repro.experiments",
+    )
+    figures.set_defaults(func=lambda args: (print("use: python -m repro.experiments"), 2)[1])
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "figures":  # pragma: no cover - alias note only
-        print("use: python -m repro.experiments")
-        return 2
     return args.func(args)
 
 

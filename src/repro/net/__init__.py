@@ -1,0 +1,61 @@
+"""Live serving layer: the broadcast daemon and its async client.
+
+The simulator models the paper's on-demand system inside a
+discrete-event loop; this package makes it a *live* system.  A
+:class:`~repro.net.daemon.BroadcastDaemon` drives the existing
+:class:`~repro.broadcast.server.BroadcastServer` pipeline on a real
+cycle clock, accepts XPath queries over a framed TCP uplink and streams
+every built cycle as wire frames on the downlink, paced by a token
+bucket.  An :class:`~repro.net.client.AsyncTwoTierClient` runs the
+*unchanged* client access protocols over that socket: each streamed
+cycle is decoded back into a :class:`~repro.broadcast.program.
+BroadcastCycle` whose :func:`~repro.broadcast.program.program_signature`
+must match the server's, so per-query access and tuning bytes are --
+by construction and by differential test -- identical to the
+simulator's (``tests/net/test_parity.py``).
+
+Wall-clock time never enters the protocol: all pacing and arrival
+stamping go through an injectable :class:`~repro.net.clock.ClockAdapter`
+(:class:`~repro.net.clock.ManualClock` in tests, monotonic time in
+production).
+"""
+
+from repro.net.client import (
+    AsyncTwoTierClient,
+    Backpressure,
+    ClientReport,
+    UplinkError,
+)
+from repro.net.clock import ClockAdapter, ManualClock, MonotonicClock
+from repro.net.daemon import BroadcastDaemon, DaemonConfig
+from repro.net.framing import (
+    FrameError,
+    FrameKind,
+    encode_frame,
+    read_frame,
+    read_frame_mixed,
+)
+from repro.net.pacing import TokenBucket
+from repro.net.wire import CycleDecoder, WireFrame, WireProtocolError, encode_cycle
+
+__all__ = [
+    "AsyncTwoTierClient",
+    "Backpressure",
+    "BroadcastDaemon",
+    "ClientReport",
+    "ClockAdapter",
+    "CycleDecoder",
+    "DaemonConfig",
+    "FrameError",
+    "FrameKind",
+    "ManualClock",
+    "MonotonicClock",
+    "TokenBucket",
+    "UplinkError",
+    "WireFrame",
+    "WireProtocolError",
+    "encode_cycle",
+    "encode_frame",
+    "read_frame",
+    "read_frame_mixed",
+]

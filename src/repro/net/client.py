@@ -1,0 +1,275 @@
+"""The async two-tier client: selective tuning over a socket.
+
+:class:`AsyncTwoTierClient` is a thin transport shell around the
+*unchanged* access protocols of :mod:`repro.client` -- the same
+:class:`~repro.client.twotier.TwoTierClient` (or, against a K-channel
+daemon, :class:`~repro.client.multichannel.MultiChannelTwoTierClient`)
+that the simulator drives.  The shell submits the query on the uplink,
+tunes into the downlink, reconstructs each streamed cycle with
+:class:`~repro.net.wire.CycleDecoder` (verifying the program signature
+embedded in the cycle header), and feeds the reconstructed cycle to the
+protocol object.  Because the protocol code is shared and the decoder
+round-trips the cycle byte-exactly, the client's access-time and
+tuning-time byte counts match the simulator's for the same broadcast --
+that parity is the differential test in ``tests/net/test_parity.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.broadcast.program import BroadcastCycle
+from repro.client.metrics import ClientMetrics
+from repro.client.protocol import AccessProtocol, FirstTierRead
+from repro.client.twotier import TwoTierClient
+from repro.client.multichannel import MultiChannelTwoTierClient
+from repro.net.framing import (
+    FrameKind,
+    encode_text,
+    read_frame_mixed,
+)
+from repro.net.wire import CycleDecoder
+from repro.xpath.parser import parse_query
+
+
+class UplinkError(ConnectionError):
+    """The daemon answered a command with ERR (or an unexpected reply)."""
+
+
+class Backpressure(ConnectionError):
+    """The daemon answered SUBMIT with RETRY_AFTER."""
+
+    def __init__(self, hint: int) -> None:
+        super().__init__(f"daemon overloaded, retry after {hint}")
+        self.hint = hint
+
+
+@dataclass
+class ClientReport:
+    """What one satisfied (or disconnected) client session measured."""
+
+    query_id: int
+    protocol: str
+    metrics: ClientMetrics
+    satisfied: bool
+    #: cycles whose wire stream decoded and signature-verified
+    cycles_verified: int = 0
+    #: per-cycle program signatures, in broadcast order
+    signatures: List[str] = field(default_factory=list)
+
+    @property
+    def access_bytes(self) -> int:
+        return self.metrics.access_bytes
+
+    @property
+    def tuning_bytes(self) -> int:
+        return self.metrics.tuning_bytes
+
+
+class AsyncTwoTierClient:
+    """Submit one XPath query and tune until it is satisfied.
+
+    Staged API for scripted tests (``connect`` / ``tune`` / ``submit`` /
+    ``run_session``) plus a one-call :meth:`run` for normal use.  The
+    access protocol object is built lazily from the daemon's TUNED
+    banner: a :class:`MultiChannelTwoTierClient` when the daemon runs
+    K >= 2 data channels, a plain :class:`TwoTierClient` otherwise.
+    """
+
+    def __init__(
+        self,
+        query: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        arrival_time: Optional[int] = None,
+        first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+        client_key: Optional[int] = None,
+    ) -> None:
+        self.query = parse_query(query)
+        self.host = host
+        self.port = port
+        #: scripted arrival byte-time (replay); ``None`` = daemon stamps it
+        self.arrival_time = arrival_time
+        self.first_tier_read = first_tier_read
+        self.client_key = client_key
+
+        self.query_id: Optional[int] = None
+        self.num_channels = 1
+        self.ack_required = False
+        self._checksum = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self.protocol: Optional[AccessProtocol] = None
+
+    # ------------------------------------------------------------------
+    # Staged API
+    # ------------------------------------------------------------------
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def tune(self) -> None:
+        """Join the downlink and learn the daemon's channel model."""
+        reply = await self._command("TUNE")
+        word, _, rest = reply.partition(" ")
+        if word != "TUNED":
+            raise UplinkError(f"unexpected TUNE reply: {reply!r}")
+        info = json.loads(rest)
+        self.num_channels = int(info.get("num_channels", 1))
+        self.ack_required = bool(info.get("ack_required", False))
+        self._checksum = int(info.get("checksum_bytes", 0))
+
+    async def submit(self) -> int:
+        """SUBMIT the query; returns the daemon-assigned query id."""
+        parts = ["SUBMIT"]
+        if self.arrival_time is not None:
+            parts.append(f"AT={self.arrival_time}")
+        if self.client_key is not None:
+            parts.append(f"KEY={self.client_key}")
+        parts.append(str(self.query))
+        reply = await self._command(" ".join(parts))
+        word, _, rest = reply.partition(" ")
+        if word == "RETRY_AFTER":
+            raise Backpressure(int(rest or "1"))
+        if word != "ACK":
+            raise UplinkError(f"submit rejected: {reply!r}")
+        qid_text, _, arrival_text = rest.partition(" ")
+        self.query_id = int(qid_text)
+        self.arrival_time = int(arrival_text)
+        return self.query_id
+
+    async def run_session(self) -> ClientReport:
+        """Consume the downlink until the query is satisfied.
+
+        Feeds each decoded cycle to the shared access protocol, sends
+        RECV confirmations when the daemon runs acknowledged delivery,
+        and BYEs out once complete (or reports partial metrics if the
+        daemon says SERVER_BYE first).
+        """
+        if self._reader is None or self.query_id is None:
+            raise UplinkError("connect(), tune() and submit() first")
+        protocol = self._build_protocol()
+        decoder = CycleDecoder()
+        signatures: List[str] = []
+        satisfied = False
+        while True:
+            try:
+                kind, payload = await self._read_downlink()
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                break
+            if kind is FrameKind.SERVER_BYE:
+                break
+            if kind is FrameKind.TEXT:
+                continue  # late uplink replies (e.g. a queued ACK echo)
+            cycle = decoder.feed(kind, payload)
+            if cycle is None:
+                continue
+            assert decoder.last_header is not None
+            signatures.append(decoder.last_header["signature"])
+            was_satisfied = protocol.satisfied
+            protocol.on_cycle(cycle)
+            if (
+                self.ack_required
+                and protocol.can_use(cycle)
+                and not was_satisfied
+            ):
+                await self._send_recv(cycle, protocol)
+            if protocol.satisfied:
+                satisfied = True
+                await self._bye()
+                break
+        return ClientReport(
+            query_id=self.query_id,
+            protocol=protocol.protocol_name,
+            metrics=protocol.metrics,
+            satisfied=satisfied,
+            cycles_verified=len(signatures),
+            signatures=signatures,
+        )
+
+    async def run(self) -> ClientReport:
+        """connect + tune + submit + session, with cleanup."""
+        await self.connect()
+        try:
+            await self.tune()
+            await self.submit()
+            return await self.run_session()
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _build_protocol(self) -> AccessProtocol:
+        if self.protocol is not None:
+            return self.protocol
+        assert self.arrival_time is not None
+        if self.num_channels > 1:
+            self.protocol = MultiChannelTwoTierClient(
+                self.query,
+                self.arrival_time,
+                client_key=self.client_key or 0,
+            )
+        else:
+            self.protocol = TwoTierClient(
+                self.query,
+                self.arrival_time,
+                first_tier_read=self.first_tier_read,
+            )
+        return self.protocol
+
+    async def _command(self, line: str) -> str:
+        """Send one uplink command and read its TEXT reply."""
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(encode_text(line))
+        await self._writer.drain()
+        kind, payload = await read_frame_mixed(self._reader, self._checksum)
+        if kind is FrameKind.TEXT:
+            return payload.decode("utf-8")
+        # A cycle frame raced the reply (tuned connection): commands are
+        # only issued between cycles in the staged API, so this indicates
+        # a protocol misuse worth failing loudly on.
+        raise UplinkError(
+            f"expected TEXT reply to {line.split()[0]}, got {kind.name}"
+        )
+
+    async def _read_downlink(self) -> Tuple[FrameKind, bytes]:
+        """Read one downlink frame (TEXT = no trailer, binary = model's)."""
+        assert self._reader is not None
+        return await read_frame_mixed(self._reader, self._checksum)
+
+    async def _send_recv(
+        self, cycle: BroadcastCycle, protocol: AccessProtocol
+    ) -> None:
+        docs = sorted(protocol.received_doc_ids)
+        doc_text = ",".join(str(d) for d in docs) if docs else "-"
+        assert self._writer is not None
+        self._writer.write(
+            encode_text(f"RECV {self.query_id} {cycle.cycle_number} {doc_text}")
+        )
+        await self._writer.drain()
+
+    async def _bye(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode_text("BYE"))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,66 @@
+"""Injectable clocks for the live serving layer.
+
+The deterministic core (simulator, server, clients) counts *channel
+byte-time*; only the daemon's pacing needs real seconds.  To keep
+wall-clock out of every deterministic path, the daemon never calls
+``time.*`` directly -- it goes through a :class:`ClockAdapter` injected
+via :class:`~repro.net.daemon.DaemonConfig`:
+
+* :class:`MonotonicClock` -- production: ``time.monotonic`` plus real
+  ``asyncio.sleep``;
+* :class:`ManualClock` -- tests: a simulated-seconds counter that
+  advances instantly on ``sleep`` (still yielding to the event loop
+  once), so paced runs are deterministic and take no wall time.
+
+``tests/test_wallclock_hygiene.py`` pins the rule that deterministic
+packages never *call* wall-clock functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Protocol
+
+
+class ClockAdapter(Protocol):
+    """Seconds-valued clock with an async sleep, injectable everywhere."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one run)."""
+        ...  # pragma: no cover - protocol
+
+    async def sleep(self, seconds: float) -> None:
+        """Suspend the calling task for *seconds* of this clock's time."""
+        ...  # pragma: no cover - protocol
+
+
+class MonotonicClock:
+    """Real time: ``time.monotonic`` + ``asyncio.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+
+
+class ManualClock:
+    """Simulated seconds: ``sleep`` advances the counter without waiting.
+
+    Every ``sleep`` still yields control to the event loop exactly once,
+    so concurrently paced tasks interleave -- but a test run over a
+    "slow" bandwidth completes in microseconds of wall time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+        await asyncio.sleep(0)

@@ -1,0 +1,516 @@
+"""The live broadcast daemon: asyncio uplink + paced downlink.
+
+One asyncio TCP endpoint serves both directions of the paper's
+on-demand model.  Clients send framed TEXT commands on the **uplink**::
+
+    SUBMIT [AT=<t>] [KEY=<k>] <xpath>   -> ACK <query_id> <arrival>
+                                           | RETRY_AFTER <hint>
+                                           | ERR <message>
+    TUNE                                -> TUNED <json>   (join downlink)
+    RECV <query_id> <cycle> <d1,d2|->   (acknowledged delivery)
+    STATUS                              -> STATUS <json>
+    BYE                                 -> BYE            (server closes)
+
+``AT=<t>`` stamps a scripted arrival byte-time (replay/differential
+testing); without it the arrival is the current on-air byte-time.
+``KEY=<k>`` routes through the server's idempotent-uplink dedup.
+
+The **downlink** streams every built cycle as the wire frames of
+:mod:`repro.net.wire` to all tuned connections, paced by one
+:class:`~repro.net.pacing.TokenBucket` over the cycle's on-air bytes
+(aggregate across K data channels).  The daemon drives the unchanged
+:class:`~repro.broadcast.server.BroadcastServer` pipeline -- same
+scheduler, caches and cycle programs as the simulator, via
+:func:`~repro.sim.simulation.make_server` -- on a cycle clock: cycles
+run back-to-back while queries are pending, and an idle daemon jumps
+its build clock to the next admitted arrival exactly as the simulator's
+event queue does.
+
+Admission is bounded (``max_pending``): an overloaded uplink answers
+``RETRY_AFTER`` instead of queueing without limit.  With K >= 2 data
+channels the server runs acknowledged delivery; the daemon then holds
+an **ack barrier** after each cycle -- every tuned connection owning an
+unsatisfied query admitted before the cycle must report its received
+set (``RECV``) before the next cycle builds, and the confirmations are
+applied in admission order, mirroring the simulator's delivery loop.
+
+SIGINT handling is graceful: :meth:`BroadcastDaemon.request_stop`
+drains -- in-flight and pending queries are served to completion, then
+every subscriber receives ``SERVER_BYE`` and the sockets close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.broadcast.program import BroadcastCycle
+from repro.broadcast.server import DocumentStore, PendingQuery
+from repro.net.clock import ClockAdapter, MonotonicClock
+from repro.net.framing import (
+    FrameError,
+    FrameKind,
+    encode_frame,
+    encode_text,
+    read_frame,
+)
+from repro.net.pacing import TokenBucket
+from repro.net.wire import encode_cycle
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import make_server
+from repro.xpath.parser import parse_query
+
+
+@dataclass
+class DaemonConfig:
+    """Knobs of the serving surface (the broadcast model itself comes
+    from the shared :class:`~repro.sim.config.SimulationConfig`)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port lands in ``daemon.port``
+    #: aggregate downlink rate in on-air bytes/second; ``None`` = unpaced
+    bandwidth: Optional[float] = None
+    #: admission bound: further SUBMITs get RETRY_AFTER backpressure
+    max_pending: int = 1024
+    #: start cycling as soon as a query is admitted; ``False`` holds
+    #: cycles until :meth:`BroadcastDaemon.start_broadcast` (replay mode:
+    #: script every arrival first, then release the broadcast)
+    autostart: bool = True
+    #: stop admitting after this many successful SUBMITs and drain
+    #: (benchmarks and smoke jobs); ``None`` = serve forever
+    max_queries: Optional[int] = None
+    #: injectable clock for pacing (wall-clock never enters directly);
+    #: ``None`` -> :class:`~repro.net.clock.MonotonicClock`
+    clock: Optional[ClockAdapter] = None
+
+
+@dataclass
+class _Connection:
+    """Per-socket uplink/downlink state."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    tuned: bool = False
+    #: query ids ACKed on this connection (drives the ack barrier)
+    query_ids: Set[int] = field(default_factory=set)
+    closed: bool = False
+
+
+class BroadcastDaemon:
+    """Serve a document store live over TCP."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        config: Optional[SimulationConfig] = None,
+        net: Optional[DaemonConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        self.net = net if net is not None else DaemonConfig()
+        self.store = store
+        self.server = make_server(self.config, store)
+        self.clock: ClockAdapter = self.net.clock or MonotonicClock()
+        self._bucket = TokenBucket(self.net.bandwidth, self.clock)
+        self._checksum = store.size_model.checksum_bytes
+
+        self.port: Optional[int] = None
+        self._tcp: Optional[asyncio.base_events.Server] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._connections: List[_Connection] = []
+        self._started = asyncio.Event()
+        if self.net.autostart:
+            self._started.set()
+        self._wake = asyncio.Event()
+        self._done = asyncio.Event()
+        self._draining = False
+
+        #: acknowledged-delivery barrier state for the cycle on air
+        self._ack_cycle: Optional[int] = None
+        self._acks: Dict[int, Set[int]] = {}
+        self._ack_event = asyncio.Event()
+
+        #: on-air position while a cycle streams: (start_time, end_offset)
+        self._on_air: Optional[Tuple[int, int]] = None
+
+        # plain-int mirrors of the obs counters (readable without a registry)
+        self.connections_total = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.cycles_streamed = 0
+        self.frames_sent = 0
+        self.bytes_streamed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the broadcast loop."""
+        self._tcp = await asyncio.start_server(
+            self._handle_connection, self.net.host, self.net.port
+        )
+        self.port = self._tcp.sockets[0].getsockname()[1]
+        self._loop_task = asyncio.create_task(self._broadcast_loop())
+
+    def start_broadcast(self) -> None:
+        """Release cycling (replay mode with ``autostart=False``)."""
+        self._started.set()
+        self._wake.set()
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain: serve what is pending, then close."""
+        self._draining = True
+        self._wake.set()
+        self._ack_event.set()
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    async def stop(self) -> None:
+        """Drain and wait for the shutdown to finish."""
+        self.request_stop()
+        await self.wait_done()
+
+    # ------------------------------------------------------------------
+    # Uplink
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.append(conn)
+        self.connections_total += 1
+        obs.counter("net.connections_total").inc()
+        try:
+            while True:
+                try:
+                    kind, payload = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break
+                if kind is not FrameKind.TEXT:
+                    await self._reply(conn, "ERR uplink frames must be TEXT")
+                    continue
+                try:
+                    line = payload.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    await self._reply(conn, "ERR command is not UTF-8")
+                    continue
+                if not await self._dispatch(conn, line):
+                    break
+        finally:
+            self._drop(conn)
+
+    async def _reply(self, conn: _Connection, line: str) -> None:
+        try:
+            conn.writer.write(encode_text(line))
+            await conn.writer.drain()
+        except (ConnectionError, OSError):
+            self._drop(conn)
+
+    async def _dispatch(self, conn: _Connection, line: str) -> bool:
+        """Handle one uplink command; returns False to close the session."""
+        command, _, rest = line.partition(" ")
+        command = command.upper()
+        if command == "SUBMIT":
+            await self._reply(conn, self._submit(conn, rest.strip()))
+            return True
+        if command == "TUNE":
+            conn.tuned = True
+            await self._reply(conn, "TUNED " + json.dumps(self._tune_info()))
+            return True
+        if command == "RECV":
+            self._record_ack(rest.strip())
+            return True
+        if command == "STATUS":
+            await self._reply(conn, "STATUS " + json.dumps(self.status()))
+            return True
+        if command == "BYE":
+            await self._reply(conn, "BYE")
+            return False
+        await self._reply(conn, f"ERR unknown command {command!r}")
+        return True
+
+    def _submit(self, conn: _Connection, rest: str) -> str:
+        arrival: Optional[int] = None
+        key: Optional[int] = None
+        tokens = rest.split()
+        while tokens and "=" in tokens[0]:
+            name, _, value = tokens[0].partition("=")
+            try:
+                if name == "AT":
+                    arrival = int(value)
+                elif name == "KEY":
+                    key = int(value)
+                else:
+                    return f"ERR unknown SUBMIT option {name!r}"
+            except ValueError:
+                return f"ERR {name} must be an integer"
+            tokens.pop(0)
+        if not tokens:
+            return "ERR SUBMIT needs an XPath query"
+        if self._draining:
+            return "RETRY_AFTER 1"
+        if (
+            self.net.max_queries is not None
+            and self.admitted_total >= self.net.max_queries
+        ):
+            self.rejected_total += 1
+            obs.counter("net.queries_rejected_total", reason="closed").inc()
+            return "ERR admission closed"
+        if len(self.server.pending) >= self.net.max_pending:
+            self.rejected_total += 1
+            obs.counter("net.queries_rejected_total", reason="overload").inc()
+            return f"RETRY_AFTER {len(self.server.pending)}"
+        try:
+            query = parse_query(" ".join(tokens))
+        except ValueError as exc:
+            return f"ERR {exc}"
+        if arrival is None:
+            arrival = self._arrival_now()
+        try:
+            pending = self.server.submit(query, arrival, client_key=key)
+        except ValueError as exc:
+            return f"ERR {exc}"
+        conn.query_ids.add(pending.query_id)
+        self.admitted_total += 1
+        obs.counter("net.queries_admitted_total").inc()
+        self._wake.set()
+        return f"ACK {pending.query_id} {pending.arrival_time}"
+
+    def _arrival_now(self) -> int:
+        """Current channel byte-time: mid-cycle it is the on-air position."""
+        if self._on_air is not None:
+            start, offset = self._on_air
+            return start + offset
+        return self.server.clock
+
+    def _tune_info(self) -> Dict:
+        return {
+            "num_channels": self.config.num_data_channels or 1,
+            "ack_required": self.server.acknowledged_delivery,
+            "checksum_bytes": self._checksum,
+            "scheme": self.config.scheme.value,
+        }
+
+    def _record_ack(self, rest: str) -> None:
+        parts = rest.split()
+        if len(parts) != 3:
+            return
+        try:
+            query_id, cycle_number = int(parts[0]), int(parts[1])
+            docs = (
+                set()
+                if parts[2] == "-"
+                else {int(d) for d in parts[2].split(",")}
+            )
+        except ValueError:
+            return
+        if cycle_number != self._ack_cycle:
+            return  # stale or early ack: the barrier only covers the on-air cycle
+        self._acks[query_id] = docs
+        self._ack_event.set()
+
+    def status(self) -> Dict:
+        return {
+            "pending": len(self.server.pending),
+            "completed": len(self.server.completed),
+            "cycles": self.server.cycle_number,
+            "clock": self.server.clock,
+            "connections": len(self._connections),
+            "admitted": self.admitted_total,
+            "rejected": self.rejected_total,
+            "dedup_hits": self.server.uplink_dedup_hits,
+            "degraded_cycles": self.server.degraded_cycles,
+            "draining": self._draining,
+            "num_channels": self.config.num_data_channels or 1,
+            "bandwidth": self.net.bandwidth,
+        }
+
+    def _drop(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn in self._connections:
+            self._connections.remove(conn)
+        try:
+            conn.writer.close()
+        except Exception:  # pragma: no cover - best-effort close
+            pass
+        # A dead connection can never ack: let the barrier re-evaluate.
+        self._ack_event.set()
+
+    # ------------------------------------------------------------------
+    # Downlink
+    # ------------------------------------------------------------------
+
+    async def _broadcast_loop(self) -> None:
+        try:
+            while await self._wait_for_work():
+                now = self._next_build_time()
+                with obs.span("net.cycle_build"):
+                    build_started = self.clock.now()
+                    cycle = self.server.build_cycle(now)
+                    obs.histogram("net.cycle_build_seconds").observe(
+                        self.clock.now() - build_started
+                    )
+                if cycle is None:  # pragma: no cover - wait_for_work guards
+                    continue
+                await self._stream_cycle(cycle)
+                if self.server.acknowledged_delivery:
+                    await self._collect_acks(cycle)
+        finally:
+            await self._shutdown()
+
+    async def _wait_for_work(self) -> bool:
+        """Block until a cycle should build; False means shut down."""
+        while True:
+            has_pending = bool(self.server.pending)
+            if self._started.is_set() and has_pending:
+                return True
+            if self._draining:
+                return False
+            if (
+                self.net.max_queries is not None
+                and self.admitted_total >= self.net.max_queries
+                and not has_pending
+            ):
+                return False
+            self._wake.clear()
+            await self._wake.wait()
+
+    def _next_build_time(self) -> int:
+        """Back-to-back cycles; jump to the next arrival when idle --
+        the live equivalent of the simulator's resume-at-next-arrival."""
+        earliest = min(q.arrival_time for q in self.server.pending)
+        return max(self.server.clock, earliest)
+
+    async def _stream_cycle(self, cycle: BroadcastCycle) -> None:
+        ack_required = self.server.acknowledged_delivery
+        if ack_required:
+            # Open the barrier before the first frame leaves: a fast
+            # client may RECV before the streaming coroutine returns.
+            self._ack_cycle = cycle.cycle_number
+            self._acks = {}
+            self._ack_event.clear()
+        frames = encode_cycle(cycle, self.store, ack_required=ack_required)
+        subscribers = [c for c in self._connections if c.tuned and not c.closed]
+        self._on_air = (cycle.start_time, 0)
+        registry = obs.get_registry()
+        with obs.span("net.stream_cycle"):
+            for frame in frames:
+                await self._bucket.acquire(frame.air_bytes)
+                blob = encode_frame(frame.kind, frame.payload, self._checksum)
+                await asyncio.gather(
+                    *(self._send(conn, blob) for conn in subscribers)
+                )
+                self._on_air = (cycle.start_time, frame.end_offset)
+                self.frames_sent += 1
+                self.bytes_streamed += len(blob)
+                if registry.enabled and frame.air_bytes:
+                    channel = (
+                        str(frame.channel) if frame.channel is not None else "index"
+                    )
+                    registry.counter(
+                        "net.on_air_bytes_total", channel=channel
+                    ).inc(frame.air_bytes)
+        self._on_air = None
+        self.cycles_streamed += 1
+        obs.counter("net.cycles_streamed_total").inc()
+
+    async def _send(self, conn: _Connection, blob: bytes) -> None:
+        if conn.closed:
+            return
+        try:
+            conn.writer.write(blob)
+            await conn.writer.drain()
+        except (ConnectionError, OSError):
+            self._drop(conn)
+
+    async def _collect_acks(self, cycle: BroadcastCycle) -> None:
+        """The acknowledged-delivery barrier after one streamed cycle.
+
+        Waits for a RECV from every tuned connection owning an
+        unsatisfied query admitted before the cycle, then applies the
+        confirmations in admission (query id) order -- the same order
+        the simulator applies its sessions' acknowledgements in.
+        Queries no live tuned connection owns are confirmed
+        optimistically (broadcast counts as received), so a submit-only
+        peer cannot livelock the broadcast.
+        """
+        pending_by_id = {q.query_id: q for q in self.server.pending}
+        while True:
+            tuned_ids: Set[int] = set()
+            for conn in self._connections:
+                if conn.tuned and not conn.closed:
+                    tuned_ids.update(conn.query_ids)
+            required = {
+                query_id
+                for query_id in tuned_ids
+                if query_id in pending_by_id
+                and pending_by_id[query_id].arrival_time <= cycle.start_time
+            }
+            if not (required - set(self._acks)):
+                break
+            self._ack_event.clear()
+            await self._ack_event.wait()
+            if self._draining and not any(
+                conn.tuned and not conn.closed for conn in self._connections
+            ):
+                break  # drain with no listeners left: nobody can ack
+        for query_id in sorted(self._acks):
+            pending = pending_by_id.get(query_id)
+            if pending is not None and not pending.is_satisfied:
+                self.server.confirm_delivery(pending, self._acks[query_id], cycle)
+        broadcast_set = set(cycle.doc_ids)
+        for pending in list(self.server.pending):
+            if (
+                pending.query_id not in self._acks
+                and pending.query_id not in tuned_ids
+                and pending.arrival_time <= cycle.start_time
+                and not pending.is_satisfied
+            ):
+                received = (
+                    set(pending.result_doc_ids) - pending.remaining_doc_ids
+                ) | (pending.remaining_doc_ids & broadcast_set)
+                self.server.confirm_delivery(pending, received, cycle)
+        self._ack_cycle = None
+        self._acks = {}
+
+    async def _shutdown(self) -> None:
+        """Drain epilogue: SERVER_BYE to every subscriber, close sockets."""
+        bye = encode_frame(FrameKind.SERVER_BYE, b"", self._checksum)
+        for conn in list(self._connections):
+            if conn.tuned and not conn.closed:
+                await self._send(conn, bye)
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+        for conn in list(self._connections):
+            self._drop(conn)
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    # Boot helpers
+    # ------------------------------------------------------------------
+
+    def preload(self, queries: Sequence, arrival_time: int = 0) -> int:
+        """Admit a persisted workload at startup; returns admissions.
+
+        Queries with empty result sets (possible when a hand-written
+        workload does not match the collection) are skipped, not fatal.
+        """
+        admitted = 0
+        for query in queries:
+            try:
+                self.server.submit(query, arrival_time)
+            except ValueError:
+                continue
+            admitted += 1
+            self.admitted_total += 1
+        if admitted:
+            self._wake.set()
+        return admitted

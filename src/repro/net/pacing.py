@@ -1,0 +1,54 @@
+"""Downlink pacing: a token bucket over on-air bytes.
+
+The broadcast medium the paper models has fixed bandwidth; the daemon
+approximates it by metering each cycle's frames through one token
+bucket shared by all K data channels (aggregate downlink rate).  Tokens
+are bytes of *on-air* footprint -- the same packet-aligned byte counts
+the simulator's byte-time clock advances by -- so the pace of the stream
+tracks the channel model, not TCP throughput.
+
+The bucket allows debt: a frame larger than the burst capacity is sent
+immediately and the sender then sleeps until the deficit is repaid,
+which keeps the long-run rate exact without fragmenting frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.clock import ClockAdapter, MonotonicClock
+
+
+class TokenBucket:
+    """Byte-rate limiter over an injectable clock.
+
+    ``rate`` is bytes per second; ``None`` disables pacing entirely
+    (every :meth:`acquire` returns immediately).  ``burst`` bounds how
+    many tokens accumulate while idle (default: one second's worth).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        clock: Optional[ClockAdapter] = None,
+        burst: Optional[float] = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unpaced)")
+        self.rate = rate
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.burst = burst if burst is not None else (rate or 0.0)
+        self._tokens = self.burst
+        self._last = self.clock.now()
+
+    async def acquire(self, tokens: float) -> None:
+        """Consume *tokens* bytes, sleeping until the rate allows it."""
+        if self.rate is None or tokens <= 0:
+            return
+        now = self.clock.now()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        self._tokens -= tokens
+        if self._tokens < 0:
+            # Debt: the frame already went out; repay before the next one.
+            await self.clock.sleep(-self._tokens / self.rate)

@@ -1,0 +1,452 @@
+"""Cycle <-> wire-frame codec: the downlink stream format.
+
+One broadcast cycle streams as::
+
+    CYCLE_BEGIN   JSON header: cycle number, start byte-time, scheme,
+                  packing strategy, segment layout, document schedule,
+                  channel assignment (K > 1) and the cycle's
+                  program_signature
+    INDEX         label table + the on-air index encoding
+                  (one-tier layout with embedded doc pointers, or the
+                  first-tier layout under the two-tier scheme)
+    OFFSETS       second-tier offset list (two-tier scheme only);
+                  ``<doc, channel, offset>`` triples when K > 1
+    DOC ...       one frame per scheduled document, in air order:
+                  JSON header line + the serialized XML document
+    CYCLE_END     JSON trailer (cycle number, total on-air bytes)
+
+Every frame carries pacing metadata (:class:`WireFrame`): its on-air
+byte footprint under the :class:`~repro.index.sizes.SizeModel` and the
+cycle-relative byte-time at which it ends, so the daemon's token bucket
+paces the stream on the *channel model's* clock, not on TCP bytes.
+
+:class:`CycleDecoder` reconstructs a full
+:class:`~repro.broadcast.program.BroadcastCycle` (or
+:class:`~repro.broadcast.multichannel.MultiChannelCycle`) from the
+frames: the index tree is decoded byte-exactly, both packings are
+re-derived with the server's packing strategy (packing is a pure
+function of the tree), and the rebuilt cycle's
+:func:`~repro.broadcast.program.program_signature` is checked against
+the header's.  A client feeding the reconstructed cycle to the
+*unchanged* access protocols therefore counts access and tuning bytes
+identically to the simulator -- the parity the differential test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.broadcast.multichannel import (
+    ChannelOffsetList,
+    MultiChannelCycle,
+)
+from repro.broadcast.packets import CycleLayout, PacketKind, Segment
+from repro.broadcast.program import (
+    BroadcastCycle,
+    IndexScheme,
+    program_signature,
+)
+from repro.index.encoding import (
+    LabelTable,
+    decode_index,
+    decode_offset_list,
+    encode_index,
+    encode_offset_list,
+)
+from repro.index.packing import PackingStrategy, pack_index
+from repro.index.sizes import SizeModel
+from repro.index.twotier import OffsetList
+from repro.net.framing import FrameKind
+from repro.xmlkit.serialize import serialize_document
+
+import struct
+
+WIRE_FORMAT_VERSION = 1
+
+
+class WireProtocolError(ConnectionError):
+    """Raised when the downlink stream violates the cycle protocol."""
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One downlink frame plus its pacing metadata."""
+
+    kind: FrameKind
+    payload: bytes
+    #: on-air byte footprint this frame represents (0 for markers)
+    air_bytes: int
+    #: cycle-relative byte-time at which this frame's content ends
+    end_offset: int
+    #: data channel a DOC frame airs on (``None`` for index/marker frames)
+    channel: Optional[int] = None
+
+
+def _json_payload(obj: object) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def cycle_header(cycle: BroadcastCycle, ack_required: bool = False) -> Dict:
+    """The CYCLE_BEGIN header describing everything but the bytes."""
+    model = cycle.pci.size_model
+    header: Dict = {
+        "format": WIRE_FORMAT_VERSION,
+        "cycle_number": cycle.cycle_number,
+        "start_time": cycle.start_time,
+        "scheme": cycle.scheme.value,
+        "packing": cycle.packed_first_tier.strategy.value,
+        "annotation": cycle.pci.annotation,
+        "virtual_root": cycle.pci.virtual_root,
+        "root_label": cycle.pci.root.label,
+        "degraded": cycle.degraded,
+        "packet_bytes": model.packet_bytes,
+        "checksum_bytes": model.checksum_bytes,
+        "doc_header_bytes": model.doc_header_bytes,
+        "segments": [
+            [segment.kind.value, segment.start, segment.length]
+            for segment in cycle.layout.segments
+        ],
+        "doc_ids": list(cycle.doc_ids),
+        "signature": program_signature(cycle),
+        "ack_required": ack_required,
+    }
+    if isinstance(cycle, MultiChannelCycle):
+        header["multichannel"] = True
+        header["num_channels"] = cycle.num_data_channels
+        header["allocation"] = cycle.allocation
+        header["channel_queues"] = [list(queue) for queue in cycle.channel_queues]
+        header["channel_spans"] = list(cycle.channel_spans)
+    else:
+        header["multichannel"] = False
+    return header
+
+
+def _encode_channel_offsets(channel_list: ChannelOffsetList) -> bytes:
+    parts = [struct.pack(">H", len(channel_list.entries))]
+    for doc_id, channel, offset in channel_list.entries:
+        parts.append(struct.pack(">HBI", doc_id, channel, offset))
+    return b"".join(parts)
+
+
+def _decode_channel_offsets(data: bytes) -> List[Tuple[int, int, int]]:
+    try:
+        (count,) = struct.unpack_from(">H", data, 0)
+        pos = 2
+        entries = []
+        for _ in range(count):
+            doc_id, channel, offset = struct.unpack_from(">HBI", data, pos)
+            entries.append((doc_id, channel, offset))
+            pos += 7
+    except struct.error as exc:
+        raise WireProtocolError("truncated channel offset list") from exc
+    return entries
+
+
+def encode_cycle(
+    cycle: BroadcastCycle,
+    store,
+    ack_required: bool = False,
+) -> List[WireFrame]:
+    """Serialise one cycle into its downlink frames, in streaming order."""
+    label_table = LabelTable.from_index(cycle.pci)
+    one_tier = cycle.scheme is IndexScheme.ONE_TIER
+    index_blob = encode_index(
+        cycle.pci,
+        label_table,
+        one_tier=one_tier,
+        doc_offsets=cycle.doc_offsets if one_tier else None,
+    )
+    table_blob = label_table.encode()
+    index_segment = cycle.layout.segments[0]
+
+    frames = [
+        WireFrame(
+            FrameKind.CYCLE_BEGIN,
+            _json_payload(cycle_header(cycle, ack_required)),
+            air_bytes=0,
+            end_offset=0,
+        ),
+        WireFrame(
+            FrameKind.INDEX,
+            struct.pack(">I", len(table_blob)) + table_blob + index_blob,
+            air_bytes=index_segment.length,
+            end_offset=index_segment.end,
+        ),
+    ]
+    if not one_tier:
+        offsets_segment = cycle.layout.segment(PacketKind.SECOND_TIER_INDEX)
+        assert offsets_segment is not None
+        channel_list = getattr(cycle, "channel_offset_list", None)
+        if channel_list is not None and channel_list.num_channels > 1:
+            payload = _encode_channel_offsets(channel_list)
+        else:
+            payload = encode_offset_list(cycle.offset_list)
+        frames.append(
+            WireFrame(
+                FrameKind.OFFSETS,
+                payload,
+                air_bytes=offsets_segment.length,
+                end_offset=offsets_segment.end,
+            )
+        )
+    doc_channels = getattr(cycle, "doc_channels", None) or {}
+    for doc_id in sorted(
+        cycle.doc_ids,
+        key=lambda d: (cycle.doc_offsets[d], doc_channels.get(d, 0), d),
+    ):
+        document = store.document(doc_id)
+        air = cycle.doc_air_bytes[doc_id]
+        offset = cycle.doc_offsets[doc_id]
+        doc_header = _json_payload(
+            {
+                "doc_id": doc_id,
+                "name": document.name,
+                "channel": doc_channels.get(doc_id, 0),
+                "offset": offset,
+                "air_bytes": air,
+            }
+        )
+        frames.append(
+            WireFrame(
+                FrameKind.DOC,
+                doc_header + b"\n" + serialize_document(document).encode("utf-8"),
+                air_bytes=air,
+                end_offset=offset + air,
+                channel=doc_channels.get(doc_id, 0),
+            )
+        )
+    frames.append(
+        WireFrame(
+            FrameKind.CYCLE_END,
+            _json_payload(
+                {"cycle_number": cycle.cycle_number, "total_bytes": cycle.total_bytes}
+            ),
+            air_bytes=0,
+            end_offset=cycle.total_bytes,
+        )
+    )
+    return frames
+
+
+_SEGMENT_KINDS = {kind.value: kind for kind in PacketKind}
+
+
+class CycleDecoder:
+    """Reassemble streamed frames into a verified broadcast cycle.
+
+    Feed frames in order; :meth:`feed` returns the reconstructed cycle
+    at CYCLE_END (and ``None`` otherwise).  ``verify=True`` (default)
+    raises :class:`WireProtocolError` unless the rebuilt cycle's
+    :func:`~repro.broadcast.program.program_signature` matches the
+    header's -- the byte-for-byte parity check.
+    """
+
+    def __init__(self, verify: bool = True, keep_documents: bool = False) -> None:
+        self.verify = verify
+        self.keep_documents = keep_documents
+        self.header: Optional[Dict] = None
+        #: header of the most recently completed cycle (survives the
+        #: per-cycle reset; callers read the signature from it)
+        self.last_header: Optional[Dict] = None
+        self.documents: Dict[int, bytes] = {}
+        self._index_payload: Optional[bytes] = None
+        self._offsets_payload: Optional[bytes] = None
+        self._doc_offsets: Dict[int, int] = {}
+        self._doc_air: Dict[int, int] = {}
+        self._doc_channels: Dict[int, int] = {}
+
+    def feed(
+        self, kind: FrameKind, payload: bytes
+    ) -> Optional[Union[BroadcastCycle, MultiChannelCycle]]:
+        if kind is FrameKind.CYCLE_BEGIN:
+            if self.header is not None:
+                raise WireProtocolError("CYCLE_BEGIN inside an open cycle")
+            try:
+                header = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireProtocolError("malformed cycle header") from exc
+            if header.get("format") != WIRE_FORMAT_VERSION:
+                raise WireProtocolError(
+                    f"unsupported wire format {header.get('format')!r}"
+                )
+            self.header = header
+            return None
+        if self.header is None:
+            raise WireProtocolError(f"{kind.name} frame outside a cycle")
+        if kind is FrameKind.INDEX:
+            self._index_payload = payload
+            return None
+        if kind is FrameKind.OFFSETS:
+            self._offsets_payload = payload
+            return None
+        if kind is FrameKind.DOC:
+            head, _, body = payload.partition(b"\n")
+            try:
+                info = json.loads(head.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireProtocolError("malformed document header") from exc
+            doc_id = info["doc_id"]
+            self._doc_offsets[doc_id] = info["offset"]
+            self._doc_air[doc_id] = info["air_bytes"]
+            self._doc_channels[doc_id] = info.get("channel", 0)
+            if self.keep_documents:
+                self.documents[doc_id] = body
+            return None
+        if kind is FrameKind.CYCLE_END:
+            cycle = self._finish()
+            self.last_header = self.header
+            self._reset()
+            return cycle
+        raise WireProtocolError(f"unexpected {kind.name} frame in cycle stream")
+
+    def _reset(self) -> None:
+        self.header = None
+        self._index_payload = None
+        self._offsets_payload = None
+        self._doc_offsets = {}
+        self._doc_air = {}
+        self._doc_channels = {}
+
+    def _finish(self) -> Union[BroadcastCycle, MultiChannelCycle]:
+        header = self.header
+        assert header is not None
+        if self._index_payload is None:
+            raise WireProtocolError("cycle ended without an INDEX frame")
+        model = SizeModel(
+            packet_bytes=header["packet_bytes"],
+            checksum_bytes=header["checksum_bytes"],
+            doc_header_bytes=header["doc_header_bytes"],
+        )
+        scheme = IndexScheme(header["scheme"])
+        one_tier = scheme is IndexScheme.ONE_TIER
+
+        try:
+            (table_len,) = struct.unpack_from(">I", self._index_payload, 0)
+        except struct.error as exc:
+            raise WireProtocolError("truncated index frame") from exc
+        table_blob = self._index_payload[4 : 4 + table_len]
+        index_blob = self._index_payload[4 + table_len :]
+        label_table = LabelTable.decode(table_blob)
+        pci, embedded_offsets = decode_index(
+            index_blob,
+            label_table,
+            one_tier=one_tier,
+            size_model=model,
+            root_label=header["root_label"],
+        )
+        if pci.virtual_root != header["virtual_root"]:
+            raise WireProtocolError("virtual-root flag disagrees with header")
+        if header["annotation"] not in ("maximal", "containment"):
+            raise WireProtocolError(f"unknown annotation {header['annotation']!r}")
+        pci.annotation = header["annotation"]
+
+        strategy = PackingStrategy(header["packing"])
+        packed_one = pack_index(pci, one_tier=True, strategy=strategy)
+        packed_first = pack_index(pci, one_tier=False, strategy=strategy)
+
+        num_channels = header.get("num_channels", 1)
+        if one_tier:
+            # The one-tier encoding also carries pointer 0 for annotated
+            # but unscheduled documents; the DOC frame headers hold the
+            # schedule's actual offsets, and the embedded pointers must
+            # agree wherever a document is scheduled.
+            doc_offsets = dict(self._doc_offsets)
+            for doc_id, offset in doc_offsets.items():
+                if embedded_offsets.get(doc_id, offset) != offset:
+                    raise WireProtocolError(
+                        f"one-tier pointer for doc {doc_id} disagrees with "
+                        "its document frame"
+                    )
+            offset_list = OffsetList.from_mapping(doc_offsets, size_model=model)
+            channel_list = None
+        else:
+            if self._offsets_payload is None:
+                raise WireProtocolError("two-tier cycle without an OFFSETS frame")
+            if header.get("multichannel") and num_channels > 1:
+                triples = _decode_channel_offsets(self._offsets_payload)
+                offset_list = OffsetList(
+                    tuple((doc, offset) for doc, _ch, offset in triples),
+                    size_model=model,
+                )
+                channel_list = ChannelOffsetList(
+                    entries=tuple(triples),
+                    num_channels=num_channels,
+                    size_model=model,
+                )
+            else:
+                offset_list = decode_offset_list(self._offsets_payload, size_model=model)
+                channel_list = None
+            doc_offsets = dict(offset_list.entries)
+
+        if set(doc_offsets) != set(header["doc_ids"]):
+            raise WireProtocolError("offset list disagrees with the doc schedule")
+        if self._doc_offsets and self._doc_offsets != doc_offsets:
+            raise WireProtocolError("document frames disagree with the offset list")
+        if set(self._doc_air) != set(header["doc_ids"]):
+            raise WireProtocolError("missing document frames")
+
+        segments = []
+        for kind_value, start, length in header["segments"]:
+            try:
+                segment_kind = _SEGMENT_KINDS[kind_value]
+            except KeyError as exc:
+                raise WireProtocolError(
+                    f"unknown segment kind {kind_value!r}"
+                ) from exc
+            segments.append(Segment(segment_kind, start, length))
+        layout = CycleLayout(
+            tuple(segments),
+            packet_bytes=model.packet_bytes,
+            checksum_bytes=model.checksum_bytes,
+        )
+
+        common = dict(
+            cycle_number=header["cycle_number"],
+            scheme=scheme,
+            pci=pci,
+            packed_one_tier=packed_one,
+            packed_first_tier=packed_first,
+            offset_list=offset_list,
+            doc_ids=tuple(header["doc_ids"]),
+            doc_offsets=doc_offsets,
+            doc_air_bytes=dict(self._doc_air),
+            layout=layout,
+            start_time=header["start_time"],
+            degraded=header["degraded"],
+        )
+        cycle: BroadcastCycle
+        if header.get("multichannel"):
+            if channel_list is None:
+                # K=1 multichannel: the channel field is elided on air.
+                channel_list = ChannelOffsetList(
+                    entries=tuple(
+                        (doc, 0, offset) for doc, offset in offset_list.entries
+                    ),
+                    num_channels=1,
+                    size_model=model,
+                )
+            cycle = MultiChannelCycle(
+                **common,
+                num_data_channels=num_channels,
+                allocation=header["allocation"],
+                doc_channels=dict(self._doc_channels),
+                channel_queues=tuple(
+                    tuple(queue) for queue in header["channel_queues"]
+                ),
+                channel_spans=tuple(header["channel_spans"]),
+                channel_offset_list=channel_list,
+            )
+        else:
+            cycle = BroadcastCycle(**common)
+
+        if self.verify:
+            rebuilt = program_signature(cycle)
+            if rebuilt != header["signature"]:
+                raise WireProtocolError(
+                    f"cycle {header['cycle_number']} signature mismatch: "
+                    f"streamed {header['signature'][:12]}..., "
+                    f"rebuilt {rebuilt[:12]}..."
+                )
+        return cycle

@@ -157,6 +157,17 @@ class SimulationConfig:
         if self.max_cycles < self.arrival_cycles:
             raise ValueError("max_cycles must cover at least the arrival window")
 
+    @property
+    def needs_acknowledged_delivery(self) -> bool:
+        """Whether the server must wait for client delivery confirmations.
+
+        True on an error-prone channel (lost frames must be rebroadcast)
+        and with K >= 2 data channels (a single tuner can miss
+        conflict-deferred documents).  Shared by the simulator and the
+        live daemon so both construct identically-behaving servers.
+        """
+        return self.loss_prob > 0.0 or (self.num_data_channels or 1) >= 2
+
     def total_queries(self) -> int:
         return self.n_q * self.arrival_cycles
 

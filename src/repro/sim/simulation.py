@@ -64,6 +64,27 @@ def build_collection(config: SimulationConfig) -> List[XMLDocument]:
     )
 
 
+def make_server(config: SimulationConfig, store: DocumentStore) -> BroadcastServer:
+    """The broadcast server a configuration describes.
+
+    One construction path shared by the simulator and the live daemon
+    (:class:`~repro.net.daemon.BroadcastDaemon`): identical scheduler,
+    scheme, capacity, caches and acknowledged-delivery wiring, which is
+    what makes daemon runs differentially comparable to simulator runs.
+    """
+    return BroadcastServer(
+        store=store,
+        scheduler=make_scheduler(config.scheduler, store),
+        scheme=config.scheme,
+        cycle_data_capacity=config.cycle_data_capacity,
+        packing=config.packing,
+        acknowledged_delivery=config.needs_acknowledged_delivery,
+        enable_caches=config.server_caches,
+        num_data_channels=config.num_data_channels,
+        channel_allocation=config.channel_allocation,
+    )
+
+
 @dataclass
 class _Session:
     """All protocol instances serving one arrived query."""
@@ -97,17 +118,7 @@ class Simulation:
         #: K >= 2 data channels: a single tuner can miss conflicting
         #: documents, so the server must not assume broadcast == received.
         self.multichannel_deferral = (config.num_data_channels or 1) >= 2
-        self.server = BroadcastServer(
-            store=self.store,
-            scheduler=make_scheduler(config.scheduler, self.store),
-            scheme=config.scheme,
-            cycle_data_capacity=config.cycle_data_capacity,
-            packing=config.packing,
-            acknowledged_delivery=self.lossy or self.multichannel_deferral,
-            enable_caches=config.server_caches,
-            num_data_channels=config.num_data_channels,
-            channel_allocation=config.channel_allocation,
-        )
+        self.server = make_server(config, self.store)
         if self.lossy:
             from repro.broadcast.loss import PacketLossModel
 

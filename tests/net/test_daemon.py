@@ -1,0 +1,286 @@
+"""Live daemon behaviour: admission, backpressure, pacing, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.broadcast.server import DocumentStore
+from repro.net import (
+    AsyncTwoTierClient,
+    BroadcastDaemon,
+    DaemonConfig,
+    ManualClock,
+    TokenBucket,
+)
+from repro.net.client import Backpressure
+from repro.net.framing import FrameKind, encode_text, read_frame
+from repro.sim.config import small_setup
+
+
+@pytest.fixture(scope="module")
+def store(nitf_docs):
+    return DocumentStore(nitf_docs[:30])
+
+
+@pytest.fixture()
+def config():
+    return small_setup(document_count=30)
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+async def _with_daemon(store, config, net, body):
+    daemon = BroadcastDaemon(store, config, net)
+    await daemon.start()
+    try:
+        return await body(daemon)
+    finally:
+        daemon.request_stop()
+        await daemon.wait_done()
+
+
+async def _raw_command(port: int, line: str) -> str:
+    """One TEXT command on a fresh, untuned connection."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(encode_text(line))
+        await writer.drain()
+        kind, payload = await read_frame(reader)
+        assert kind is FrameKind.TEXT
+        return payload.decode("utf-8")
+    finally:
+        writer.close()
+
+
+class TestUplink:
+    def test_submit_ack_and_status(self, store, config):
+        async def body(daemon):
+            reply = await _raw_command(daemon.port, "SUBMIT AT=0 //nitf")
+            word, qid, arrival = reply.split()
+            assert word == "ACK" and arrival == "0"
+            status = json.loads(
+                (await _raw_command(daemon.port, "STATUS")).split(" ", 1)[1]
+            )
+            assert status["admitted"] == 1
+            assert status["pending"] >= 1
+            return int(qid)
+
+        # autostart=False keeps the query pending so STATUS is stable
+        net = DaemonConfig(autostart=False)
+        assert _run(_with_daemon(store, config, net, body)) == 0
+
+    def test_bad_query_is_err_not_fatal(self, store, config):
+        async def body(daemon):
+            bad = await _raw_command(daemon.port, "SUBMIT //no(t)valid")
+            empty = await _raw_command(daemon.port, "SUBMIT")
+            unknown = await _raw_command(daemon.port, "FROB 1")
+            return bad, empty, unknown
+
+        bad, empty, unknown = _run(
+            _with_daemon(store, config, DaemonConfig(autostart=False), body)
+        )
+        assert bad.startswith("ERR")
+        assert empty.startswith("ERR")
+        assert unknown.startswith("ERR unknown command")
+
+    def test_backpressure_retry_after(self, store, config):
+        async def body(daemon):
+            first = await _raw_command(daemon.port, "SUBMIT AT=0 //nitf")
+            second = await _raw_command(daemon.port, "SUBMIT AT=0 //body")
+            return first, second
+
+        net = DaemonConfig(autostart=False, max_pending=1)
+        first, second = _run(_with_daemon(store, config, net, body))
+        assert first.startswith("ACK")
+        assert second.startswith("RETRY_AFTER")
+
+    def test_backpressure_raises_in_client(self, store, config):
+        async def body(daemon):
+            blocker = await _raw_command(daemon.port, "SUBMIT AT=0 //nitf")
+            assert blocker.startswith("ACK")
+            client = AsyncTwoTierClient("//body", port=daemon.port)
+            await client.connect()
+            try:
+                await client.tune()
+                with pytest.raises(Backpressure):
+                    await client.submit()
+            finally:
+                await client.close()
+
+        _run(
+            _with_daemon(
+                store, config, DaemonConfig(autostart=False, max_pending=1), body
+            )
+        )
+
+    def test_idempotent_uplink_key_dedups(self, store, config):
+        async def body(daemon):
+            a = await _raw_command(daemon.port, "SUBMIT AT=0 KEY=42 //nitf")
+            b = await _raw_command(daemon.port, "SUBMIT AT=0 KEY=42 //nitf")
+            return a, b, daemon.server.uplink_dedup_hits
+
+        a, b, hits = _run(
+            _with_daemon(store, config, DaemonConfig(autostart=False), body)
+        )
+        assert a.split()[1] == b.split()[1], "same key -> same query id"
+        assert hits == 1
+
+
+class TestLifecycle:
+    def test_clients_complete_then_drain(self, store, config):
+        async def body(daemon):
+            clients = [
+                AsyncTwoTierClient(q, port=daemon.port, arrival_time=0)
+                for q in ("//nitf", "//body", "//head")
+            ]
+            for c in clients:
+                await c.connect()
+                await c.tune()
+            for c in clients:
+                await c.submit()
+            daemon.start_broadcast()
+            reports = await asyncio.gather(*(c.run_session() for c in clients))
+            for c in clients:
+                await c.close()
+            return reports, daemon.status()
+
+        net = DaemonConfig(autostart=False)
+        (reports, status) = _run(_with_daemon(store, config, net, body))
+        assert all(r.satisfied for r in reports)
+        assert all(r.metrics.is_complete for r in reports)
+        assert all(r.cycles_verified >= 1 for r in reports)
+        assert status["completed"] == 3
+        assert status["pending"] == 0
+
+    def test_stop_mid_stream_sends_server_bye(self, store, config):
+        """request_stop during a paced cycle still drains cleanly and the
+        tuned client is told the downlink is over (acceptance: the daemon
+        survives an interrupt mid-cycle)."""
+
+        async def body():
+            clock = ManualClock()
+            net = DaemonConfig(
+                autostart=False, bandwidth=50_000.0, clock=clock
+            )
+            daemon = BroadcastDaemon(store, config, net)
+            await daemon.start()
+            client = AsyncTwoTierClient("//nitf", port=daemon.port, arrival_time=0)
+            await client.connect()
+            await client.tune()
+            await client.submit()
+            daemon.start_broadcast()
+            session = asyncio.create_task(client.run_session())
+            # Let a few frames go out, then interrupt mid-broadcast.
+            for _ in range(50):
+                await asyncio.sleep(0)
+            daemon.request_stop()
+            report = await session
+            await client.close()
+            await daemon.wait_done()
+            return report, daemon
+
+        report, daemon = _run(body())
+        # The drain finishes the pending query before closing, so the
+        # client is satisfied despite the interrupt.
+        assert report.satisfied
+        assert daemon.cycles_streamed >= 1
+
+    def test_max_queries_closes_admission(self, store, config):
+        """The quota rejects further SUBMITs even before any broadcast."""
+
+        async def body(daemon):
+            first = await _raw_command(daemon.port, "SUBMIT AT=0 //nitf")
+            second = await _raw_command(daemon.port, "SUBMIT AT=0 //body")
+            return first, second
+
+        net = DaemonConfig(autostart=False, max_queries=1)
+        first, second = _run(_with_daemon(store, config, net, body))
+        assert first.startswith("ACK")
+        assert second.startswith("ERR admission closed")
+
+    def test_max_queries_drains_after_quota(self, store, config):
+        """Quota reached + pending served => the daemon exits by itself."""
+
+        async def body():
+            daemon = BroadcastDaemon(
+                store, config, DaemonConfig(max_queries=1)
+            )
+            await daemon.start()
+            client = AsyncTwoTierClient("//nitf", port=daemon.port, arrival_time=0)
+            report = await client.run()
+            await daemon.wait_done()  # no request_stop: the quota drains it
+            return report, daemon
+
+        report, daemon = _run(body())
+        assert report.satisfied
+        assert len(daemon.server.completed) == 1
+
+    def test_preload_admits_workload(self, store, config, nitf_queries):
+        async def body(daemon):
+            admitted = daemon.preload(nitf_queries[:5])
+            daemon.start_broadcast()
+            for _ in range(2000):
+                if not daemon.server.pending:
+                    break
+                await asyncio.sleep(0.01)
+            return admitted, len(daemon.server.completed)
+
+        net = DaemonConfig(autostart=False)
+        admitted, completed = _run(_with_daemon(store, config, net, body))
+        assert admitted >= 1
+        assert completed == admitted
+
+
+class TestPacing:
+    def test_manual_clock_token_bucket_paces(self):
+        async def body():
+            clock = ManualClock()
+            bucket = TokenBucket(1000.0, clock, burst=1000.0)
+            await bucket.acquire(1000)  # consumes the initial burst
+            await bucket.acquire(500)  # debt: sleeps 0.5 simulated seconds
+            return clock.now()
+
+        assert _run(body()) == pytest.approx(0.5)
+
+    def test_unpaced_bucket_never_sleeps(self):
+        async def body():
+            clock = ManualClock()
+            bucket = TokenBucket(None, clock)
+            for _ in range(10):
+                await bucket.acquire(10**9)
+            return clock.now()
+
+        assert _run(body()) == 0.0
+
+    def test_paced_daemon_advances_injected_clock(self, store, config):
+        """With bandwidth B and a ManualClock, streaming a cycle of N
+        on-air bytes advances simulated time by about N/B seconds --
+        wall-clock never enters the deterministic path."""
+
+        async def body():
+            clock = ManualClock()
+            net = DaemonConfig(autostart=False, bandwidth=10_000.0, clock=clock)
+            daemon = BroadcastDaemon(store, config, net)
+            await daemon.start()
+            client = AsyncTwoTierClient("//nitf", port=daemon.port, arrival_time=0)
+            await client.connect()
+            await client.tune()
+            await client.submit()
+            daemon.start_broadcast()
+            report = await client.run_session()
+            await client.close()
+            daemon.request_stop()
+            await daemon.wait_done()
+            return report, clock.now(), daemon
+
+        report, elapsed, daemon = _run(body())
+        assert report.satisfied
+        on_air = daemon.server.clock  # total on-air bytes of all cycles
+        # Bucket debt means the last frame may not be fully repaid, and
+        # the initial burst forgives one second's worth of bytes.
+        assert elapsed >= (on_air - daemon.net.bandwidth) / daemon.net.bandwidth

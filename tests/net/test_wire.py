@@ -1,0 +1,157 @@
+"""Cycle wire codec: encode -> decode must round-trip byte-exactly.
+
+The decoder's ``verify=True`` recomputes the program signature over the
+*reconstructed* cycle and compares it to the header's -- so a passing
+``feed`` chain here proves the wire stream carries everything the
+signature covers: index bytes, offset lists, layout, schedule and
+channel assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.program import IndexScheme, program_signature
+from repro.broadcast.server import DocumentStore
+from repro.net.framing import FrameKind
+from repro.net.wire import CycleDecoder, WireProtocolError, encode_cycle
+from repro.sim.config import small_setup
+from repro.sim.simulation import make_server
+from repro.xmlkit import parse_document, serialize_document
+
+
+@pytest.fixture(scope="module")
+def store(nitf_docs):
+    return DocumentStore(nitf_docs[:40])
+
+
+def _build_cycle(store, queries, **overrides):
+    config = small_setup(**overrides)
+    server = make_server(config, store)
+    for i, query in enumerate(queries):
+        try:
+            server.submit(query, arrival_time=0)
+        except ValueError:
+            continue
+    cycle = server.build_cycle()
+    assert cycle is not None
+    return cycle
+
+
+def _round_trip(cycle, store, **decoder_kwargs):
+    decoder = CycleDecoder(**decoder_kwargs)
+    result = None
+    for frame in encode_cycle(cycle, store):
+        assert result is None, "no frames may follow CYCLE_END"
+        result = decoder.feed(frame.kind, frame.payload)
+    assert result is not None
+    return result, decoder
+
+
+class TestRoundTrip:
+    def test_two_tier_single_channel(self, store, nitf_queries):
+        cycle = _build_cycle(store, nitf_queries[:8])
+        rebuilt, _ = _round_trip(cycle, store)
+        assert program_signature(rebuilt) == program_signature(cycle)
+
+    def test_one_tier(self, store, nitf_queries):
+        cycle = _build_cycle(
+            store, nitf_queries[:8], scheme=IndexScheme.ONE_TIER
+        )
+        rebuilt, _ = _round_trip(cycle, store)
+        assert program_signature(rebuilt) == program_signature(cycle)
+
+    def test_multichannel_k4(self, store, nitf_queries):
+        cycle = _build_cycle(store, nitf_queries[:8], num_data_channels=4)
+        rebuilt, _ = _round_trip(cycle, store)
+        assert program_signature(rebuilt) == program_signature(cycle)
+        assert rebuilt.num_data_channels == 4
+        assert rebuilt.doc_channels == cycle.doc_channels
+
+    def test_multiple_cycles_one_decoder(self, store, nitf_queries):
+        """The decoder resets between cycles on one stream."""
+        config = small_setup()
+        server = make_server(config, store)
+        for query in nitf_queries[:10]:
+            try:
+                server.submit(query, arrival_time=0)
+            except ValueError:
+                continue
+        decoder = CycleDecoder()
+        signatures = []
+        for _ in range(3):
+            cycle = server.build_cycle()
+            if cycle is None:
+                break
+            for frame in encode_cycle(cycle, store):
+                rebuilt = decoder.feed(frame.kind, frame.payload)
+            assert program_signature(rebuilt) == program_signature(cycle)
+            signatures.append(decoder.last_header["signature"])
+        assert len(signatures) >= 2
+        assert len(set(signatures)) == len(signatures)
+
+    def test_kept_documents_parse_back(self, store, nitf_queries):
+        """keep_documents retains the exact serialized XML payloads."""
+        cycle = _build_cycle(store, nitf_queries[:8])
+        _, decoder = _round_trip(cycle, store, keep_documents=True)
+        assert set(decoder.documents) == set(cycle.doc_ids)
+        for doc_id, body in decoder.documents.items():
+            original = store.document(doc_id)
+            parsed = parse_document(body.decode("utf-8"), doc_id=doc_id)
+            assert serialize_document(parsed) == serialize_document(original)
+
+
+class TestFrameMetadata:
+    def test_air_bytes_cover_the_cycle(self, store, nitf_queries):
+        """Per-frame on-air footprints sum to the cycle's total bytes."""
+        cycle = _build_cycle(store, nitf_queries[:8])
+        frames = encode_cycle(cycle, store)
+        assert sum(f.air_bytes for f in frames) == cycle.total_bytes
+        assert frames[0].kind is FrameKind.CYCLE_BEGIN
+        assert frames[-1].kind is FrameKind.CYCLE_END
+        assert max(f.end_offset for f in frames) == cycle.total_bytes
+
+    def test_doc_frames_carry_channels(self, store, nitf_queries):
+        cycle = _build_cycle(store, nitf_queries[:8], num_data_channels=2)
+        doc_frames = [
+            f for f in encode_cycle(cycle, store) if f.kind is FrameKind.DOC
+        ]
+        assert {f.channel for f in doc_frames} <= {0, 1}
+        assert len(doc_frames) == len(cycle.doc_ids)
+
+
+class TestTamperDetection:
+    def test_signature_mismatch_raises(self, store, nitf_queries):
+        cycle = _build_cycle(store, nitf_queries[:8])
+        frames = encode_cycle(cycle, store)
+        decoder = CycleDecoder()
+        import json
+
+        for frame in frames:
+            payload = frame.payload
+            if frame.kind is FrameKind.CYCLE_BEGIN:
+                header = json.loads(payload.decode("utf-8"))
+                header["signature"] = "0" * 64
+                payload = json.dumps(header, sort_keys=True).encode("utf-8")
+            if frame.kind is FrameKind.CYCLE_END:
+                with pytest.raises(WireProtocolError, match="signature"):
+                    decoder.feed(frame.kind, payload)
+                return
+            decoder.feed(frame.kind, payload)
+
+    def test_missing_document_detected(self, store, nitf_queries):
+        cycle = _build_cycle(store, nitf_queries[:8])
+        frames = encode_cycle(cycle, store)
+        doc_frames = [f for f in frames if f.kind is FrameKind.DOC]
+        decoder = CycleDecoder()
+        dropped = doc_frames[0]
+        with pytest.raises(WireProtocolError):
+            for frame in frames:
+                if frame is dropped:
+                    continue
+                decoder.feed(frame.kind, frame.payload)
+
+    def test_frames_outside_cycle_rejected(self):
+        decoder = CycleDecoder()
+        with pytest.raises(WireProtocolError, match="outside"):
+            decoder.feed(FrameKind.INDEX, b"")

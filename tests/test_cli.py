@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import signal
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -223,3 +228,96 @@ class TestStats:
         assert code == 0
         payload = json.loads(out.read_text())
         assert payload["source"] == "run"
+
+
+def _spawn_daemon(tmp_path, *extra_args):
+    """Start ``python -m repro serve`` on an ephemeral port; returns
+    (process, port)."""
+    port_file = tmp_path / "port.txt"
+    # The child resolves ``repro`` the same way this process did: the
+    # inherited PYTHONPATH (or an installed package) covers it.
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--count", "25",
+            "--capacity", "20000",
+            "--port-file", str(port_file),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return process, int(port_file.read_text())
+        if process.poll() is not None:
+            raise RuntimeError(f"daemon died: {process.stdout.read()}")
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError("daemon never wrote its port file")
+
+
+class TestServeClient:
+    def test_serve_client_round_trip(self, tmp_path):
+        """One scripted client against a real subprocess daemon."""
+        import json
+
+        process, port = _spawn_daemon(tmp_path, "--max-queries", "1")
+        try:
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client", "//nitf",
+                    "--port", str(port), "--json",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            report = json.loads(result.stdout)
+            assert report["satisfied"] is True
+            assert report["access_bytes"] > 0
+            assert report["tuning_bytes"] > 0
+            assert report["cycles_verified"] == report["cycles_listened"] >= 1
+            # --max-queries 1: the daemon drains by itself after serving.
+            out, _ = process.communicate(timeout=60)
+            assert process.returncode == 0
+            assert "drained:" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    def test_sigint_drains_cleanly(self, tmp_path):
+        """Acceptance: SIGINT mid-run produces a clean drain, not a
+        traceback -- pending queries are served, the summary prints."""
+        process, port = _spawn_daemon(tmp_path)
+        try:
+            process.send_signal(signal.SIGINT)
+            out, _ = process.communicate(timeout=60)
+            assert process.returncode == 0, out
+            assert "drained:" in out
+            assert "Traceback" not in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    def test_client_parser_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "//nitf"])
+
+    def test_docstring_lists_every_subcommand(self):
+        """Guard against --help drift: the module docstring documents
+        exactly the registered subcommands."""
+        import repro.__main__ as cli
+
+        parser = cli.build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        for name in subparsers.choices:
+            assert f"``{name}``" in cli.__doc__, (
+                f"subcommand {name!r} missing from the module docstring"
+            )

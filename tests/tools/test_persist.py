@@ -73,6 +73,62 @@ class TestCollectionPersistence:
             assert original_server.resolve(query) == loaded_server.resolve(query)
 
 
+class TestDaemonBoot:
+    """The persisted artifacts are exactly what ``repro serve`` loads at
+    startup: a saved collection plus a saved workload must boot a live
+    daemon whose broadcast equals one built from the originals."""
+
+    def test_daemon_boots_from_persisted_artifacts(
+        self, tmp_path, nitf_docs, nitf_queries
+    ):
+        import asyncio
+
+        from repro.broadcast.program import program_signature
+        from repro.broadcast.server import DocumentStore
+        from repro.net import BroadcastDaemon, DaemonConfig
+        from repro.sim.config import small_setup
+        from repro.sim.simulation import make_server
+
+        subset = nitf_docs[:12]
+        queries = nitf_queries[:6]
+        save_collection(subset, tmp_path / "coll")
+        save_workload(queries, tmp_path / "workload.txt")
+        loaded_docs = load_collection(tmp_path / "coll")
+        loaded_queries = load_workload(tmp_path / "workload.txt")
+        config = small_setup(document_count=12)
+
+        async def boot():
+            daemon = BroadcastDaemon(
+                DocumentStore(loaded_docs, config.size_model),
+                config,
+                DaemonConfig(autostart=False),
+            )
+            await daemon.start()
+            try:
+                return daemon.preload(loaded_queries), daemon.server
+            finally:
+                daemon.request_stop()
+                await daemon.wait_done()
+
+        admitted, loaded_server = asyncio.run(asyncio.wait_for(boot(), 60))
+
+        # Same admissions and a byte-identical first cycle as a server
+        # fed the in-memory originals.
+        reference = make_server(config, DocumentStore(subset, config.size_model))
+        expected = 0
+        for query in queries:
+            try:
+                reference.submit(query, 0)
+            except ValueError:
+                continue
+            expected += 1
+        assert admitted == expected
+        assert admitted >= 1
+        assert program_signature(loaded_server.build_cycle()) == program_signature(
+            reference.build_cycle()
+        )
+
+
 class TestWorkloadPersistence:
     def test_round_trip(self, tmp_path, nitf_queries):
         path = save_workload(nitf_queries, tmp_path / "workload.txt")
