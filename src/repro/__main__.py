@@ -10,12 +10,19 @@ Subcommands:
   summary;
 * ``stats``     -- phase-timing + byte-accounting perf report, from a
   saved trace (``--trace``) or a fresh observed run; ``--json`` for the
-  machine-readable form the benchmark harness snapshots;
+  machine-readable form the benchmark harness snapshots; v3 traces with
+  ``query_trace`` records also render per-query wire latency breakdowns;
 * ``serve``     -- run the live broadcast daemon: asyncio uplink for
   XPath submissions, paced downlink streaming each built cycle as wire
-  frames (see ``repro.net``); SIGINT drains gracefully;
+  frames (see ``repro.net``); SIGINT drains gracefully.  Progress goes
+  to **stderr** as structured events (``--log-level``/``--log-json``);
+  stdout stays clean for automation.  ``--metrics-port`` serves
+  OpenMetrics at ``/metrics`` (+ drain-aware ``/healthz``) and
+  ``--flight-dir`` arms the flight recorder;
 * ``client``    -- submit one query to a running daemon, tune in with
   the two-tier protocol and print the access/tuning byte accounting;
+  ``--trace`` requests an end-to-end wire trace (``--trace-out`` saves
+  it as a v3 trace file for ``stats --trace``);
 * ``figures``   -- pointer to ``python -m repro.experiments``.
 
 Everything except ``serve``/``client`` (which talk TCP on localhost by
@@ -276,7 +283,8 @@ def cmd_serve(args) -> int:
     import pathlib
     import signal
 
-    from repro.net import BroadcastDaemon, DaemonConfig
+    from repro.net import BroadcastDaemon, DaemonConfig, MonotonicClock
+    from repro.obs.telemetry import EventLog, FlightRecorder, TelemetryConfig
 
     documents = _collection_for(args)
     store = DocumentStore(documents)
@@ -290,12 +298,28 @@ def cmd_serve(args) -> int:
         num_data_channels=getattr(args, "channels", None),
         channel_allocation=getattr(args, "allocation", "balanced"),
     )
+    clock = MonotonicClock()
+    log = EventLog(
+        sink=sys.stderr,
+        clock=clock,
+        level=args.log_level,
+        json_lines=args.log_json,
+    )
+    flight_dir = pathlib.Path(args.flight_dir) if args.flight_dir else None
+    telemetry = TelemetryConfig(
+        metrics_port=args.metrics_port,
+        events=log,
+        flight=FlightRecorder() if flight_dir else None,
+        flight_dir=flight_dir,
+    )
     net = DaemonConfig(
         host=args.host,
         port=args.port,
         bandwidth=args.bandwidth,
         max_pending=args.max_pending,
         max_queries=args.max_queries,
+        clock=clock,
+        telemetry=telemetry,
     )
     preload = load_workload(args.workload) if args.workload else []
 
@@ -303,26 +327,36 @@ def cmd_serve(args) -> int:
         daemon = BroadcastDaemon(store, config, net)
         await daemon.start()
         loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            loop.add_signal_handler(sig, daemon.request_stop)
+        loop.add_signal_handler(signal.SIGINT, daemon.request_stop)
+
+        def _on_sigterm() -> None:
+            daemon.dump_flight("sigterm")
+            daemon.request_stop()
+
+        loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
         if preload:
             admitted = daemon.preload(preload)
-            print(f"preloaded {admitted}/{len(preload)} workload queries")
-        print(
-            f"broadcast daemon on {args.host}:{daemon.port} "
-            f"({len(documents)} docs, scheme={config.scheme.value}, "
-            f"K={config.num_data_channels or 1}, "
-            f"bandwidth={args.bandwidth or 'unpaced'})",
-            flush=True,
+            log.info("preloaded", admitted=admitted, total=len(preload))
+        log.info(
+            "listening",
+            host=args.host,
+            port=daemon.port,
+            docs=len(documents),
+            scheme=config.scheme.value,
+            channels=config.num_data_channels or 1,
+            bandwidth=args.bandwidth or "unpaced",
+            metrics_port=daemon.metrics_port,
         )
         if args.port_file:
             pathlib.Path(args.port_file).write_text(f"{daemon.port}\n")
         await daemon.wait_done()
         status = daemon.status()
-        print(
-            f"drained: {status['admitted']} admitted, "
-            f"{status['completed']} completed, {status['cycles']} cycles, "
-            f"{daemon.bytes_streamed:,} bytes streamed"
+        log.info(
+            "drained",
+            admitted=status["admitted"],
+            completed=status["completed"],
+            cycles=status["cycles"],
+            bytes_streamed=daemon.bytes_streamed,
         )
 
     asyncio.run(_serve())
@@ -335,31 +369,30 @@ def cmd_client(args) -> int:
 
     from repro.net import AsyncTwoTierClient
 
+    want_trace = args.trace or bool(args.trace_out)
     client = AsyncTwoTierClient(
         args.query,
         host=args.host,
         port=args.port,
         arrival_time=args.arrival,
         client_key=args.key,
+        trace=want_trace,
     )
     report = asyncio.run(client.run())
+    payload = {
+        "query_id": report.query_id,
+        "protocol": report.protocol,
+        "satisfied": report.satisfied,
+        "access_bytes": report.access_bytes,
+        "tuning_bytes": report.tuning_bytes,
+        "index_lookup_bytes": report.metrics.index_lookup_bytes,
+        "cycles_listened": report.metrics.cycles_listened,
+        "cycles_verified": report.cycles_verified,
+    }
+    if report.trace is not None:
+        payload["trace"] = report.trace.to_record()
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "query_id": report.query_id,
-                    "protocol": report.protocol,
-                    "satisfied": report.satisfied,
-                    "access_bytes": report.access_bytes,
-                    "tuning_bytes": report.tuning_bytes,
-                    "index_lookup_bytes": report.metrics.index_lookup_bytes,
-                    "cycles_listened": report.metrics.cycles_listened,
-                    "cycles_verified": report.cycles_verified,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print_table(
             f"Query {report.query_id} ({report.protocol})",
@@ -373,6 +406,27 @@ def cmd_client(args) -> int:
                 ("cycles signature-verified", report.cycles_verified),
             ],
         )
+        if report.trace is not None:
+            comp = report.trace.components()
+            print_table(
+                f"Wire latency (trace {report.trace.trace_id})",
+                ("component", "ms"),
+                [
+                    ("queue", round(comp["queue_seconds"] * 1e3, 3)),
+                    ("build", round(comp["build_seconds"] * 1e3, 3)),
+                    ("on-air", round(comp["on_air_seconds"] * 1e3, 3)),
+                    ("tune", round(comp["tune_seconds"] * 1e3, 3)),
+                    ("total", round(comp["total_seconds"] * 1e3, 3)),
+                ],
+                note="additive: queue + build + on-air + tune = total",
+            )
+    if want_trace and report.trace is None:
+        print("no wire trace captured (query unsatisfied?)", file=sys.stderr)
+    if args.trace_out and report.trace is not None:
+        from repro.tools.trace import export_query_traces
+
+        export_query_traces([report.trace], args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     return 0 if report.satisfied else 1
 
 
@@ -466,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--collection", help="load a saved collection directory")
     stats.add_argument("--trace", help="report from this JSONL trace instead of running")
     stats.add_argument(
-        "--export-trace", help="also export the fresh run as a (v2) JSONL trace"
+        "--export-trace", help="also export the fresh run as a (v3) JSONL trace"
     )
     stats.add_argument(
         "--json", action="store_true", help="machine-readable JSON on stdout"
@@ -516,6 +570,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop admitting after this many queries and drain (smoke runs)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve OpenMetrics on http://host:PORT/metrics (+ /healthz); "
+        "0 = ephemeral; default: no metrics endpoint",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="event-log threshold for the structured stderr log",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit the event log as JSON lines instead of human-readable text",
+    )
+    serve.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="arm the flight recorder; dumps a replayable artifact to DIR "
+        "on uplink ERR or SIGTERM",
+    )
     _add_channel_args(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -537,6 +616,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--key", type=int, default=None, help="idempotent-uplink client key"
+    )
+    client.add_argument(
+        "--trace",
+        action="store_true",
+        help="request an end-to-end wire trace (TRACE= token on SUBMIT) and "
+        "print the per-query latency breakdown",
+    )
+    client.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the wire trace as a v3 JSONL trace file (implies --trace)",
     )
     client.add_argument("--json", action="store_true")
     client.set_defaults(func=cmd_client)

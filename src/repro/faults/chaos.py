@@ -45,11 +45,13 @@ against liveness.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
 from repro.broadcast.server import BuildBudget
+from repro.obs.telemetry import EventLog, FlightRecorder, NullEventLog
 from repro.client.lossy import LossyTwoTierClient
 from repro.client.protocol import FirstTierRead
 from repro.faults.plan import FaultPlan, UplinkOutcome
@@ -84,6 +86,9 @@ class ChaosSimulation(Simulation):
         config: SimulationConfig,
         documents: Optional[Sequence[XMLDocument]] = None,
         first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
+        events: Union[EventLog, NullEventLog, None] = None,
+        flight: Optional[FlightRecorder] = None,
+        flight_dir: Union[str, pathlib.Path, None] = None,
     ) -> None:
         plan = config.faults
         if plan is None:
@@ -124,6 +129,29 @@ class ChaosSimulation(Simulation):
         self._next_doc_id = max(self.store.by_id) + 1
         self._next_client_key = 0
         self._clean_cycles = 0
+        # Telemetry (all optional, no-op by default).  The chaos path is
+        # deterministic, so the event log gets NO clock: events carry
+        # cycle numbers, never wall-clock timestamps.
+        if events is None:
+            events = (
+                EventLog(sink=None) if flight is not None else NullEventLog()
+            )
+        self.events = events
+        self.flight = flight
+        self.flight_dir = (
+            pathlib.Path(flight_dir) if flight_dir is not None else None
+        )
+        if self.flight is not None:
+            self.events.add_listener(self.flight.record_event)
+            self.flight.context.update(
+                {
+                    "harness": "chaos",
+                    "documents": len(self.store.documents),
+                    "fault_seed": plan.seed,
+                    "fault_cycles": plan.fault_cycles,
+                    "scheme": config.scheme.value,
+                }
+            )
         #: plain-int injection/recovery tallies for tests and the CLI
         self.fault_stats: Dict[str, int] = {
             "uplink_attempts": 0,
@@ -159,6 +187,16 @@ class ChaosSimulation(Simulation):
         stats["uplink_dropped"] += outcome.dropped_attempts
         stats["uplink_lost_acks"] += outcome.lost_acks
         stats["uplink_duplicates"] += outcome.duplicate_deliveries
+        if outcome.attempts > 1 or outcome.duplicate_deliveries:
+            self.events.debug(
+                "chaos_uplink_faulted",
+                query=str(plan.query),
+                client_key=client_key,
+                attempts=outcome.attempts,
+                dropped=outcome.dropped_attempts,
+                lost_acks=outcome.lost_acks,
+                duplicates=outcome.duplicate_deliveries,
+            )
         registry = obs.get_registry()
         if registry.enabled:
             registry.counter("sim.uplink_attempts_total").inc(outcome.attempts)
@@ -209,6 +247,12 @@ class ChaosSimulation(Simulation):
             # the session ends -- there is nothing left to broadcast.
             self.fault_stats["uplink_rejections"] += 1
             obs.counter("sim.uplink_rejections_total").inc()
+            self.events.info(
+                "chaos_uplink_rejected",
+                query=str(session.plan.query),
+                client_key=client_key,
+                cycle=self.server.cycle_number,
+            )
             self.sessions.remove(session)
             return
         if session.pending is None:
@@ -227,7 +271,30 @@ class ChaosSimulation(Simulation):
         built_before = self.server.cycle_number
         super()._cycle_event()
         if self.server.cycle_number > built_before:
-            self._check_invariants()
+            if self.flight is not None and self._current_cycle is not None:
+                cycle = self._current_cycle
+                self.flight.record_cycle(
+                    {
+                        "cycle": cycle.cycle_number,
+                        "start": cycle.start_time,
+                        "doc_ids": list(cycle.doc_ids),
+                        "total_bytes": cycle.total_bytes,
+                        "data_bytes": cycle.data_bytes,
+                        "degraded": cycle.degraded,
+                        "pending_after": len(self.server.pending),
+                    }
+                )
+            try:
+                self._check_invariants()
+            except ChaosInvariantError as exc:
+                self.events.error(
+                    "chaos_invariant_violated",
+                    error=str(exc),
+                    cycle=self.server.cycle_number,
+                )
+                if self.flight is not None and self.flight_dir is not None:
+                    self.flight.dump(self.flight_dir, "chaos-invariant")
+                raise
 
     def _inject_add(self) -> None:
         document = self._doc_generator.generate(self._next_doc_id)
@@ -235,6 +302,12 @@ class ChaosSimulation(Simulation):
         self.server.add_document(document)
         self.fault_stats["docs_added"] += 1
         obs.counter("sim.chaos_mutations_total", kind="add").inc()
+        self.events.info(
+            "chaos_mutation",
+            kind="add",
+            doc_id=document.doc_id,
+            cycle=self.server.cycle_number,
+        )
 
     def _inject_remove(self, cycle_number: int) -> None:
         """Remove one document no unsatisfied session still needs."""
@@ -258,9 +331,13 @@ class ChaosSimulation(Simulation):
         if not candidates or len(self.store.documents) <= 1:
             return
         rng = self.plan._rng("mutate-pick", cycle_number)
-        self.server.remove_document(rng.choice(candidates))
+        removed = rng.choice(candidates)
+        self.server.remove_document(removed)
         self.fault_stats["docs_removed"] += 1
         obs.counter("sim.chaos_mutations_total", kind="remove").inc()
+        self.events.info(
+            "chaos_mutation", kind="remove", doc_id=removed, cycle=cycle_number
+        )
 
     # ------------------------------------------------------------------
     # Monitors

@@ -18,6 +18,12 @@ Wall-clock time never enters the protocol: all pacing and arrival
 stamping go through an injectable :class:`~repro.net.clock.ClockAdapter`
 (:class:`~repro.net.clock.ManualClock` in tests, monotonic time in
 production).
+
+Telemetry is opt-in: hand the :class:`~repro.net.daemon.DaemonConfig` a
+:class:`~repro.obs.telemetry.TelemetryConfig` and the daemon serves
+``/metrics`` (OpenMetrics) + ``/healthz`` from its own event loop,
+streams structured events, arms a flight recorder, and honours the
+``TRACE=`` SUBMIT option for end-to-end query tracing.
 """
 
 from repro.net.client import (
@@ -27,7 +33,7 @@ from repro.net.client import (
     UplinkError,
 )
 from repro.net.clock import ClockAdapter, ManualClock, MonotonicClock
-from repro.net.daemon import BroadcastDaemon, DaemonConfig
+from repro.net.daemon import BroadcastDaemon, DaemonConfig, DaemonStats
 from repro.net.framing import (
     FrameError,
     FrameKind,
@@ -46,6 +52,7 @@ __all__ = [
     "ClockAdapter",
     "CycleDecoder",
     "DaemonConfig",
+    "DaemonStats",
     "FrameError",
     "FrameKind",
     "ManualClock",

@@ -26,12 +26,14 @@ from repro.client.metrics import ClientMetrics
 from repro.client.protocol import AccessProtocol, FirstTierRead
 from repro.client.twotier import TwoTierClient
 from repro.client.multichannel import MultiChannelTwoTierClient
+from repro.net.clock import ClockAdapter, MonotonicClock
 from repro.net.framing import (
     FrameKind,
     encode_text,
     read_frame_mixed,
 )
 from repro.net.wire import CycleDecoder
+from repro.obs.telemetry.tracing import TRACE_TOKEN, QueryTrace
 from repro.xpath.parser import parse_query
 
 
@@ -59,6 +61,8 @@ class ClientReport:
     cycles_verified: int = 0
     #: per-cycle program signatures, in broadcast order
     signatures: List[str] = field(default_factory=list)
+    #: closed end-to-end wire trace (``trace=True`` sessions only)
+    trace: Optional[QueryTrace] = None
 
     @property
     def access_bytes(self) -> int:
@@ -87,6 +91,8 @@ class AsyncTwoTierClient:
         arrival_time: Optional[int] = None,
         first_tier_read: FirstTierRead = FirstTierRead.SELECTIVE,
         client_key: Optional[int] = None,
+        trace: bool = False,
+        clock: Optional[ClockAdapter] = None,
     ) -> None:
         self.query = parse_query(query)
         self.host = host
@@ -95,6 +101,11 @@ class AsyncTwoTierClient:
         self.arrival_time = arrival_time
         self.first_tier_read = first_tier_read
         self.client_key = client_key
+        #: request end-to-end wire tracing (the ``TRACE=`` SUBMIT option)
+        self.trace = trace
+        self._clock: ClockAdapter = clock or MonotonicClock()
+        self.trace_id: Optional[str] = None
+        self._trace_entry: Optional[dict] = None
 
         self.query_id: Optional[int] = None
         self.num_channels = 1
@@ -131,17 +142,33 @@ class AsyncTwoTierClient:
             parts.append(f"AT={self.arrival_time}")
         if self.client_key is not None:
             parts.append(f"KEY={self.client_key}")
+        if self.trace:
+            # Empty value: the daemon mints the trace ID and echoes it.
+            parts.append(f"{TRACE_TOKEN}={self.trace_id or ''}")
         parts.append(str(self.query))
         reply = await self._command(" ".join(parts))
         word, _, rest = reply.partition(" ")
+        tokens, echo = self._split_trace_echo(rest)
         if word == "RETRY_AFTER":
-            raise Backpressure(int(rest or "1"))
+            raise Backpressure(int(tokens[0] if tokens else "1"))
         if word != "ACK":
             raise UplinkError(f"submit rejected: {reply!r}")
-        qid_text, _, arrival_text = rest.partition(" ")
-        self.query_id = int(qid_text)
-        self.arrival_time = int(arrival_text)
+        if len(tokens) < 2:
+            raise UplinkError(f"malformed ACK: {reply!r}")
+        self.query_id = int(tokens[0])
+        self.arrival_time = int(tokens[1])
+        if echo is not None:
+            self.trace_id = echo
         return self.query_id
+
+    @staticmethod
+    def _split_trace_echo(rest: str) -> Tuple[List[str], Optional[str]]:
+        """Separate a trailing ``TRACE=<id>`` echo from a reply tail."""
+        tokens = rest.split()
+        echo: Optional[str] = None
+        if tokens and tokens[-1].startswith(f"{TRACE_TOKEN}="):
+            echo = tokens.pop().partition("=")[2]
+        return tokens, echo
 
     async def run_session(self) -> ClientReport:
         """Consume the downlink until the query is satisfied.
@@ -171,6 +198,16 @@ class AsyncTwoTierClient:
                 continue
             assert decoder.last_header is not None
             signatures.append(decoder.last_header["signature"])
+            if self.trace_id is not None and decoder.last_trailer:
+                entry = decoder.last_trailer.get("traces", {}).get(
+                    self.trace_id
+                )
+                if entry is not None:
+                    # Keep the latest timeline: under acknowledged
+                    # delivery a query may span several cycles.  The
+                    # compact trailer carries the ID only as the dict
+                    # key; restore it for ``QueryTrace.from_entry``.
+                    self._trace_entry = {"trace_id": self.trace_id, **entry}
             was_satisfied = protocol.satisfied
             protocol.on_cycle(cycle)
             if (
@@ -183,6 +220,15 @@ class AsyncTwoTierClient:
                 satisfied = True
                 await self._bye()
                 break
+        trace: Optional[QueryTrace] = None
+        if satisfied and self._trace_entry is not None:
+            # Close the chain: ``received`` is this client's stamp on
+            # the shared system monotonic clock.
+            trace = QueryTrace.from_entry(
+                self._trace_entry,
+                query=str(self.query),
+                received=self._clock.now(),
+            )
         return ClientReport(
             query_id=self.query_id,
             protocol=protocol.protocol_name,
@@ -190,6 +236,7 @@ class AsyncTwoTierClient:
             satisfied=satisfied,
             cycles_verified=len(signatures),
             signatures=signatures,
+            trace=trace,
         )
 
     async def run(self) -> ClientReport:

@@ -37,6 +37,15 @@ applied in admission order, mirroring the simulator's delivery loop.
 SIGINT handling is graceful: :meth:`BroadcastDaemon.request_stop`
 drains -- in-flight and pending queries are served to completion, then
 every subscriber receives ``SERVER_BYE`` and the sockets close.
+
+**Telemetry** is opt-in via :class:`~repro.obs.telemetry.TelemetryConfig`
+on the :class:`DaemonConfig`: a ``/metrics`` + ``/healthz`` HTTP
+endpoint on the same event loop, a structured event log, a flight
+recorder, and per-query wire tracing (the ``TRACE=`` SUBMIT option).
+Operational counters live in one place -- :class:`DaemonStats` -- and
+both ``STATUS`` and ``/metrics`` render from it, so the two surfaces
+cannot disagree.  Without a telemetry config the daemon's wire
+behaviour is byte-identical (pinned by ``tests/net/test_parity.py``).
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
-from repro.broadcast.program import BroadcastCycle
+from repro.broadcast.program import BroadcastCycle, program_signature
 from repro.broadcast.server import DocumentStore, PendingQuery
 from repro.net.clock import ClockAdapter, MonotonicClock
 from repro.net.framing import (
@@ -59,6 +68,17 @@ from repro.net.framing import (
 )
 from repro.net.pacing import TokenBucket
 from repro.net.wire import encode_cycle
+from repro.obs.registry import Counter, MetricsRegistry
+from repro.obs.telemetry import (
+    EventLog,
+    Family,
+    MetricsHTTPServer,
+    NullEventLog,
+    QueryTracer,
+    TelemetryConfig,
+    render_openmetrics,
+)
+from repro.obs.telemetry.tracing import TRACE_TOKEN
 from repro.sim.config import SimulationConfig
 from repro.sim.simulation import make_server
 from repro.xpath.parser import parse_query
@@ -85,6 +105,33 @@ class DaemonConfig:
     #: injectable clock for pacing (wall-clock never enters directly);
     #: ``None`` -> :class:`~repro.net.clock.MonotonicClock`
     clock: Optional[ClockAdapter] = None
+    #: opt-in telemetry plane (metrics endpoint, event log, flight
+    #: recorder); ``None`` = fully dark, byte-identical wire behaviour
+    telemetry: Optional[TelemetryConfig] = None
+
+
+@dataclass
+class DaemonStats:
+    """Single source of truth for the daemon's operational counters.
+
+    ``STATUS`` replies and the ``/metrics`` endpoint both render from
+    this object (the registry only ever carries *additional* detail:
+    per-channel bytes, build spans), so the two surfaces cannot drift
+    apart.
+    """
+
+    connections_total: int = 0
+    admitted_total: int = 0
+    rejected_overload: int = 0
+    rejected_closed: int = 0
+    cycles_streamed: int = 0
+    frames_sent: int = 0
+    bytes_streamed: int = 0
+    errors_total: int = 0
+
+    @property
+    def rejected_total(self) -> int:
+        return self.rejected_overload + self.rejected_closed
 
 
 @dataclass
@@ -135,13 +182,68 @@ class BroadcastDaemon:
         #: on-air position while a cycle streams: (start_time, end_offset)
         self._on_air: Optional[Tuple[int, int]] = None
 
-        # plain-int mirrors of the obs counters (readable without a registry)
-        self.connections_total = 0
-        self.admitted_total = 0
-        self.rejected_total = 0
-        self.cycles_streamed = 0
-        self.frames_sent = 0
-        self.bytes_streamed = 0
+        #: operational counters; STATUS and /metrics both read from here
+        self.stats = DaemonStats()
+
+        #: trace_id -> the connection that submitted it: finished
+        #: timelines ride only that connection's CYCLE_END trailer, so
+        #: trace freight is O(1) per traced query instead of scaling
+        #: with the subscriber count
+        self._trace_conns: Dict[str, _Connection] = {}
+
+        # -- telemetry plane (all no-op without a TelemetryConfig) -----
+        self.telemetry = self.net.telemetry
+        self.events = (
+            self.telemetry.events if self.telemetry is not None
+            else NullEventLog()
+        )
+        self.flight = self.telemetry.flight if self.telemetry else None
+        if self.flight is not None and isinstance(self.events, NullEventLog):
+            # The ring buffer observes via a listener, so the recorder
+            # needs a real (if sink-less) event stream behind it.
+            self.events = EventLog(sink=None, clock=self.clock)
+        self.tracer = QueryTracer(self.clock)
+        self.metrics_port: Optional[int] = None
+        self._metrics_http: Optional[MetricsHTTPServer] = None
+        self._obs_was_enabled = False
+        self._obs_previous: Optional[MetricsRegistry] = None
+        if self.flight is not None:
+            self.events.add_listener(self.flight.record_event)
+            self.flight.context.update(
+                {
+                    "documents": len(store),
+                    "scheme": self.config.scheme.value,
+                    "num_channels": self.config.num_data_channels or 1,
+                    "bandwidth": self.net.bandwidth,
+                    "max_pending": self.net.max_pending,
+                }
+            )
+
+    # -- backward-compatible counter mirrors ---------------------------
+
+    @property
+    def connections_total(self) -> int:
+        return self.stats.connections_total
+
+    @property
+    def admitted_total(self) -> int:
+        return self.stats.admitted_total
+
+    @property
+    def rejected_total(self) -> int:
+        return self.stats.rejected_total
+
+    @property
+    def cycles_streamed(self) -> int:
+        return self.stats.cycles_streamed
+
+    @property
+    def frames_sent(self) -> int:
+        return self.stats.frames_sent
+
+    @property
+    def bytes_streamed(self) -> int:
+        return self.stats.bytes_streamed
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -149,10 +251,29 @@ class BroadcastDaemon:
 
     async def start(self) -> None:
         """Bind the socket and start the broadcast loop."""
+        if self.telemetry is not None and self.telemetry.wants_registry:
+            # Install the telemetry registry as the process-wide obs
+            # sink for the daemon's lifetime; restored at shutdown.
+            self._obs_was_enabled = obs.is_enabled()
+            self._obs_previous = obs.get_registry() if self._obs_was_enabled else None
+            obs.enable(self.telemetry.registry or MetricsRegistry())
         self._tcp = await asyncio.start_server(
             self._handle_connection, self.net.host, self.net.port
         )
         self.port = self._tcp.sockets[0].getsockname()[1]
+        if self.telemetry is not None and self.telemetry.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self._metrics_text,
+                self._health,
+                host=self.telemetry.metrics_host,
+                port=self.telemetry.metrics_port,
+            )
+            self.metrics_port = await self._metrics_http.start()
+            self.events.info(
+                "telemetry_listening",
+                host=self.telemetry.metrics_host,
+                port=self.metrics_port,
+            )
         self._loop_task = asyncio.create_task(self._broadcast_loop())
 
     def start_broadcast(self) -> None:
@@ -162,9 +283,31 @@ class BroadcastDaemon:
 
     def request_stop(self) -> None:
         """Begin a graceful drain: serve what is pending, then close."""
+        if not self._draining:
+            self.events.info(
+                "drain_begin",
+                pending=len(self.server.pending),
+                completed=len(self.server.completed),
+            )
         self._draining = True
         self._wake.set()
         self._ack_event.set()
+
+    def dump_flight(self, reason: str) -> Optional[str]:
+        """Dump the flight recorder (if armed); returns the artifact path.
+
+        Wired to SIGTERM by ``repro serve``; also called internally on
+        ``ERR`` replies.
+        """
+        if (
+            self.flight is None
+            or self.telemetry is None
+            or self.telemetry.flight_dir is None
+        ):
+            return None
+        path = self.flight.dump(self.telemetry.flight_dir, reason)
+        self.events.warning("flight_dump", reason=reason, path=str(path))
+        return str(path)
 
     async def wait_done(self) -> None:
         await self._done.wait()
@@ -183,8 +326,8 @@ class BroadcastDaemon:
     ) -> None:
         conn = _Connection(reader, writer)
         self._connections.append(conn)
-        self.connections_total += 1
-        obs.counter("net.connections_total").inc()
+        self.stats.connections_total += 1
+        self.events.debug("connection_open", open=len(self._connections))
         try:
             while True:
                 try:
@@ -205,6 +348,10 @@ class BroadcastDaemon:
             self._drop(conn)
 
     async def _reply(self, conn: _Connection, line: str) -> None:
+        if line.startswith("ERR "):
+            self.stats.errors_total += 1
+            self.events.error("uplink_err", message=line[4:])
+            self.dump_flight("err")
         try:
             conn.writer.write(encode_text(line))
             await conn.writer.drain()
@@ -237,6 +384,7 @@ class BroadcastDaemon:
     def _submit(self, conn: _Connection, rest: str) -> str:
         arrival: Optional[int] = None
         key: Optional[int] = None
+        trace_id: Optional[str] = None  # None = untraced; "" = mint one
         tokens = rest.split()
         while tokens and "=" in tokens[0]:
             name, _, value = tokens[0].partition("=")
@@ -245,6 +393,8 @@ class BroadcastDaemon:
                     arrival = int(value)
                 elif name == "KEY":
                     key = int(value)
+                elif name == TRACE_TOKEN:
+                    trace_id = value
                 else:
                     return f"ERR unknown SUBMIT option {name!r}"
             except ValueError:
@@ -252,34 +402,62 @@ class BroadcastDaemon:
             tokens.pop(0)
         if not tokens:
             return "ERR SUBMIT needs an XPath query"
+        if trace_id is not None:
+            trace_id = self.tracer.on_submit(trace_id)
+        # ``TRACE=`` is echoed only to clients that sent it: untraced
+        # clients keep the exact reply shape they always had.
+        suffix = f" {TRACE_TOKEN}={trace_id}" if trace_id is not None else ""
+
+        def _reject(reply: str) -> str:
+            if trace_id is not None:
+                self.tracer.on_reject(trace_id)
+                self._trace_conns.pop(trace_id, None)
+            return reply
+
         if self._draining:
-            return "RETRY_AFTER 1"
+            return _reject("RETRY_AFTER 1" + suffix)
         if (
             self.net.max_queries is not None
-            and self.admitted_total >= self.net.max_queries
+            and self.stats.admitted_total >= self.net.max_queries
         ):
-            self.rejected_total += 1
-            obs.counter("net.queries_rejected_total", reason="closed").inc()
-            return "ERR admission closed"
+            self.stats.rejected_closed += 1
+            self.events.info("reject", reason="closed")
+            return _reject("ERR admission closed")
         if len(self.server.pending) >= self.net.max_pending:
-            self.rejected_total += 1
-            obs.counter("net.queries_rejected_total", reason="overload").inc()
-            return f"RETRY_AFTER {len(self.server.pending)}"
+            self.stats.rejected_overload += 1
+            self.events.info(
+                "reject", reason="overload", pending=len(self.server.pending)
+            )
+            return _reject(f"RETRY_AFTER {len(self.server.pending)}" + suffix)
         try:
             query = parse_query(" ".join(tokens))
         except ValueError as exc:
-            return f"ERR {exc}"
+            return _reject(f"ERR {exc}")
         if arrival is None:
             arrival = self._arrival_now()
+        dedup_before = self.server.uplink_dedup_hits
         try:
             pending = self.server.submit(query, arrival, client_key=key)
         except ValueError as exc:
-            return f"ERR {exc}"
+            return _reject(f"ERR {exc}")
         conn.query_ids.add(pending.query_id)
-        self.admitted_total += 1
-        obs.counter("net.queries_admitted_total").inc()
+        self.stats.admitted_total += 1
+        if trace_id is not None:
+            self.tracer.on_admit(trace_id, pending)
+            self._trace_conns[trace_id] = conn
+        if self.server.uplink_dedup_hits > dedup_before:
+            self.events.info(
+                "dedup_hit", query_id=pending.query_id, key=key
+            )
+        self.events.info(
+            "admit",
+            query_id=pending.query_id,
+            arrival=pending.arrival_time,
+            query=str(query),
+            pending=len(self.server.pending),
+        )
         self._wake.set()
-        return f"ACK {pending.query_id} {pending.arrival_time}"
+        return f"ACK {pending.query_id} {pending.arrival_time}" + suffix
 
     def _arrival_now(self) -> int:
         """Current channel byte-time: mid-cycle it is the on-air position."""
@@ -315,20 +493,72 @@ class BroadcastDaemon:
         self._ack_event.set()
 
     def status(self) -> Dict:
+        """The ``STATUS`` wire payload; reads the same
+        :class:`DaemonStats` the ``/metrics`` endpoint renders."""
         return {
             "pending": len(self.server.pending),
             "completed": len(self.server.completed),
             "cycles": self.server.cycle_number,
             "clock": self.server.clock,
             "connections": len(self._connections),
-            "admitted": self.admitted_total,
-            "rejected": self.rejected_total,
+            "admitted": self.stats.admitted_total,
+            "rejected": self.stats.rejected_total,
             "dedup_hits": self.server.uplink_dedup_hits,
             "degraded_cycles": self.server.degraded_cycles,
             "draining": self._draining,
             "num_channels": self.config.num_data_channels or 1,
             "bandwidth": self.net.bandwidth,
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry endpoint callbacks
+    # ------------------------------------------------------------------
+
+    def _stat_families(self) -> List[Family]:
+        """The plain-int operational state as OpenMetrics families.
+
+        These are the exact integers ``STATUS`` reports -- rendered
+        from :class:`DaemonStats` and the underlying server, never from
+        a second copy.
+        """
+        stats = self.stats
+        rejected = Family("net.queries_rejected", "counter")
+        rejected.add(stats.rejected_overload, reason="overload")
+        rejected.add(stats.rejected_closed, reason="closed")
+        return [
+            Family("net.connections", "counter").add(stats.connections_total),
+            Family("net.queries_admitted", "counter").add(stats.admitted_total),
+            rejected,
+            Family("net.cycles_streamed", "counter").add(stats.cycles_streamed),
+            Family("net.frames_sent", "counter").add(stats.frames_sent),
+            Family("net.bytes_streamed", "counter").add(stats.bytes_streamed),
+            Family("net.uplink_errors", "counter").add(stats.errors_total),
+            Family("net.connections_open", "gauge").add(len(self._connections)),
+            Family("net.pending_queries", "gauge").add(len(self.server.pending)),
+            Family("net.completed_queries", "gauge").add(
+                len(self.server.completed)
+            ),
+            Family("net.clock_bytes", "gauge").add(self.server.clock),
+            Family("net.draining", "gauge").add(int(self._draining)),
+        ]
+
+    def _metrics_text(self) -> str:
+        """Render the registry snapshot + daemon stats (synchronously:
+        no await separates the snapshot from the serialisation)."""
+        return render_openmetrics(
+            obs.get_registry().snapshot(), extra_families=self._stat_families()
+        )
+
+    def _health(self) -> Tuple[int, Dict]:
+        """Drain-aware readiness: 503 once draining so orchestrators
+        stop routing new clients, 200 otherwise."""
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "pending": len(self.server.pending),
+            "cycles": self.server.cycle_number,
+            "draining": self._draining,
+        }
+        return (503 if self._draining else 200), payload
 
     def _drop(self, conn: _Connection) -> None:
         if conn.closed:
@@ -351,19 +581,62 @@ class BroadcastDaemon:
         try:
             while await self._wait_for_work():
                 now = self._next_build_time()
+                tracing = self.tracer.active()
+                if tracing:
+                    # Snapshot owed documents *before* the build: non-ack
+                    # builds shrink remaining sets at build time.
+                    self.tracer.begin_build()
                 with obs.span("net.cycle_build"):
                     build_started = self.clock.now()
                     cycle = self.server.build_cycle(now)
                     obs.histogram("net.cycle_build_seconds").observe(
                         self.clock.now() - build_started
                     )
+                if tracing:
+                    self.tracer.end_build()
                 if cycle is None:  # pragma: no cover - wait_for_work guards
                     continue
+                self._record_cycle(cycle)
                 await self._stream_cycle(cycle)
                 if self.server.acknowledged_delivery:
                     await self._collect_acks(cycle)
         finally:
             await self._shutdown()
+
+    def _record_cycle(self, cycle: BroadcastCycle) -> None:
+        """Event + flight-recorder bookkeeping for a freshly built cycle."""
+        if cycle.degraded:
+            self.events.warning(
+                "degraded_build",
+                cycle=cycle.cycle_number,
+                start=cycle.start_time,
+            )
+        record = self.server.records[-1] if self.server.records else None
+        self.events.info(
+            "cycle_built",
+            cycle=cycle.cycle_number,
+            start=cycle.start_time,
+            docs=len(cycle.doc_ids),
+            total_bytes=cycle.total_bytes,
+            degraded=cycle.degraded,
+            pending=len(self.server.pending),
+        )
+        if self.flight is not None:
+            self.flight.record_cycle(
+                {
+                    "cycle": cycle.cycle_number,
+                    "start": cycle.start_time,
+                    "doc_ids": list(cycle.doc_ids),
+                    "total_bytes": cycle.total_bytes,
+                    "data_bytes": cycle.data_bytes,
+                    "degraded": cycle.degraded,
+                    "signature": program_signature(cycle),
+                    "pending_after": len(self.server.pending),
+                    "phase_seconds": dict(record.phase_seconds)
+                    if record is not None
+                    else {},
+                }
+            )
 
     async def _wait_for_work(self) -> bool:
         """Block until a cycle should build; False means shut down."""
@@ -400,26 +673,95 @@ class BroadcastDaemon:
         subscribers = [c for c in self._connections if c.tuned and not c.closed]
         self._on_air = (cycle.start_time, 0)
         registry = obs.get_registry()
+        # Per-frame path: resolve each channel's counter once per cycle,
+        # not once per frame (the registry lookup formats a label key).
+        air_counters: Dict[str, Counter] = {}
+        tracing = self.tracer.active()
+        if tracing:
+            self.tracer.begin_stream()
         with obs.span("net.stream_cycle"):
             for frame in frames:
                 await self._bucket.acquire(frame.air_bytes)
                 blob = encode_frame(frame.kind, frame.payload, self._checksum)
+                personal: Dict[int, bytes] = {}
+                if tracing and frame.kind is FrameKind.CYCLE_END:
+                    # The trailer is the last frame out: by now every
+                    # DOC stamp for this cycle has been taken, so the
+                    # finished timelines can ride it (0 air bytes --
+                    # signatures and pacing are untouched).  Each
+                    # timeline rides only the trailer of the connection
+                    # that submitted the trace: broadcasting every entry
+                    # to every subscriber would scale the downlink with
+                    # the traced-client count.
+                    personal = self._personal_trailers(frame.payload, cycle)
                 await asyncio.gather(
-                    *(self._send(conn, blob) for conn in subscribers)
+                    *(
+                        self._send(conn, personal.get(id(conn), blob))
+                        for conn in subscribers
+                    )
                 )
                 self._on_air = (cycle.start_time, frame.end_offset)
-                self.frames_sent += 1
-                self.bytes_streamed += len(blob)
+                self.stats.frames_sent += 1
+                self.stats.bytes_streamed += len(blob)
+                for extra in personal.values():
+                    self.stats.bytes_streamed += len(extra) - len(blob)
+                if tracing and frame.doc_id is not None:
+                    self.tracer.on_doc_sent(frame.doc_id)
                 if registry.enabled and frame.air_bytes:
                     channel = (
                         str(frame.channel) if frame.channel is not None else "index"
                     )
-                    registry.counter(
-                        "net.on_air_bytes_total", channel=channel
-                    ).inc(frame.air_bytes)
+                    counter = air_counters.get(channel)
+                    if counter is None:
+                        counter = air_counters[channel] = registry.counter(
+                            "net.on_air_bytes_total", channel=channel
+                        )
+                    counter.inc(frame.air_bytes)
         self._on_air = None
-        self.cycles_streamed += 1
-        obs.counter("net.cycles_streamed_total").inc()
+        self.stats.cycles_streamed += 1
+        self.events.debug(
+            "cycle_streamed",
+            cycle=cycle.cycle_number,
+            subscribers=len(subscribers),
+        )
+
+    def _personal_trailers(
+        self, payload: bytes, cycle: BroadcastCycle
+    ) -> Dict[int, bytes]:
+        """Per-connection CYCLE_END blobs carrying each peer's finished
+        trace timelines, keyed by ``id(connection)``.
+
+        A trace whose submitting connection is gone (or never tuned)
+        simply drops its timeline -- nobody is left to close it.
+        """
+        entries = self.tracer.cycle_entries(cycle.cycle_number)
+        live = self.tracer.states
+        if len(self._trace_conns) > len(live):
+            self._trace_conns = {
+                t: c for t, c in self._trace_conns.items() if t in live
+            }
+        if not entries:
+            return {}
+        per_conn: Dict[int, Dict[str, Dict]] = {}
+        for trace_id, entry in entries.items():
+            conn = self._trace_conns.get(trace_id)
+            if conn is None or conn.closed or not conn.tuned:
+                continue
+            per_conn.setdefault(id(conn), {})[trace_id] = entry
+        if not per_conn:
+            return {}
+        trailer = json.loads(payload.decode("utf-8"))
+        blobs: Dict[int, bytes] = {}
+        for key, traces in per_conn.items():
+            trailer["traces"] = traces
+            blobs[key] = encode_frame(
+                FrameKind.CYCLE_END,
+                json.dumps(
+                    trailer, separators=(",", ":"), sort_keys=True
+                ).encode("utf-8"),
+                self._checksum,
+            )
+        return blobs
 
     async def _send(self, conn: _Connection, blob: bytes) -> None:
         if conn.closed:
@@ -482,6 +824,11 @@ class BroadcastDaemon:
 
     async def _shutdown(self) -> None:
         """Drain epilogue: SERVER_BYE to every subscriber, close sockets."""
+        self.events.info(
+            "server_bye",
+            completed=len(self.server.completed),
+            cycles=self.server.cycle_number,
+        )
         bye = encode_frame(FrameKind.SERVER_BYE, b"", self._checksum)
         for conn in list(self._connections):
             if conn.tuned and not conn.closed:
@@ -491,6 +838,15 @@ class BroadcastDaemon:
             await self._tcp.wait_closed()
         for conn in list(self._connections):
             self._drop(conn)
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
+            self._metrics_http = None
+        if self.telemetry is not None and self.telemetry.wants_registry:
+            # Put the process-wide obs state back the way we found it.
+            if self._obs_was_enabled and self._obs_previous is not None:
+                obs.enable(self._obs_previous)
+            else:
+                obs.disable()
         self._done.set()
 
     # ------------------------------------------------------------------
@@ -510,7 +866,7 @@ class BroadcastDaemon:
             except ValueError:
                 continue
             admitted += 1
-            self.admitted_total += 1
+            self.stats.admitted_total += 1
         if admitted:
             self._wake.set()
         return admitted

@@ -82,6 +82,9 @@ class WireFrame:
     end_offset: int
     #: data channel a DOC frame airs on (``None`` for index/marker frames)
     channel: Optional[int] = None
+    #: document a DOC frame carries (``None`` otherwise); lets the
+    #: daemon's query tracer stamp deliveries without re-parsing payloads
+    doc_id: Optional[int] = None
 
 
 def _json_payload(obj: object) -> bytes:
@@ -215,6 +218,7 @@ def encode_cycle(
                 air_bytes=air,
                 end_offset=offset + air,
                 channel=doc_channels.get(doc_id, 0),
+                doc_id=doc_id,
             )
         )
     frames.append(
@@ -250,6 +254,10 @@ class CycleDecoder:
         #: header of the most recently completed cycle (survives the
         #: per-cycle reset; callers read the signature from it)
         self.last_header: Optional[Dict] = None
+        #: CYCLE_END trailer of the most recently completed cycle; the
+        #: daemon's query tracer publishes per-trace timelines here
+        #: (key ``traces``), off-air so signatures are untouched
+        self.last_trailer: Optional[Dict] = None
         self.documents: Dict[int, bytes] = {}
         self._index_payload: Optional[bytes] = None
         self._offsets_payload: Optional[bytes] = None
@@ -297,6 +305,10 @@ class CycleDecoder:
         if kind is FrameKind.CYCLE_END:
             cycle = self._finish()
             self.last_header = self.header
+            try:
+                self.last_trailer = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.last_trailer = None
             self._reset()
             return cycle
         raise WireProtocolError(f"unexpected {kind.name} frame in cycle stream")

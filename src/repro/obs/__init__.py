@@ -21,6 +21,11 @@ Usage::
 
 Instrumented code never imports a concrete registry -- it calls
 ``obs.span`` / ``obs.get_registry()`` and gets whatever is active.
+
+The :mod:`repro.obs.telemetry` subpackage turns a registry into a live
+operational surface: an OpenMetrics HTTP exporter, structured event
+logging, end-to-end query tracing and a flight recorder (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations

@@ -4,9 +4,10 @@ One :class:`PerfReport` can be built from two sources:
 
 * a finished :class:`~repro.sim.results.SimulationResult` whose run was
   observed (``obs.observed()``), via :func:`report_from_result`;
-* a saved JSONL trace (v1 or v2), via :func:`report_from_trace` -- v2
+* a saved JSONL trace (v1-v3), via :func:`report_from_trace` -- v2+
   traces carry the metrics snapshot, v1 traces yield byte accounting
-  only.
+  only, and v3 traces may add per-query wire latency breakdowns
+  (``query_trace`` records from :mod:`repro.obs.telemetry`).
 
 The report renders as fixed-width tables (``render()``) for humans and as
 JSON (``to_json()``) for the benchmark harness, which persists it as a
@@ -39,6 +40,8 @@ class PerfReport:
     bytes: Dict[str, object] = field(default_factory=dict)
     #: raw counter values from the metrics snapshot (empty without one)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: per-query wire latency rows (v3 ``query_trace`` records)
+    wire_latencies: List[Dict[str, object]] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -48,6 +51,7 @@ class PerfReport:
             "phases": self.phases,
             "bytes": self.bytes,
             "counters": self.counters,
+            "wire_latencies": self.wire_latencies,
         }
 
     def render(self) -> str:
@@ -77,7 +81,7 @@ class PerfReport:
         else:
             parts.append(
                 "Phase timings unavailable: run with observability enabled "
-                "(`repro stats` without --trace) or use a v2 trace."
+                "(`repro stats` without --trace) or use a v2+ trace."
             )
         channel_rows = [
             ("broadcast total", self.bytes.get("broadcast_total", 0)),
@@ -107,6 +111,29 @@ class PerfReport:
                     ("protocol", "probe", "index", "offsets", "docs",
                      "index lookup", "tuning"),
                     rows,
+                )
+            )
+        if self.wire_latencies:
+            rows = [
+                (
+                    row["trace_id"],
+                    row["query"],
+                    row["queue_ms"],
+                    row["build_ms"],
+                    row["on_air_ms"],
+                    row["tune_ms"],
+                    row["total_ms"],
+                )
+                for row in self.wire_latencies
+            ]
+            parts.append(
+                format_table(
+                    "Wire latency breakdown (per traced query)",
+                    ("trace", "query", "queue ms", "build ms",
+                     "on-air ms", "tune ms", "total ms"),
+                    rows,
+                    note="components are additive: "
+                    "queue + build + on-air + tune = total",
                 )
             )
         return "\n\n".join(parts)
@@ -158,11 +185,33 @@ def report_from_result(result: SimulationResult) -> PerfReport:
     )
 
 
-def report_from_trace(records: List[Dict]) -> PerfReport:
-    """Build the report from loaded trace records (v1 or v2).
+def _wire_latency_rows(records: List[Dict]) -> List[Dict[str, object]]:
+    """Flatten v3 ``query_trace`` records into render-ready ms rows."""
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        if record.get("kind") != "query_trace":
+            continue
+        comp = record["components"]
+        rows.append(
+            {
+                "trace_id": record["trace_id"],
+                "query": record["query"],
+                "queue_ms": round(comp["queue_seconds"] * 1e3, 3),
+                "build_ms": round(comp["build_seconds"] * 1e3, 3),
+                "on_air_ms": round(comp["on_air_seconds"] * 1e3, 3),
+                "tune_ms": round(comp["tune_seconds"] * 1e3, 3),
+                "total_ms": round(comp["total_seconds"] * 1e3, 3),
+            }
+        )
+    return rows
 
-    v2 traces embed the run's metrics snapshot, giving the full phase
-    table; v1 traces fall back to byte accounting only.
+
+def report_from_trace(records: List[Dict]) -> PerfReport:
+    """Build the report from loaded trace records (v1-v3).
+
+    v2+ traces embed the run's metrics snapshot, giving the full phase
+    table; v1 traces fall back to byte accounting only; v3
+    ``query_trace`` records add the wire latency breakdown.
     """
     cycles = [r for r in records if r["kind"] == "cycle"]
     clients = [r for r in records if r["kind"] == "client"]
@@ -218,4 +267,5 @@ def report_from_trace(records: List[Dict]) -> PerfReport:
             "clients": _client_byte_totals(client_rows),
         },
         counters=dict((snapshot or {}).get("counters", {})),
+        wire_latencies=_wire_latency_rows(records),
     )

@@ -1,0 +1,152 @@
+"""Structured event log: one JSON (or human) line per operational event.
+
+The daemon and the chaos harness used to narrate with ad-hoc ``print``
+calls; this module replaces those with a levelled, machine-parseable
+stream.  Two design rules keep it honest:
+
+* **The clock is injected.**  ``EventLog(clock=...)`` accepts a
+  :class:`repro.net.clock.ClockAdapter` (or any ``now()``-bearing
+  object / zero-arg callable).  With no clock, events simply carry no
+  timestamp -- deterministic code paths never touch the wall clock.
+* **Sinks are write-only callables.**  Listeners (the flight recorder)
+  observe the structured dict before formatting, so one emission feeds
+  the log line, the ring buffer, and any test capture identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
+
+__all__ = ["EventLog", "LEVELS", "NullEventLog"]
+
+#: Severity order; events below the log's level are dropped.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+ClockLike = Union[Callable[[], float], Any]
+
+
+def _resolve_clock(clock: Optional[ClockLike]) -> Optional[Callable[[], float]]:
+    if clock is None:
+        return None
+    now = getattr(clock, "now", None)
+    if callable(now):
+        return now
+    if callable(clock):
+        return clock
+    raise TypeError(f"clock must be callable or have .now(): {clock!r}")
+
+
+class EventLog:
+    """Levelled structured event stream.
+
+    ``sink`` is a file-like object (``write(str)``) or a callable taking
+    the formatted line; defaults to dropping lines (listeners may still
+    observe every event).  ``json_lines=True`` emits one JSON object per
+    line sorted by key; ``False`` emits ``event: k=v ...`` human lines
+    (what ``repro serve`` prints to stderr by default).
+    """
+
+    def __init__(
+        self,
+        sink: Union[TextIO, Callable[[str], None], None] = None,
+        clock: Optional[ClockLike] = None,
+        level: str = "info",
+        json_lines: bool = True,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        self._write = (
+            None
+            if sink is None
+            else sink if callable(sink) else sink.write
+        )
+        self._flush = getattr(sink, "flush", None)
+        self._now = _resolve_clock(clock)
+        self.level = level
+        self.json_lines = json_lines
+        self._listeners: List[Callable[[Dict[str, Any]], None]] = []
+        self.emitted = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[Dict[str, Any]], None]
+    ) -> None:
+        """Register a callable that sees every emitted event dict
+        (regardless of level filtering of the *sink*; listeners get
+        everything at or above ``debug``)."""
+        self._listeners.append(listener)
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= LEVELS[self.level]
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: str, level: str = "info", **fields: Any) -> None:
+        """Emit one event.  ``fields`` must be JSON-serialisable."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        record: Dict[str, Any] = {"event": event, "level": level}
+        if self._now is not None:
+            record["ts"] = round(self._now(), 6)
+        record.update(fields)
+        for listener in self._listeners:
+            listener(record)
+        if self._write is None or not self.enabled_for(level):
+            return
+        self.emitted += 1
+        self._write(self._format(record) + "\n")
+        if self._flush is not None:
+            self._flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.emit(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.emit(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.emit(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.emit(event, level="error", **fields)
+
+    def _format(self, record: Dict[str, Any]) -> str:
+        if self.json_lines:
+            return json.dumps(record, sort_keys=True, default=str)
+        parts = [f"{record['event']}:"]
+        for key in sorted(record):
+            if key in ("event", "level"):
+                continue
+            parts.append(f"{key}={record[key]}")
+        if record["level"] != "info":
+            parts.insert(1, f"[{record['level']}]")
+        return " ".join(parts)
+
+
+class NullEventLog:
+    """No-op stand-in; the default everywhere an ``EventLog`` fits.
+
+    Keeps the hot paths branch-free: emitting to it costs one method
+    call and allocates nothing.
+    """
+
+    level = "error"
+    json_lines = True
+    emitted = 0
+
+    def add_listener(self, listener: Callable[[Dict[str, Any]], None]) -> None:
+        pass
+
+    def enabled_for(self, level: str) -> bool:
+        return False
+
+    def emit(self, event: str, level: str = "info", **fields: Any) -> None:
+        pass
+
+    debug = info = warning = error = (
+        lambda self, event, **fields: None
+    )

@@ -15,7 +15,16 @@ Format v2 (current) extends v1 with observability data:
 * an optional ``metrics`` record carries the run's full metrics-registry
   snapshot (counters, gauges, histograms, span aggregates).
 
-v1 traces remain loadable; every record is validated against the
+Format v3 (current) extends v2 with live-wire telemetry
+(:mod:`repro.obs.telemetry`):
+
+* ``query_trace`` records: one per traced wire query -- the causally
+  linked span tree (submit -> admit -> queue -> build -> on_air ->
+  tune) plus its additive latency ``components``, produced by
+  :meth:`repro.obs.telemetry.tracing.QueryTrace.to_record`;
+* ``event`` records: structured event-log lines captured during a run.
+
+v1 and v2 traces remain loadable; every record is validated against the
 required keys of its kind, with ``file:line`` context on failure.
 """
 
@@ -24,14 +33,14 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.sim.results import SimulationResult
 
 PathLike = Union[str, pathlib.Path]
 
-_FORMAT_VERSION = 2
-_SUPPORTED_FORMATS = (1, 2)
+_FORMAT_VERSION = 3
+_SUPPORTED_FORMATS = (1, 2, 3)
 
 #: keys every record of a kind must carry (validated on load)
 _REQUIRED_KEYS: Dict[str, tuple] = {
@@ -46,11 +55,50 @@ _REQUIRED_KEYS: Dict[str, tuple] = {
         "index_lookup_bytes", "tuning_bytes", "access_bytes",
     ),
     "metrics": ("snapshot",),
+    "query_trace": ("trace_id", "query", "spans", "components"),
+    "event": ("event",),
 }
 
 
+def export_query_traces(
+    traces: Sequence,
+    file_path: PathLike,
+    collection_bytes: int = 0,
+    document_count: int = 0,
+    events: Sequence[Dict] = (),
+) -> pathlib.Path:
+    """Write wire-query traces as a standalone v3 trace file.
+
+    ``traces`` are :class:`repro.obs.telemetry.tracing.QueryTrace`
+    objects (or prebuilt ``query_trace`` record dicts); ``events`` are
+    optional structured event-log dicts to embed alongside them.  The
+    result loads with :func:`load_trace` and renders with
+    ``python -m repro stats --trace``.
+    """
+    path = pathlib.Path(file_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records: List[Dict] = [
+        {
+            "kind": "meta",
+            "format": _FORMAT_VERSION,
+            "collection_bytes": collection_bytes,
+            "document_count": document_count,
+            "completed": len(traces),
+        }
+    ]
+    for trace in traces:
+        record = trace if isinstance(trace, dict) else trace.to_record()
+        records.append(record)
+    for event in events:
+        records.append(dict(event, kind="event"))
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
 def export_trace(result: SimulationResult, file_path: PathLike) -> pathlib.Path:
-    """Write one finished run as a JSONL trace (format v2)."""
+    """Write one finished run as a JSONL trace (format v3)."""
     path = pathlib.Path(file_path)
     path.parent.mkdir(parents=True, exist_ok=True)
     records: List[Dict] = [
@@ -122,7 +170,7 @@ def _validate_record(record: Dict, path: pathlib.Path, line_number: int) -> None
 
 
 def load_trace(file_path: PathLike) -> List[Dict]:
-    """Read a trace back as a list of validated records (v1 or v2).
+    """Read a trace back as a list of validated records (v1, v2 or v3).
 
     Every record must name a known ``kind`` and carry that kind's
     required keys; violations raise :class:`ValueError` with

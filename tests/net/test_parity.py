@@ -57,13 +57,17 @@ def _simulate(config, documents, protocol_name):
     return plans, expected, sim.signatures
 
 
-async def _replay(store, config, plans):
+async def _replay(store, config, plans, net=None, trace=False):
     """Drive a live daemon with scripted clients; returns their reports
     in admission order."""
-    daemon = BroadcastDaemon(store, config, DaemonConfig(autostart=False))
+    daemon = BroadcastDaemon(
+        store, config, net or DaemonConfig(autostart=False)
+    )
     await daemon.start()
     clients = [
-        AsyncTwoTierClient(query, port=daemon.port, arrival_time=arrival)
+        AsyncTwoTierClient(
+            query, port=daemon.port, arrival_time=arrival, trace=trace
+        )
         for arrival, query in plans
     ]
     # Everyone tunes before the first cycle airs, then submits in plan
@@ -82,13 +86,15 @@ async def _replay(store, config, plans):
     return reports, daemon
 
 
-def _check_parity(config, documents, protocol_name):
+def _check_parity(config, documents, protocol_name, net=None, trace=False):
     store = DocumentStore(documents, config.size_model)
     plans, expected, sim_signatures = _simulate(
         config, documents, protocol_name
     )
     reports, daemon = asyncio.run(
-        asyncio.wait_for(_replay(store, config, plans), timeout=300)
+        asyncio.wait_for(
+            _replay(store, config, plans, net=net, trace=trace), timeout=300
+        )
     )
     assert daemon.cycles_streamed == len(sim_signatures)
     for i, (report, want) in enumerate(zip(reports, expected)):
@@ -125,3 +131,34 @@ class TestDaemonSimulatorParity:
     def test_four_data_channels(self, parity_config, parity_docs):
         config = parity_config.with_(num_data_channels=4)
         _check_parity(config, parity_docs, "two-tier-multi")
+
+
+class TestTelemetryParity:
+    """The telemetry plane must never perturb what goes on air.
+
+    With the metrics endpoint live, the flight recorder armed, the event
+    log capturing at debug level AND every client tracing, the per-query
+    byte accounting and each cycle's program signature still equal the
+    simulator's.  (Traces ride the CYCLE_END trailer, which the
+    signature and byte accounting exclude by design.)
+    """
+
+    def test_full_telemetry_is_invisible_on_air(
+        self, parity_config, parity_docs
+    ):
+        from repro.net import DaemonConfig
+        from repro.obs.telemetry import (
+            EventLog,
+            FlightRecorder,
+            TelemetryConfig,
+        )
+
+        telemetry = TelemetryConfig(
+            metrics_port=0,
+            events=EventLog(sink=None, level="debug"),
+            flight=FlightRecorder(),
+        )
+        net = DaemonConfig(autostart=False, telemetry=telemetry)
+        _check_parity(
+            parity_config, parity_docs, "two-tier", net=net, trace=True
+        )

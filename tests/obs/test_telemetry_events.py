@@ -1,0 +1,119 @@
+"""Structured event log: levels, clocks, sinks, listeners."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.telemetry import EventLog, NullEventLog
+from repro.obs.telemetry.events import LEVELS
+
+
+class TestLevels:
+    def test_order(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+    def test_threshold_filters_sink(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, level="warning")
+        log.info("quiet")
+        log.warning("loud")
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "loud"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(level="verbose")
+        with pytest.raises(ValueError):
+            EventLog().emit("x", level="fatal")
+
+
+class TestFormats:
+    def test_json_lines_sorted_keys(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, json_lines=True)
+        log.info("admit", query="//nitf", query_id=3)
+        record = json.loads(sink.getvalue())
+        assert record == {
+            "event": "admit",
+            "level": "info",
+            "query": "//nitf",
+            "query_id": 3,
+        }
+
+    def test_human_format(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, json_lines=False)
+        log.info("drained", admitted=3, cycles=5)
+        assert sink.getvalue() == "drained: admitted=3 cycles=5\n"
+
+    def test_human_format_shows_non_info_level(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, json_lines=False)
+        log.warning("degraded_build", cycle=4)
+        assert sink.getvalue() == "degraded_build: [warning] cycle=4\n"
+
+    def test_callable_sink(self):
+        lines = []
+        log = EventLog(sink=lines.append)
+        log.info("hello")
+        assert len(lines) == 1 and json.loads(lines[0])["event"] == "hello"
+
+
+class TestClock:
+    def test_no_clock_no_timestamp(self):
+        sink = io.StringIO()
+        EventLog(sink=sink).info("bare")
+        assert "ts" not in json.loads(sink.getvalue())
+
+    def test_clock_adapter_stamps(self):
+        from repro.net.clock import ManualClock
+
+        clock = ManualClock(start=41.5)
+        sink = io.StringIO()
+        EventLog(sink=sink, clock=clock).info("stamped")
+        assert json.loads(sink.getvalue())["ts"] == 41.5
+
+    def test_zero_arg_callable_clock(self):
+        sink = io.StringIO()
+        EventLog(sink=sink, clock=lambda: 7.0).info("stamped")
+        assert json.loads(sink.getvalue())["ts"] == 7.0
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(TypeError):
+            EventLog(clock=42)
+
+
+class TestListeners:
+    def test_listener_sees_all_levels(self):
+        """The flight recorder must capture debug events even when the
+        sink's threshold would drop them."""
+        seen = []
+        log = EventLog(sink=None, level="error")
+        log.add_listener(seen.append)
+        log.debug("fine_grained", step=1)
+        log.error("boom")
+        assert [r["event"] for r in seen] == ["fine_grained", "boom"]
+
+    def test_listener_gets_structured_dict(self):
+        seen = []
+        log = EventLog()
+        log.add_listener(seen.append)
+        log.info("admit", query_id=9)
+        assert seen[0]["query_id"] == 9
+
+
+class TestNullEventLog:
+    def test_everything_is_noop(self):
+        log = NullEventLog()
+        log.add_listener(lambda r: pytest.fail("listener called"))
+        log.emit("x")
+        log.debug("x")
+        log.info("x")
+        log.warning("x")
+        log.error("x")
+        assert log.emitted == 0
+        assert not log.enabled_for("error")

@@ -1,0 +1,225 @@
+"""OpenMetrics rendering, linting and the asyncio HTTP exporter."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import (
+    CONTENT_TYPE,
+    Family,
+    MetricsHTTPServer,
+    OpenMetricsError,
+    lint_openmetrics,
+    render_openmetrics,
+    scrape,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    ticks = iter([i * 0.25 for i in range(100)])
+    registry = MetricsRegistry(clock=lambda: next(ticks))
+    registry.counter("server.cycles").inc(3)
+    registry.counter("net.on_air_bytes", channel=0).inc(1024)
+    registry.counter("net.on_air_bytes", channel=1).inc(2048)
+    registry.gauge("net.pending").set(7)
+    hist = registry.histogram("server.build_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    with registry.span("server.cycle_build"):
+        pass
+    return registry
+
+
+class TestRender:
+    def test_render_lints_clean(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        lint_openmetrics(text)  # raises on any grammar violation
+        assert text.endswith("# EOF\n")
+
+    def test_counter_family_and_sample_names(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        assert "# TYPE server_cycles counter" in text
+        assert "server_cycles_total 3" in text
+
+    def test_labels_survive(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        assert 'net_on_air_bytes_total{channel="0"} 1024' in text
+        assert 'net_on_air_bytes_total{channel="1"} 2048' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        lines = [l for l in text.splitlines() if "server_build_seconds" in l]
+        bucket_lines = [l for l in lines if "_bucket" in l]
+        assert 'le="0.1"' in bucket_lines[0] and bucket_lines[0].endswith(" 1")
+        assert 'le="1"' in bucket_lines[1] and bucket_lines[1].endswith(" 2")
+        assert 'le="+Inf"' in bucket_lines[2] and bucket_lines[2].endswith(" 3")
+        assert any(l.startswith("server_build_seconds_count 3") for l in lines)
+
+    def test_spans_become_families(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        assert 'span_seconds_total{span="server.cycle_build"}' in text
+        assert 'span_calls_total{span="server.cycle_build"} 1' in text
+
+    def test_extra_families(self):
+        extra = [
+            Family("net.connections", "counter").add(5),
+            Family("net.draining", "gauge").add(0),
+            Family("net.rejected", "counter")
+            .add(1, reason="overload")
+            .add(2, reason="closed"),
+        ]
+        text = render_openmetrics(
+            {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}},
+            extra_families=extra,
+        )
+        lint_openmetrics(text)
+        assert "net_connections_total 5" in text
+        assert 'net_rejected_total{reason="closed"} 2' in text
+
+    def test_empty_snapshot_still_valid(self):
+        text = render_openmetrics(
+            {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+        )
+        lint_openmetrics(text)
+
+
+class TestLinter:
+    def test_missing_eof(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            lint_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_before_type(self):
+        with pytest.raises(OpenMetricsError, match="TYPE"):
+            lint_openmetrics("x_total 1\n# EOF\n")
+
+    def test_counter_sample_needs_total_suffix(self):
+        # A bare ``x`` sample does not belong to counter family ``x``
+        # (counters only expose ``x_total``), so the linter flags it.
+        with pytest.raises(OpenMetricsError):
+            lint_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+
+    def test_histogram_bucket_monotonicity(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+            "h_sum 1.0\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="cumulative"):
+            lint_openmetrics(bad)
+
+    def test_histogram_requires_inf_bucket(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_count 5\n"
+            "h_sum 1.0\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match=r"\+Inf"):
+            lint_openmetrics(bad)
+
+    def test_garbage_line(self):
+        with pytest.raises(OpenMetricsError):
+            lint_openmetrics("# TYPE x counter\nnot a sample!!\n# EOF\n")
+
+
+class TestHTTPServer:
+    def _run(self, coro):
+        return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+    def test_serves_metrics_and_health(self):
+        registry = _populated_registry()
+
+        async def body():
+            server = MetricsHTTPServer(
+                lambda: render_openmetrics(registry.snapshot()),
+                lambda: (200, {"status": "ok"}),
+                port=0,
+            )
+            port = await server.start()
+            try:
+                status, text = await scrape("127.0.0.1", port)
+                health_status, health = await scrape(
+                    "127.0.0.1", port, path="/healthz"
+                )
+                missing_status, _ = await scrape(
+                    "127.0.0.1", port, path="/nope"
+                )
+                return status, text, health_status, health, missing_status
+            finally:
+                await server.stop()
+
+        status, text, health_status, health, missing = self._run(body())
+        assert status == 200
+        lint_openmetrics(text)
+        assert "server_cycles_total 3" in text
+        assert health_status == 200 and '"status": "ok"' in health
+        assert missing == 404
+
+    def test_health_propagates_code(self):
+        async def body():
+            server = MetricsHTTPServer(
+                lambda: "# EOF\n",
+                lambda: (503, {"status": "draining"}),
+                port=0,
+            )
+            port = await server.start()
+            try:
+                return await scrape("127.0.0.1", port, path="/healthz")
+            finally:
+                await server.stop()
+
+        status, text = self._run(body())
+        assert status == 503
+        assert "draining" in text
+
+    def test_snapshot_isolation_under_concurrent_updates(self):
+        """The render happens synchronously between awaits: a scrape never
+        sees a half-applied update even while a writer task is mutating
+        the registry as fast as the loop allows."""
+        registry = MetricsRegistry()
+
+        def metrics_text() -> str:
+            # Paired counters are updated together by the writer; a torn
+            # read would render them unequal.
+            snap = registry.snapshot()
+            a = snap["counters"].get("pair.a", 0)
+            b = snap["counters"].get("pair.b", 0)
+            assert a == b, f"torn read: {a} != {b}"
+            return render_openmetrics(snap)
+
+        async def body():
+            server = MetricsHTTPServer(
+                metrics_text, lambda: (200, {}), port=0
+            )
+            port = await server.start()
+            stop = asyncio.Event()
+
+            async def writer():
+                while not stop.is_set():
+                    registry.counter("pair.a").inc()
+                    registry.counter("pair.b").inc()
+                    await asyncio.sleep(0)
+
+            task = asyncio.ensure_future(writer())
+            try:
+                for _ in range(10):
+                    status, text = await scrape("127.0.0.1", port)
+                    assert status == 200
+                    lint_openmetrics(text)
+            finally:
+                stop.set()
+                await task
+                await server.stop()
+
+        self._run(body())
+
+    def test_content_type_constant(self):
+        assert "application/openmetrics-text" in CONTENT_TYPE

@@ -1,0 +1,118 @@
+"""Flight recorder: ring-buffer capture and replayable artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    EventLog,
+    FlightRecorder,
+    load_flight_record,
+)
+from repro.obs.telemetry.flight import FLIGHT_FORMAT
+
+
+class TestCapture:
+    def test_ring_buffer_bounds(self):
+        flight = FlightRecorder(cycle_capacity=3, event_capacity=2)
+        for n in range(10):
+            flight.record_cycle({"cycle": n})
+            flight.record_event({"event": f"e{n}"})
+        assert [c["cycle"] for c in flight.cycles] == [7, 8, 9]
+        assert [e["event"] for e in flight.events] == ["e8", "e9"]
+        assert flight.cycles_seen == 10
+        assert flight.events_seen == 10
+
+    def test_records_are_copied(self):
+        flight = FlightRecorder()
+        record = {"cycle": 1}
+        flight.record_cycle(record)
+        record["cycle"] = 999
+        assert flight.cycles[0]["cycle"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(cycle_capacity=0)
+
+    def test_event_log_listener_wiring(self):
+        flight = FlightRecorder()
+        log = EventLog(sink=None, level="error")
+        log.add_listener(flight.record_event)
+        log.debug("below_sink_threshold")
+        assert flight.events_seen == 1
+        assert flight.events[0]["event"] == "below_sink_threshold"
+
+
+class TestDump:
+    def _populated(self) -> FlightRecorder:
+        flight = FlightRecorder()
+        flight.context["documents"] = 25
+        flight.record_cycle({"cycle": 0, "total_bytes": 100})
+        flight.record_event({"event": "admit", "query_id": 0})
+        return flight
+
+    def test_round_trip(self, tmp_path):
+        flight = self._populated()
+        path = flight.dump(tmp_path / "art.json", reason="test")
+        payload = load_flight_record(path)
+        assert payload["reason"] == "test"
+        assert payload["format"] == FLIGHT_FORMAT
+        assert payload["context"]["documents"] == 25
+        assert payload["cycles"][0]["total_bytes"] == 100
+        assert payload["events"][0]["event"] == "admit"
+
+    def test_directory_target_names_artifact(self, tmp_path):
+        flight = self._populated()
+        path = flight.dump(tmp_path, reason="chaos invariant!")
+        assert path.parent == tmp_path
+        assert path.name == "flight-chaos-invariant--c1.json"
+        load_flight_record(path)
+
+    def test_missing_directory_is_created(self, tmp_path):
+        flight = self._populated()
+        path = flight.dump(tmp_path / "deep" / "flights", reason="sigterm")
+        assert path.parent == tmp_path / "deep" / "flights"
+        load_flight_record(path)
+
+    def test_dumps_are_tracked(self, tmp_path):
+        flight = self._populated()
+        first = flight.dump(tmp_path, reason="a")
+        flight.record_cycle({"cycle": 1})
+        second = flight.dump(tmp_path, reason="b")
+        assert flight.dumps == [first, second]
+        assert first != second
+
+
+class TestLoadValidation:
+    def test_rejects_wrong_kind(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text(json.dumps({"kind": "not_flight"}))
+        with pytest.raises(ValueError, match="not a flight_record"):
+            load_flight_record(bad)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "kind": "flight_record",
+                    "format": FLIGHT_FORMAT + 1,
+                    "reason": "r",
+                    "context": {},
+                    "cycles": [],
+                    "events": [],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_flight_record(bad)
+
+    def test_rejects_missing_keys(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text(
+            json.dumps({"kind": "flight_record", "format": FLIGHT_FORMAT})
+        )
+        with pytest.raises(ValueError, match="missing keys"):
+            load_flight_record(bad)

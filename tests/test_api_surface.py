@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.tools",
     "repro.obs",
+    "repro.obs.telemetry",
     "repro.net",
 ]
 

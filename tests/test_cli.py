@@ -307,6 +307,76 @@ class TestServeClient:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["client", "//nitf"])
 
+    def test_serve_stdout_clean_log_json_and_client_trace(self, tmp_path):
+        """Satellites: serve keeps stdout free of progress chatter (the
+        structured log goes to stderr, here as JSON lines) and a traced
+        client round-trips a v3 wire-trace artifact."""
+        import json
+
+        port_file = tmp_path / "port.txt"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--count", "25",
+                "--capacity", "20000",
+                "--port-file", str(port_file),
+                "--max-queries", "1",
+                "--log-json",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"daemon died: {process.stderr.read()}"
+                    )
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+            trace_out = tmp_path / "wire.jsonl"
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client", "//nitf",
+                    "--port", str(port),
+                    "--json", "--trace", "--trace-out", str(trace_out),
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            payload = json.loads(result.stdout)
+            comp = payload["trace"]["components"]
+            assert comp["total_seconds"] == pytest.approx(
+                comp["queue_seconds"]
+                + comp["build_seconds"]
+                + comp["on_air_seconds"]
+                + comp["tune_seconds"]
+            )
+            out, err = process.communicate(timeout=60)
+            assert process.returncode == 0
+            # stdout carries no progress chatter at all ...
+            assert out == ""
+            # ... stderr is machine-parseable JSON, one event per line,
+            # ending with the drain summary.
+            events = [json.loads(line)["event"] for line in err.splitlines()]
+            assert "listening" in events
+            assert events[-1] == "drained"
+
+            from repro.tools.trace import load_trace
+
+            records = load_trace(trace_out)
+            assert records[0]["format"] == 3
+            assert any(r["kind"] == "query_trace" for r in records)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
     def test_docstring_lists_every_subcommand(self):
         """Guard against --help drift: the module docstring documents
         exactly the registered subcommands."""

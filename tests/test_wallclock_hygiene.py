@@ -116,3 +116,24 @@ def test_detector_catches_a_call():
     assert list(_wall_clock_calls(tree))
     tree = ast.parse("import time\nclock = time.perf_counter\n")
     assert not list(_wall_clock_calls(tree))
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted((SRC_ROOT / "obs" / "telemetry").glob("*.py")),
+    ids=lambda p: str(p.relative_to(SRC_ROOT)),
+)
+def test_telemetry_modules_are_clock_injected(path):
+    """``repro.obs`` is exempt from the package sweep, but the telemetry
+    plane is held to the stricter standard anyway: every timestamp it
+    emits comes from an injected clock (``EventLog(clock=...)``,
+    ``QueryTracer(clock)``), never from a direct wall-clock call -- that
+    is what keeps telemetry-on runs byte-identical and replayable."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offenders = [
+        f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+        for node in _wall_clock_calls(tree)
+    ]
+    assert not offenders, (
+        f"telemetry module calls the wall clock directly: {offenders}"
+    )

@@ -8,7 +8,12 @@ import pytest
 
 from repro.sim.config import small_setup
 from repro.sim.simulation import run_simulation
-from repro.tools.trace import export_trace, load_trace, summarise_trace
+from repro.tools.trace import (
+    export_query_traces,
+    export_trace,
+    load_trace,
+    summarise_trace,
+)
 
 
 @pytest.fixture(scope="module")
@@ -107,7 +112,9 @@ class TestFormatV2:
     ):
         path = export_trace(observed_run_result, tmp_path / "v2.jsonl")
         records = load_trace(path)
-        assert records[0]["format"] == 2
+        # The writer stamps the current format (v3); the v2 observability
+        # records it introduced are unchanged.
+        assert records[0]["format"] == 3
         cycles = [r for r in records if r["kind"] == "cycle"]
         assert all("phase_seconds" in c for c in cycles)
         assert "prune_to_pci" in cycles[0]["phase_seconds"]
@@ -219,3 +226,92 @@ class TestSummarise:
         path = export_trace(run_result, tmp_path / "run.jsonl")
         summary = summarise_trace(load_trace(path))
         assert summary.lookup_mean("no-such-protocol") == 0.0
+
+
+def _query_trace():
+    from repro.obs.telemetry import QueryTrace
+
+    return QueryTrace(
+        trace_id="t1",
+        query="//nitf",
+        query_id=0,
+        cycle=2,
+        submit=1.0,
+        admit=1.1,
+        build_start=1.5,
+        build_end=1.8,
+        stream_start=1.8,
+        last_doc=2.4,
+        received=2.5,
+    )
+
+
+class TestFormatV3:
+    def test_export_query_traces_round_trip(self, tmp_path):
+        path = export_query_traces(
+            [_query_trace()],
+            tmp_path / "wire.jsonl",
+            collection_bytes=1234,
+            document_count=25,
+            events=[{"event": "admit", "query_id": 0}],
+        )
+        records = load_trace(path)
+        assert records[0]["format"] == 3
+        assert records[0]["collection_bytes"] == 1234
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["meta", "query_trace", "event"]
+        trace = records[1]
+        assert trace["trace_id"] == "t1"
+        assert trace["components"]["total_seconds"] == pytest.approx(1.5)
+        assert records[2]["event"] == "admit"
+
+    def test_accepts_prebuilt_record_dicts(self, tmp_path):
+        record = _query_trace().to_record()
+        path = export_query_traces([record], tmp_path / "wire.jsonl")
+        assert load_trace(path)[1]["query"] == "//nitf"
+
+    def test_query_trace_record_requires_components(self, tmp_path):
+        lines = _minimal_v1_lines()
+        lines[0] = json.dumps(
+            {
+                "kind": "meta",
+                "format": 3,
+                "collection_bytes": 0,
+                "document_count": 0,
+                "completed": 1,
+            }
+        )
+        lines.append(json.dumps({"kind": "query_trace", "trace_id": "t1"}))
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="components"):
+            load_trace(path)
+
+    def test_event_record_requires_event_key(self, tmp_path):
+        lines = _minimal_v1_lines()
+        lines.append(json.dumps({"kind": "event", "level": "info"}))
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="event record"):
+            load_trace(path)
+
+    def test_v2_traces_still_load(self, tmp_path, observed_run_result):
+        """export_trace writes format 3 now, but hand-pinned v2 input
+        (the previous exporter's output shape) keeps loading."""
+        lines = _minimal_v1_lines()
+        meta = json.loads(lines[0])
+        meta["format"] = 2
+        lines[0] = json.dumps(meta)
+        lines.append(json.dumps({"kind": "metrics", "snapshot": {}}))
+        path = tmp_path / "v2.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        records = load_trace(path)
+        assert records[0]["format"] == 2
+
+    def test_stats_report_renders_wire_latency(self, tmp_path):
+        from repro.obs.report import report_from_trace
+
+        path = export_query_traces([_query_trace()], tmp_path / "wire.jsonl")
+        report = report_from_trace(load_trace(path))
+        assert report.wire_latencies[0]["trace_id"] == "t1"
+        assert "Wire latency breakdown" in report.render()
