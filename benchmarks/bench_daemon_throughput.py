@@ -65,8 +65,21 @@ PACED_BANDWIDTH = 50_000.0
 MIN_PAIRS = 2
 MAX_PAIRS = 6
 #: The telemetry plane may cost at most this fraction of unpaced
-#: queries/sec (telemetry >= (1 - budget) * plain).
-TELEMETRY_OVERHEAD_BUDGET = 0.03
+#: queries/sec (telemetry >= (1 - budget) * plain).  The plane's cost
+#: is *absolute* (per-frame counters, per-query traces, personalised
+#: trailers), so when the hot-path rewrite cut the plain path ~9x the
+#: same absolute cost became a much larger fraction -- the budget is
+#: scaled to match, and the absolute floor below keeps the plane
+#: honest: telemetry-on throughput must clear the same 5x speedup over
+#: its own pre-rewrite figure.
+TELEMETRY_OVERHEAD_BUDGET = 0.40
+#: Queries/sec of the pre-rewrite daemon on this workload (the
+#: committed ``results/daemon_throughput.json`` before the hot-path
+#: rewrite).  The flattened kernels + share-once downlink must clear at
+#: least 5x these figures.
+BASELINE_UNPACED_QPS = 38.17
+BASELINE_TELEMETRY_QPS = 39.06
+SPEEDUP_FLOOR = 5.0
 
 
 def _plans(documents):
@@ -239,13 +252,35 @@ def test_daemon_throughput(benchmark):
     # ... unpaced must outrun the paced channel rate (else pacing is free,
     # i.e. the daemon itself is the bottleneck at this bandwidth) ...
     assert stats["unpaced"]["on_air_bytes_per_sec"] > PACED_BANDWIDTH
+    # ... the hot-path rewrite must hold: flattened NFA/CI kernels plus
+    # the share-once downlink sustain at least 5x the pre-rewrite
+    # daemon's queries/sec on this same workload ...
+    assert (
+        stats["unpaced"]["queries_per_sec"]
+        >= SPEEDUP_FLOOR * BASELINE_UNPACED_QPS
+    ), (
+        f"unpaced {stats['unpaced']['queries_per_sec']:.1f} q/s is below "
+        f"{SPEEDUP_FLOOR:.0f}x the {BASELINE_UNPACED_QPS} q/s baseline"
+    )
+    # ... with the full telemetry plane armed the same floor holds
+    # against the telemetry regime's own pre-rewrite figure, so the
+    # relaxed relative budget above cannot hide an absolute regression
+    # in the plane itself ...
+    assert (
+        stats["unpaced_telemetry"]["queries_per_sec"]
+        >= SPEEDUP_FLOOR * BASELINE_TELEMETRY_QPS
+    ), (
+        f"telemetry-on {stats['unpaced_telemetry']['queries_per_sec']:.1f} "
+        f"q/s is below {SPEEDUP_FLOOR:.0f}x the {BASELINE_TELEMETRY_QPS} "
+        "q/s baseline"
+    )
     # ... and the paced stream tracks the configured bandwidth: no stall,
-    # no runaway.  The token bucket's initial burst forgives one second's
-    # bytes, so short runs land above the nominal rate; bound both sides.
+    # no runaway.  The token bucket starts empty (no free initial burst),
+    # so the bound covers cycle 1 as tightly as the rest of the run: the
+    # long-run rate can only undershoot the configured bandwidth (build
+    # time between cycles), never materially overshoot it.
     paced_rate = stats["paced"]["on_air_bytes_per_sec"]
-    burst_slack = PACED_BANDWIDTH  # one burst over the whole run
-    upper = PACED_BANDWIDTH + burst_slack / stats["paced"]["elapsed_sec"]
-    assert 0.6 * PACED_BANDWIDTH <= paced_rate <= 1.4 * upper, (
+    assert 0.6 * PACED_BANDWIDTH <= paced_rate <= 1.05 * PACED_BANDWIDTH, (
         f"paced on-air rate {paced_rate:,.0f} B/s vs configured "
         f"{PACED_BANDWIDTH:,.0f} B/s"
     )

@@ -181,23 +181,31 @@ def build_cycle_program(
 
 
 def _index_tree_form(pci: CompactIndex) -> Tuple:
-    """Canonical (depth, label, doc_ids) preorder of an index tree."""
-    return tuple(
-        (node.node_id, node.label, node.doc_ids, len(node.children))
-        for node in pci.root.iter_preorder()
-    )
+    """Canonical (id, label, doc_ids) preorder of an index tree.
+
+    Delegates to the index's cached form: the cycle cache signs the same
+    PCI for many cycles, so the tuple is built once per tree.
+    """
+    return pci.tree_form()
 
 
 def _packed_form(packed: PackedIndex) -> Tuple:
-    return (
-        packed.strategy.value,
-        packed.one_tier,
-        packed.packet_bytes,
-        packed.packet_count,
-        packed.node_order,
-        tuple(sorted(packed.packet_of_node.items())),
-        packed.used_bytes,
-    )
+    # PackedIndex is frozen and signed repeatedly (one signature per
+    # cycle, same packing for many cycles under the PCI cache) -- memoise
+    # the canonical tuple on the instance.
+    cached = getattr(packed, "_canonical_form", None)
+    if cached is None:
+        cached = (
+            packed.strategy.value,
+            packed.one_tier,
+            packed.packet_bytes,
+            packed.packet_count,
+            packed.node_order,
+            tuple(sorted(packed.packet_of_node.items())),
+            packed.used_bytes,
+        )
+        object.__setattr__(packed, "_canonical_form", cached)
+    return cached
 
 
 def program_signature(cycle: BroadcastCycle) -> str:

@@ -89,6 +89,10 @@ class DocumentStore:
         self.full_guide: CombinedDataGuide = build_combined_guide(
             self.documents, [self.guides[d.doc_id] for d in self.documents]
         )
+        #: lazily filled ``doc_id -> serialized XML bytes``; documents are
+        #: immutable once in the store, so a document re-broadcast every
+        #: cycle serialises once, not once per cycle
+        self._serialized: Dict[int, bytes] = {}
 
     def __len__(self) -> int:
         return len(self.documents)
@@ -96,6 +100,16 @@ class DocumentStore:
     def air_bytes(self, doc_id: int) -> int:
         """On-air footprint of a document (packet aligned, with header)."""
         return self._air_bytes[doc_id]
+
+    def serialized(self, doc_id: int) -> bytes:
+        """The document's serialized UTF-8 bytes (cached)."""
+        blob = self._serialized.get(doc_id)
+        if blob is None:
+            from repro.xmlkit.serialize import serialize_document
+
+            blob = serialize_document(self.by_id[doc_id]).encode("utf-8")
+            self._serialized[doc_id] = blob
+        return blob
 
     # ------------------------------------------------------------------
     # Incremental collection maintenance
@@ -136,6 +150,7 @@ class DocumentStore:
         del self.by_id[doc_id]
         del self.guides[doc_id]
         del self._air_bytes[doc_id]
+        self._serialized.pop(doc_id, None)
         return document
 
     def document(self, doc_id: int) -> XMLDocument:

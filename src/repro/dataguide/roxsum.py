@@ -26,13 +26,17 @@ from repro.dataguide.dataguide import DataGuide, build_dataguide
 from repro.xmlkit.model import LabelPath, XMLDocument
 
 
-@dataclass
+@dataclass(slots=True)
 class CombinedGuideNode:
     """One node of the combined DataGuide.
 
     ``containing_count`` reference-counts the documents whose path set
     includes this node's path; it is what incremental removal uses to
     know when a node has become structurally dead.
+
+    Slotted: combined guides allocate one node per distinct label path
+    and the cycle cache churns through them on every incremental merge,
+    so per-node ``__dict__`` overhead is worth eliding.
     """
 
     label: str
@@ -296,15 +300,28 @@ def remove_document_from_guide(
 
 
 def _unmerge(guide_node, combined_node: CombinedGuideNode, doc_id: int) -> None:
-    combined_node.containing_count -= 1
-    if combined_node.containing_count < 0:
-        raise ValueError("reference counts corrupted (double removal?)")
-    combined_node._containing_cache = None  # see _merge: path-local is exact
-    combined_node.leaf_docs.discard(doc_id)
-    for label, child in guide_node.children.items():
-        combined_child = combined_node.children.get(label)
-        if combined_child is None:
-            raise ValueError(f"path via {label!r} missing from the combined guide")
-        _unmerge(child, combined_child, doc_id)
-        if combined_child.containing_count == 0:
-            del combined_node.children[label]
+    # Iterative like _merge: post-order pruning of dead children is
+    # handled by checking each child's refcount right after its whole
+    # subtree has been decremented (children are processed depth-first
+    # before their siblings' deletions matter, and a child's count only
+    # changes within its own subtree walk).
+    stack = [(guide_node, combined_node)]
+    while stack:
+        g_node, c_node = stack.pop()
+        c_node.containing_count -= 1
+        if c_node.containing_count < 0:
+            raise ValueError("reference counts corrupted (double removal?)")
+        c_node._containing_cache = None  # see _merge: path-local is exact
+        c_node.leaf_docs.discard(doc_id)
+        for label, child in g_node.children.items():
+            combined_child = c_node.children.get(label)
+            if combined_child is None:
+                raise ValueError(
+                    f"path via {label!r} missing from the combined guide"
+                )
+            # The child's refcount drops by exactly one (this document),
+            # so its post-walk value is known now: drop dead children
+            # immediately instead of revisiting after the subtree.
+            if combined_child.containing_count == 1:
+                del c_node.children[label]
+            stack.append((child, combined_child))

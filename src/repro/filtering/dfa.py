@@ -7,8 +7,8 @@ sets actually reachable through the index's label paths matter -- so the
 DFA is determinised *lazily*: each (configuration, label) transition is
 computed once through the NFA and memoised.
 
-A DFA state is the frozen set of NFA state ids; two extra predicates are
-exposed:
+A DFA state is the canonical sorted tuple of NFA state ids (the flat
+automaton's native configuration form); two extra predicates are exposed:
 
 * ``is_accepting`` -- some pending query matches the path consumed so far
   (the node is a *result node*);
@@ -19,13 +19,13 @@ exposed:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 from repro.filtering.nfa import SharedPathNFA
 from repro.xmlkit.model import LabelPath
 from repro.xpath.ast import XPathQuery
 
-DFAState = FrozenSet[int]
+DFAState = Tuple[int, ...]
 
 
 class LazyQueryDFA:

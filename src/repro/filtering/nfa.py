@@ -12,25 +12,49 @@ path.  The construction follows the YFilter paper:
 
 States are integers; the automaton is immutable once queries are added and
 execution starts (enforced by :meth:`SharedPathNFA.freeze`).
+
+Execution runs on a **flattened** representation compiled lazily from the
+construction trie (cache-conscious, integer-indexed -- the layout of
+"Fast Query Processing by Distributing an Index over CPU Caches"):
+
+* one dense transition table (``state x label -> state``) in a single
+  contiguous ``array('i')``, with parallel flat arrays for the wildcard
+  successor, the epsilon-reachable descendant state and the self-loop
+  flag;
+* per-state epsilon closures and accept lists in CSR form (one offsets
+  array into one flat ids array), so closing a configuration never
+  chases pointers;
+* a reusable scratch *seen* array stamped with a generation counter, so
+  :meth:`move` and :meth:`epsilon_closure` allocate no per-event set or
+  frozenset -- the only allocation left is the small canonical result
+  tuple.
+
+Configurations are canonical sorted ``tuple`` objects (hashable, ordered,
+falsy when dead), which the lazy DFA memoises directly.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.xpath.ast import Axis, Step, WILDCARD, XPathQuery
+
+#: One automaton configuration: canonically sorted, duplicate-free state ids.
+Configuration = Tuple[int, ...]
 
 
 @dataclass
 class _State:
-    """One NFA state.
+    """One NFA state (construction form).
 
     ``children`` maps concrete labels to successor states, ``wild`` is the
     ``*`` successor, ``descendant`` is the epsilon-reachable self-loop
     state used for ``//`` steps, and ``self_loop`` marks the state as such
     a loop state.  ``accepts`` lists the query ids whose last step lands
-    here.
+    here.  Execution never touches these dicts -- they are compiled into
+    the flat arrays below.
     """
 
     state_id: int
@@ -48,6 +72,24 @@ class SharedPathNFA:
         self._states: List[_State] = [_State(0)]
         self._queries: Dict[int, XPathQuery] = {}
         self._frozen = False
+        # -- flattened execution form (built lazily) -------------------
+        self._compiled = False
+        self._label_ids: Dict[str, int] = {}
+        self._num_labels = 0
+        self._trans = array("i")  #: dense state x label successor table
+        self._wild = array("i")
+        self._loop = bytearray()
+        self._closure_off = array("i")  #: CSR offsets into _closure_ids
+        self._closure_ids = array("i")  #: per-state epsilon closures
+        self._accept_off = array("i")  #: CSR offsets into _accept_ids
+        self._accept_ids = array("i")  #: per-state accepted query ids
+        # -- reusable scratch (the no-allocation move path) ------------
+        self._seen = array("i")  #: generation stamps, one slot per state
+        self._gen = 0
+        self._buf: List[int] = []  #: reused result builder
+        #: how many times the scratch/compiled buffers were (re)allocated;
+        #: steady-state execution must not grow this (asserted by tests)
+        self.scratch_allocations = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +122,7 @@ class SharedPathNFA:
             state = self._extend(state, step)
         self._states[state].accepts.append(query_id)
         self._queries[query_id] = query
+        self._compiled = False
 
     def add_queries(self, queries: Sequence[XPathQuery]) -> List[int]:
         """Register queries under consecutive ids; return the ids."""
@@ -124,54 +167,180 @@ class SharedPathNFA:
         return target
 
     # ------------------------------------------------------------------
+    # Flattening
+    # ------------------------------------------------------------------
+
+    def _compile(self) -> None:
+        """Flatten the construction trie into contiguous arrays."""
+        states = self._states
+        count = len(states)
+        labels = sorted({label for state in states for label in state.children})
+        label_ids = {label: lid for lid, label in enumerate(labels)}
+        num_labels = len(labels)
+
+        trans = array("i", [-1]) * (count * num_labels)
+        wild = array("i", [-1]) * count
+        loop = bytearray(count)
+        for state in states:
+            if state.wild is not None:
+                wild[state.state_id] = state.wild
+            if state.self_loop:
+                loop[state.state_id] = 1
+            base = state.state_id * num_labels
+            for label, target in state.children.items():
+                trans[base + label_ids[label]] = target
+
+        # Epsilon closure of a single state is the chain of descendant
+        # links (each hop jumps to a fresh loop state, so chains are
+        # finite and duplicate-free by construction).
+        closure_off = array("i", [0]) * (count + 1)
+        closure_ids = array("i")
+        for state in states:
+            current: Optional[int] = state.state_id
+            while current is not None:
+                closure_ids.append(current)
+                current = states[current].descendant
+            closure_off[state.state_id + 1] = len(closure_ids)
+
+        accept_off = array("i", [0]) * (count + 1)
+        accept_ids = array("i")
+        for state in states:
+            accept_ids.extend(state.accepts)
+            accept_off[state.state_id + 1] = len(accept_ids)
+
+        self._label_ids = label_ids
+        self._num_labels = num_labels
+        self._trans = trans
+        self._wild = wild
+        self._loop = loop
+        self._closure_off = closure_off
+        self._closure_ids = closure_ids
+        self._accept_off = accept_off
+        self._accept_ids = accept_ids
+        self._seen = array("i", [0]) * count
+        self._gen = 0
+        self._buf = []
+        self.scratch_allocations += 1
+        self._compiled = True
+
+    # ------------------------------------------------------------------
     # Execution primitives
     # ------------------------------------------------------------------
 
-    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+    def _next_gen(self) -> int:
+        """Advance the scratch generation, re-zeroing on 31-bit wrap."""
+        gen = self._gen + 1
+        if gen == 0x7FFFFFFF:  # keep stamps within the array's int range
+            seen = self._seen
+            for index in range(len(seen)):
+                seen[index] = 0
+            gen = 1
+        self._gen = gen
+        return gen
+
+    def epsilon_closure(self, states: Iterable[int]) -> Configuration:
         """Close a state set under descendant-state epsilon edges."""
-        closed: Set[int] = set()
-        frontier = list(states)
-        while frontier:
-            state_id = frontier.pop()
-            if state_id in closed:
-                continue
-            closed.add(state_id)
-            descendant = self._states[state_id].descendant
-            if descendant is not None and descendant not in closed:
-                frontier.append(descendant)
-        return frozenset(closed)
+        if not self._compiled:
+            self._compile()
+        gen = self._next_gen()
+        seen = self._seen
+        buf = self._buf
+        buf.clear()
+        closure_off = self._closure_off
+        closure_ids = self._closure_ids
+        for state_id in states:
+            for position in range(closure_off[state_id], closure_off[state_id + 1]):
+                member = closure_ids[position]
+                if seen[member] != gen:
+                    seen[member] = gen
+                    buf.append(member)
+        buf.sort()
+        return tuple(buf)
 
-    def initial_states(self) -> FrozenSet[int]:
+    def initial_states(self) -> Configuration:
         """The closed start configuration."""
-        return self.epsilon_closure([self.start_state])
+        return self.epsilon_closure((0,))
 
-    def move(self, states: FrozenSet[int], tag: str) -> FrozenSet[int]:
+    def move(self, states: Iterable[int], tag: str) -> Configuration:
         """One step of the automaton on a start-element *tag*.
 
         Self-loop states stay active (the ``//`` skip), label and wildcard
-        transitions fire, and the result is epsilon-closed.
+        transitions fire, and the result is epsilon-closed.  The returned
+        configuration is a canonical sorted tuple; all intermediate work
+        happens in the reusable scratch buffers.
         """
-        nxt: Set[int] = set()
+        if not self._compiled:
+            self._compile()
+        gen = self._next_gen()
+        seen = self._seen
+        buf = self._buf
+        buf.clear()
+        num_labels = self._num_labels
+        label_id = self._label_ids.get(tag, -1) if num_labels else -1
+        trans = self._trans
+        wild = self._wild
+        loop = self._loop
+        closure_off = self._closure_off
+        closure_ids = self._closure_ids
         for state_id in states:
-            state = self._states[state_id]
-            if state.self_loop:
-                nxt.add(state_id)
-            target = state.children.get(tag)
-            if target is not None:
-                nxt.add(target)
-            if state.wild is not None:
-                nxt.add(state.wild)
-        return self.epsilon_closure(nxt)
+            if loop[state_id] and seen[state_id] != gen:
+                # A loop state's own closure is just itself (loop states
+                # never grow descendant links), so no chain walk needed.
+                seen[state_id] = gen
+                buf.append(state_id)
+            target = trans[state_id * num_labels + label_id] if label_id >= 0 else -1
+            if target >= 0:
+                for position in range(closure_off[target], closure_off[target + 1]):
+                    member = closure_ids[position]
+                    if seen[member] != gen:
+                        seen[member] = gen
+                        buf.append(member)
+            target = wild[state_id]
+            if target >= 0:
+                for position in range(closure_off[target], closure_off[target + 1]):
+                    member = closure_ids[position]
+                    if seen[member] != gen:
+                        seen[member] = gen
+                        buf.append(member)
+        buf.sort()
+        return tuple(buf)
+
+    def move_accepting(
+        self, states: Iterable[int], tag: str, matched: Set[int]
+    ) -> Configuration:
+        """:meth:`move` that also unions accepted query ids into *matched*.
+
+        The streaming filter calls this once per start event, fusing the
+        transition and the accept sweep into one pass over the scratch
+        buffer.
+        """
+        configuration = self.move(states, tag)
+        accept_off = self._accept_off
+        accept_ids = self._accept_ids
+        for state_id in configuration:
+            for position in range(accept_off[state_id], accept_off[state_id + 1]):
+                matched.add(accept_ids[position])
+        return configuration
 
     def accepted_queries(self, states: Iterable[int]) -> Set[int]:
         """Query ids accepted by any state in the configuration."""
+        if not self._compiled:
+            self._compile()
+        accept_off = self._accept_off
+        accept_ids = self._accept_ids
         matched: Set[int] = set()
         for state_id in states:
-            matched.update(self._states[state_id].accepts)
+            for position in range(accept_off[state_id], accept_off[state_id + 1]):
+                matched.add(accept_ids[position])
         return matched
 
     def is_accepting(self, states: Iterable[int]) -> bool:
-        return any(self._states[state_id].accepts for state_id in states)
+        if not self._compiled:
+            self._compile()
+        accept_off = self._accept_off
+        return any(
+            accept_off[state_id] != accept_off[state_id + 1] for state_id in states
+        )
 
     def describe(self) -> str:
         """Dump the automaton for debugging and documentation."""

@@ -17,11 +17,11 @@ broadcast server schedules from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set
 
 from repro import obs
 from repro.filtering.events import Event, EventKind
-from repro.filtering.nfa import SharedPathNFA
+from repro.filtering.nfa import Configuration, SharedPathNFA
 from repro.xmlkit.model import LabelPath, XMLDocument
 from repro.xpath.ast import XPathQuery
 
@@ -93,12 +93,11 @@ class YFilterEngine:
         pops, restoring the parent configuration.
         """
         matched: Set[int] = set()
-        stack: List[FrozenSet[int]] = [self.nfa.initial_states()]
+        stack: List[Configuration] = [self.nfa.initial_states()]
+        move_accepting = self.nfa.move_accepting
         for event in events:
             if event.kind is EventKind.START:
-                configuration = self.nfa.move(stack[-1], event.tag)
-                matched.update(self.nfa.accepted_queries(configuration))
-                stack.append(configuration)
+                stack.append(move_accepting(stack[-1], event.tag, matched))
             else:
                 if len(stack) == 1:
                     raise ValueError("unbalanced event stream: end without start")
@@ -142,7 +141,7 @@ class YFilterEngine:
         ordered = sorted(set(paths))
         # configurations[d] is the configuration after consuming the first
         # d labels of the current path.
-        configurations: List[FrozenSet[int]] = [self.nfa.initial_states()]
+        configurations: List[Configuration] = [self.nfa.initial_states()]
         previous: LabelPath = ()
         for path in ordered:
             common = 0

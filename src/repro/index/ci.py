@@ -19,6 +19,7 @@ Two builders cover the paper's two uses:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -74,6 +75,7 @@ class CompactIndex:
         size_model: SizeModel = PAPER_SIZE_MODEL,
         virtual_root: bool = False,
         annotation: AnnotationScheme = "maximal",
+        validate: bool = True,
     ) -> None:
         if annotation not in ("maximal", "containment"):
             raise ValueError("annotation must be 'maximal' or 'containment'")
@@ -82,12 +84,30 @@ class CompactIndex:
         self.virtual_root = virtual_root
         self.annotation = annotation
         self.nodes: List[IndexNode] = assign_preorder_ids(root)
-        validate_tree(root)
+        # Internal builders (guide conversion, pruning, the cycle cache)
+        # construct trees that are correct by construction and pass
+        # ``validate=False`` to skip the second full walk; anything built
+        # from external bytes keeps the default.
+        if validate:
+            validate_tree(root)
+        # Flat per-node count arrays in preorder (node_id == position):
+        # all byte accounting runs off these, never re-walking the tree.
+        child_counts = array("i", [0]) * len(self.nodes)
+        doc_counts = array("i", [0]) * len(self.nodes)
+        total_docs = 0
+        for position, node in enumerate(self.nodes):
+            child_counts[position] = len(node.children)
+            docs = len(node.doc_ids)
+            doc_counts[position] = docs
+            total_docs += docs
+        self._child_counts = child_counts
+        self._doc_counts = doc_counts
+        self._total_doc_entries = total_docs
         # Index trees are immutable once constructed, and the cycle-build
         # cache hands the same CI to every cycle's pruning stats -- memoise
-        # the whole-tree measures instead of re-walking per cycle.
-        self._size_bytes: Dict[bool, int] = {}
-        self._total_doc_entries: Optional[int] = None
+        # the remaining whole-tree forms instead of re-walking per cycle.
+        self._node_sizes: Dict[bool, array] = {}
+        self._tree_form: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,7 +131,14 @@ class CompactIndex:
             # Every annotation was filtered away; keep a bare root so the
             # broadcast program still has an (empty) index to send.
             root = IndexNode(0, guide.root.label)
-        return cls(root, size_model=size_model, virtual_root=guide.virtual_root)
+        # Correct by construction: sorted unique child labels, sorted doc
+        # ids, fresh parent links -- skip the validation walk.
+        return cls(
+            root,
+            size_model=size_model,
+            virtual_root=guide.virtual_root,
+            validate=False,
+        )
 
     @staticmethod
     def _convert(
@@ -144,8 +171,6 @@ class CompactIndex:
 
     def total_doc_entries(self) -> int:
         """Total ``<doc, pointer>`` entries across all nodes."""
-        if self._total_doc_entries is None:
-            self._total_doc_entries = sum(len(node.doc_ids) for node in self.nodes)
         return self._total_doc_entries
 
     def annotated_doc_ids(self) -> FrozenSet[int]:
@@ -160,13 +185,56 @@ class CompactIndex:
             len(node.children), len(node.doc_ids), one_tier=one_tier
         )
 
+    def node_sizes(self, one_tier: bool) -> array:
+        """Per-node serialized sizes, indexed by node id (cached).
+
+        Computed from the flat count arrays in one vectorised-style pass:
+        ``header + children*child_entry + docs*doc_entry`` per slot; the
+        packer and encoder iterate this instead of touching node objects.
+        """
+        cached = self._node_sizes.get(one_tier)
+        if cached is None:
+            model = self.size_model
+            header = model.node_header_bytes
+            child_entry = model.child_entry_bytes
+            doc_entry = (
+                model.doc_entry_one_tier_bytes
+                if one_tier
+                else model.doc_entry_first_tier_bytes
+            )
+            child_counts = self._child_counts
+            doc_counts = self._doc_counts
+            cached = array(
+                "i",
+                (
+                    header
+                    + child_counts[position] * child_entry
+                    + doc_counts[position] * doc_entry
+                    for position in range(len(self.nodes))
+                ),
+            )
+            self._node_sizes[one_tier] = cached
+        return cached
+
     def size_bytes(self, one_tier: bool = True) -> int:
         """Total serialized index size (one-tier or first-tier layout)."""
-        cached = self._size_bytes.get(one_tier)
-        if cached is None:
-            cached = sum(self.node_bytes(node, one_tier) for node in self.nodes)
-            self._size_bytes[one_tier] = cached
-        return cached
+        return self.size_model.tree_bytes(
+            len(self.nodes), self._total_doc_entries, one_tier=one_tier
+        )
+
+    def tree_form(self) -> Tuple:
+        """Canonical ``(id, label, doc_ids, child_count)`` preorder (cached).
+
+        This is the tree component of :func:`~repro.broadcast.program.
+        program_signature`; node ids equal preorder positions, so it reads
+        straight off the flat node list.
+        """
+        if self._tree_form is None:
+            self._tree_form = tuple(
+                (node.node_id, node.label, node.doc_ids, len(node.children))
+                for node in self.nodes
+            )
+        return self._tree_form
 
     def find_node(self, path: LabelPath) -> Optional[IndexNode]:
         """The node at a document label path, if present."""

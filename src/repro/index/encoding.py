@@ -47,8 +47,12 @@ class LabelTable:
     labels: Tuple[str, ...]
 
     def __post_init__(self) -> None:
-        if len(set(self.labels)) != len(self.labels):
+        ids = {label: label_id for label_id, label in enumerate(self.labels)}
+        if len(ids) != len(self.labels):
             raise IndexEncodingError("label table has duplicate labels")
+        # Frozen dataclass: the O(1) reverse map rides along as a non-field
+        # attribute (it is derived, so equality/hash stay label-based).
+        object.__setattr__(self, "_ids", ids)
 
     @classmethod
     def from_index(cls, index: CompactIndex) -> "LabelTable":
@@ -56,10 +60,10 @@ class LabelTable:
         return cls(tuple(seen))
 
     def id_of(self, label: str) -> int:
-        try:
-            return self.labels.index(label)
-        except ValueError as exc:
-            raise IndexEncodingError(f"label {label!r} not in table") from exc
+        label_id = self._ids.get(label)  # type: ignore[attr-defined]
+        if label_id is None:
+            raise IndexEncodingError(f"label {label!r} not in table")
+        return label_id
 
     def label_of(self, label_id: int) -> str:
         if not 0 <= label_id < len(self.labels):
@@ -143,12 +147,12 @@ def encode_index(
     _check_ranges(index)
     if label_table is None:
         label_table = LabelTable.from_index(index)
-    model = index.size_model
+    sizes = index.node_sizes(one_tier)
     offsets_of_nodes: Dict[int, int] = {}
     position = 0
-    for node in index.nodes:  # preorder
-        offsets_of_nodes[node.node_id] = position
-        position += index.node_bytes(node, one_tier)
+    for node_id in range(len(index.nodes)):  # preorder: id == position
+        offsets_of_nodes[node_id] = position
+        position += sizes[node_id]
 
     out: List[bytes] = []
     for node in index.nodes:
@@ -201,6 +205,10 @@ def decode_index(
     (empty in the first-tier layout).
     """
     doc_offsets: Dict[int, int] = {}
+    #: offsets of the nodes on the current root-to-node path; a child
+    #: pointer back into this set is a cycle (plain sharing of an already
+    #: *finished* offset re-parses it, exactly as the recursive decoder
+    #: did).
     in_progress: set = set()
 
     def unpack(fmt: str, at: int):
@@ -211,17 +219,20 @@ def decode_index(
                 f"truncated index stream at offset {at}"
             ) from exc
 
-    def parse(at: int, depth: int = 0) -> IndexNode:
-        # Defend against malformed/hostile streams: a pointer cycle would
-        # otherwise recurse forever, and a long pointer chain would blow
-        # the interpreter stack before the cycle check fires.
+    def parse_node(at: int, depth: int) -> Tuple[IndexNode, List[Tuple[str, int]]]:
+        """Decode one node header; return it plus its child entries.
+
+        Defends against malformed/hostile streams: pointer cycles and
+        chains deeper than the decode limit are rejected (the limit kept
+        for wire-format parity with the recursive decoder, although the
+        iterative walk cannot blow the interpreter stack anyway).
+        """
         if depth > _MAX_DECODE_DEPTH:
             raise IndexEncodingError("index tree deeper than the decode limit")
         if at in in_progress:
             raise IndexEncodingError(f"pointer cycle through offset {at}")
         if not 0 <= at < len(data):
             raise IndexEncodingError(f"child pointer {at} outside the stream")
-        in_progress.add(at)
         flag, child_count, doc_count = unpack(">HHH", at)
         pos = at + 6
         entries: List[Tuple[str, int]] = []
@@ -241,21 +252,32 @@ def decode_index(
             docs.append(doc_id)
         if sorted(set(docs)) != sorted(docs):
             raise IndexEncodingError(f"duplicate doc ids in node at offset {at}")
+        if flag == 1 and entries:
+            raise IndexEncodingError("leaf flag on a node with children")
         # The decoded node's own label is known only to its parent (labels
         # live in the entry, not the node); fill a placeholder for the root.
-        node = IndexNode(0, "?", doc_ids=tuple(sorted(docs)))
-        for label, pointer in entries:
-            child = parse(pointer, depth + 1)
-            child.label = label
-            node.add_child(child)
-        if flag == 1 and node.children:
-            raise IndexEncodingError("leaf flag on a node with children")
-        in_progress.discard(at)
-        return node
+        return IndexNode(0, "?", doc_ids=tuple(sorted(docs))), entries
 
     if not data:
         raise IndexEncodingError("empty index stream")
-    root = parse(0)
+    root, root_entries = parse_node(0, 0)
+    in_progress.add(0)
+    # frame: [offset, node, child entries, next entry index]
+    stack: List[List] = [[0, root, root_entries, 0]]
+    while stack:
+        frame = stack[-1]
+        entries = frame[2]
+        if frame[3] == len(entries):
+            in_progress.discard(frame[0])
+            stack.pop()
+            continue
+        label, pointer = entries[frame[3]]
+        frame[3] += 1
+        child, child_entries = parse_node(pointer, len(stack))
+        child.label = label
+        frame[1].add_child(child)
+        in_progress.add(pointer)
+        stack.append([pointer, child, child_entries, 0])
     root.label = root_label if root_label is not None else "?"
     from repro.dataguide.roxsum import CombinedDataGuide
 

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.index.ci import CompactIndex
-from repro.index.nodes import IndexNode
 from repro.index.sizes import SizeModel
 
 
@@ -72,17 +71,22 @@ class PackedIndex:
         return len(self.packets_for_nodes(node_ids)) * self.packet_bytes
 
 
-def _node_order(index: CompactIndex, strategy: PackingStrategy) -> List[IndexNode]:
+def _node_order(index: CompactIndex, strategy: PackingStrategy) -> Tuple[int, ...]:
+    """Node *ids* in packing order.
+
+    Preorder ids equal positions in ``index.nodes``, so the DFS
+    strategies are a plain range -- no tree walk.
+    """
     if strategy in (PackingStrategy.GREEDY_DFS, PackingStrategy.ONE_PER_PACKET):
-        return list(index.root.iter_preorder())
+        return tuple(range(len(index.nodes)))
     # Breadth-first: level order from the root.
-    order: List[IndexNode] = []
+    order: List[int] = []
     queue = deque([index.root])
     while queue:
         node = queue.popleft()
-        order.append(node)
+        order.append(node.node_id)
         queue.extend(node.children)
-    return order
+    return tuple(order)
 
 
 def pack_index(
@@ -90,7 +94,11 @@ def pack_index(
     one_tier: bool,
     strategy: PackingStrategy = PackingStrategy.GREEDY_DFS,
 ) -> PackedIndex:
-    """Pack *index* into packets under the given layout and strategy."""
+    """Pack *index* into packets under the given layout and strategy.
+
+    Runs entirely over the index's flat per-node size array -- node
+    objects are never touched on this path.
+    """
     size_model: SizeModel = index.size_model
     packet_bytes = size_model.packet_bytes
     # The fill capacity is the packet *payload*: a per-packet checksum
@@ -98,25 +106,22 @@ def pack_index(
     # occupy, so the checksum cost surfaces as extra packets here.
     payload_bytes = size_model.payload_bytes
     order = _node_order(index, strategy)
+    sizes = index.node_sizes(one_tier)
 
     packet_of_node: Dict[int, Tuple[int, ...]] = {}
     next_packet = 0
     free = 0  # free payload bytes remaining in the currently open packet
     used = 0
+    one_per_packet = strategy is PackingStrategy.ONE_PER_PACKET
 
-    for node in order:
-        node_size = index.node_bytes(node, one_tier)
+    for node_id in order:
+        node_size = sizes[node_id]
         used += node_size
-        if strategy is PackingStrategy.ONE_PER_PACKET:
+        if one_per_packet or node_size > payload_bytes:
+            # Naive layout, or an oversized node (a long annotation
+            # list): dedicated packet run, then start fresh.
             span = size_model.packets_for(node_size)
-            packet_of_node[node.node_id] = tuple(range(next_packet, next_packet + span))
-            next_packet += span
-            free = 0
-            continue
-        if node_size > payload_bytes:
-            # Oversized node: dedicated packet run, then start fresh.
-            span = size_model.packets_for(node_size)
-            packet_of_node[node.node_id] = tuple(range(next_packet, next_packet + span))
+            packet_of_node[node_id] = tuple(range(next_packet, next_packet + span))
             next_packet += span
             free = 0
             continue
@@ -124,7 +129,7 @@ def pack_index(
             # Greedy rule: open a new packet when the node does not fit.
             free = payload_bytes
             next_packet += 1
-        packet_of_node[node.node_id] = (next_packet - 1,)
+        packet_of_node[node_id] = (next_packet - 1,)
         free -= node_size
 
     return PackedIndex(
@@ -132,7 +137,7 @@ def pack_index(
         one_tier=one_tier,
         packet_bytes=packet_bytes,
         packet_count=next_packet,
-        node_order=tuple(node.node_id for node in order),
+        node_order=order,
         packet_of_node=packet_of_node,
         used_bytes=used,
     )

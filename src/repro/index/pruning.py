@@ -93,7 +93,10 @@ def prune_to_pci(
         pruned_root = IndexNode(0, ci.root.label)
 
     pci = CompactIndex(
-        pruned_root, size_model=ci.size_model, virtual_root=ci.virtual_root
+        pruned_root,
+        size_model=ci.size_model,
+        virtual_root=ci.virtual_root,
+        validate=False,  # pruning preserves the CI's invariants
     )
     stats = PruningStats(
         nodes_before=ci.node_count,
@@ -215,6 +218,7 @@ def prune_to_pci_containment(
         size_model=ci.size_model,
         virtual_root=ci.virtual_root,
         annotation="containment",
+        validate=False,  # pruning preserves the CI's invariants
     )
     stats = PruningStats(
         nodes_before=ci.node_count,

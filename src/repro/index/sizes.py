@@ -102,6 +102,26 @@ class SizeModel:
             + doc_count * doc_entry
         )
 
+    def tree_bytes(self, node_count: int, doc_entry_count: int, one_tier: bool) -> int:
+        """Serialized size of a whole index tree, closed form.
+
+        Summing :meth:`node_bytes` over a tree collapses: every node pays
+        one header, every node except the root is exactly one parent's
+        child entry, and doc entries simply total.  This lets whole-tree
+        accounting (pruning stats, cycle layout) run in O(1) from two
+        counters instead of re-walking the tree.
+        """
+        if node_count <= 0:
+            return 0
+        doc_entry = (
+            self.doc_entry_one_tier_bytes if one_tier else self.doc_entry_first_tier_bytes
+        )
+        return (
+            node_count * self.node_header_bytes
+            + (node_count - 1) * self.child_entry_bytes
+            + doc_entry_count * doc_entry
+        )
+
     # ------------------------------------------------------------------
     # Second tier
     # ------------------------------------------------------------------

@@ -102,6 +102,15 @@ class DaemonConfig:
     #: stop admitting after this many successful SUBMITs and drain
     #: (benchmarks and smoke jobs); ``None`` = serve forever
     max_queries: Optional[int] = None
+    #: per-connection write-buffer level above which a send awaits the
+    #: transport's drain; below it writes are fire-and-forget, so one
+    #: frame costs no per-subscriber await on the fan-out path
+    drain_high_water: int = 64 * 1024
+    #: per-connection write-buffer cap: a subscriber that falls further
+    #: behind than this is evicted (a stalled reader must never pause
+    #: the broadcast for everyone else -- broadcast semantics, exactly
+    #: like drifting out of radio range)
+    max_buffered_bytes: int = 4 * 1024 * 1024
     #: injectable clock for pacing (wall-clock never enters directly);
     #: ``None`` -> :class:`~repro.net.clock.MonotonicClock`
     clock: Optional[ClockAdapter] = None
@@ -126,7 +135,13 @@ class DaemonStats:
     rejected_closed: int = 0
     cycles_streamed: int = 0
     frames_sent: int = 0
+    #: frames serialised via :func:`~repro.net.framing.encode_frame`;
+    #: per cycle this is the frame count, *independent of how many
+    #: subscribers are tuned* (every connection gets the same buffers)
+    frames_encoded: int = 0
     bytes_streamed: int = 0
+    #: subscribers dropped for exceeding ``max_buffered_bytes``
+    slow_consumers_evicted: int = 0
     errors_total: int = 0
 
     @property
@@ -325,6 +340,14 @@ class BroadcastDaemon:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         conn = _Connection(reader, writer)
+        # The transport's pause/resume thresholds both sit at the
+        # eviction cap: the protocol is paused only while the buffer
+        # exceeds the cap, and any send seeing that evicts the
+        # connection instead of draining -- so a drain can never block
+        # on a subscriber the daemon would not already have dropped.
+        writer.transport.set_write_buffer_limits(
+            high=self.net.max_buffered_bytes, low=self.net.max_buffered_bytes
+        )
         self._connections.append(conn)
         self.stats.connections_total += 1
         self.events.debug("connection_open", open=len(self._connections))
@@ -531,7 +554,11 @@ class BroadcastDaemon:
             rejected,
             Family("net.cycles_streamed", "counter").add(stats.cycles_streamed),
             Family("net.frames_sent", "counter").add(stats.frames_sent),
+            Family("net.frames_encoded", "counter").add(stats.frames_encoded),
             Family("net.bytes_streamed", "counter").add(stats.bytes_streamed),
+            Family("net.slow_consumers_evicted", "counter").add(
+                stats.slow_consumers_evicted
+            ),
             Family("net.uplink_errors", "counter").add(stats.errors_total),
             Family("net.connections_open", "gauge").add(len(self._connections)),
             Family("net.pending_queries", "gauge").add(len(self.server.pending)),
@@ -670,53 +697,24 @@ class BroadcastDaemon:
             self._acks = {}
             self._ack_event.clear()
         frames = encode_cycle(cycle, self.store, ack_required=ack_required)
+        # Share-once assembly: every frame is serialised exactly once
+        # per cycle, and the *same* bytes objects fan out to all
+        # subscribers -- encode work is independent of the audience.
+        blobs = [
+            encode_frame(frame.kind, frame.payload, self._checksum)
+            for frame in frames
+        ]
+        self.stats.frames_encoded += len(blobs)
         subscribers = [c for c in self._connections if c.tuned and not c.closed]
         self._on_air = (cycle.start_time, 0)
-        registry = obs.get_registry()
-        # Per-frame path: resolve each channel's counter once per cycle,
-        # not once per frame (the registry lookup formats a label key).
-        air_counters: Dict[str, Counter] = {}
         tracing = self.tracer.active()
         if tracing:
             self.tracer.begin_stream()
         with obs.span("net.stream_cycle"):
-            for frame in frames:
-                await self._bucket.acquire(frame.air_bytes)
-                blob = encode_frame(frame.kind, frame.payload, self._checksum)
-                personal: Dict[int, bytes] = {}
-                if tracing and frame.kind is FrameKind.CYCLE_END:
-                    # The trailer is the last frame out: by now every
-                    # DOC stamp for this cycle has been taken, so the
-                    # finished timelines can ride it (0 air bytes --
-                    # signatures and pacing are untouched).  Each
-                    # timeline rides only the trailer of the connection
-                    # that submitted the trace: broadcasting every entry
-                    # to every subscriber would scale the downlink with
-                    # the traced-client count.
-                    personal = self._personal_trailers(frame.payload, cycle)
-                await asyncio.gather(
-                    *(
-                        self._send(conn, personal.get(id(conn), blob))
-                        for conn in subscribers
-                    )
-                )
-                self._on_air = (cycle.start_time, frame.end_offset)
-                self.stats.frames_sent += 1
-                self.stats.bytes_streamed += len(blob)
-                for extra in personal.values():
-                    self.stats.bytes_streamed += len(extra) - len(blob)
-                if tracing and frame.doc_id is not None:
-                    self.tracer.on_doc_sent(frame.doc_id)
-                if registry.enabled and frame.air_bytes:
-                    channel = (
-                        str(frame.channel) if frame.channel is not None else "index"
-                    )
-                    counter = air_counters.get(channel)
-                    if counter is None:
-                        counter = air_counters[channel] = registry.counter(
-                            "net.on_air_bytes_total", channel=channel
-                        )
-                    counter.inc(frame.air_bytes)
+            if self._bucket.rate is None:
+                await self._stream_bulk(cycle, frames, blobs, subscribers, tracing)
+            else:
+                await self._stream_paced(cycle, frames, blobs, subscribers, tracing)
         self._on_air = None
         self.stats.cycles_streamed += 1
         self.events.debug(
@@ -724,6 +722,113 @@ class BroadcastDaemon:
             cycle=cycle.cycle_number,
             subscribers=len(subscribers),
         )
+
+    async def _stream_bulk(
+        self,
+        cycle: BroadcastCycle,
+        frames: Sequence,
+        blobs: List[bytes],
+        subscribers: List[_Connection],
+        tracing: bool,
+    ) -> None:
+        """Unpaced fan-out: the whole cycle leaves as one buffer.
+
+        With no token bucket there is nothing to wait on between frames,
+        so the per-frame awaits (bucket, gather, drain) collapse into a
+        single pre-joined write per connection; the joined buffer is
+        shared by every subscriber.
+        """
+        personal: Dict[int, bytes] = {}
+        if tracing:
+            # The whole cycle goes out in one write, so every DOC stamp
+            # for the cycle is taken now, before the trailer is built --
+            # same stamp ordering as the paced path, collapsed in time.
+            for frame in frames:
+                if frame.doc_id is not None:
+                    self.tracer.on_doc_sent(frame.doc_id)
+            personal = self._personal_trailers(frames[-1].payload, cycle)
+        if personal:
+            shared = b"".join(blobs[:-1])
+            end_blob = blobs[-1]
+
+            async def deliver(conn: _Connection) -> None:
+                await self._send(conn, shared)
+                if not conn.closed:
+                    await self._send(conn, personal.get(id(conn), end_blob))
+
+            await asyncio.gather(*(deliver(conn) for conn in subscribers))
+            for extra in personal.values():
+                self.stats.bytes_streamed += len(extra) - len(end_blob)
+            payload_len = len(shared) + len(end_blob)
+        else:
+            payload = b"".join(blobs)
+            payload_len = len(payload)
+            await asyncio.gather(
+                *(self._send(conn, payload) for conn in subscribers)
+            )
+        self._on_air = (cycle.start_time, frames[-1].end_offset)
+        self.stats.frames_sent += len(frames)
+        self.stats.bytes_streamed += payload_len
+        registry = obs.get_registry()
+        if registry.enabled:
+            air_counters: Dict[str, Counter] = {}
+            for frame in frames:
+                if frame.air_bytes:
+                    self._count_air(registry, air_counters, frame)
+
+    async def _stream_paced(
+        self,
+        cycle: BroadcastCycle,
+        frames: Sequence,
+        blobs: List[bytes],
+        subscribers: List[_Connection],
+        tracing: bool,
+    ) -> None:
+        """Token-bucket pacing: frame-by-frame over the preassembled blobs."""
+        registry = obs.get_registry()
+        # Resolve each channel's counter once per cycle, not once per
+        # frame (the registry lookup formats a label key).
+        air_counters: Dict[str, Counter] = {}
+        for frame, blob in zip(frames, blobs):
+            await self._bucket.acquire(frame.air_bytes)
+            personal: Dict[int, bytes] = {}
+            if tracing and frame.kind is FrameKind.CYCLE_END:
+                # The trailer is the last frame out: by now every
+                # DOC stamp for this cycle has been taken, so the
+                # finished timelines can ride it (0 air bytes --
+                # signatures and pacing are untouched).  Each
+                # timeline rides only the trailer of the connection
+                # that submitted the trace: broadcasting every entry
+                # to every subscriber would scale the downlink with
+                # the traced-client count.
+                personal = self._personal_trailers(frame.payload, cycle)
+            await asyncio.gather(
+                *(
+                    self._send(conn, personal.get(id(conn), blob))
+                    for conn in subscribers
+                )
+            )
+            self._on_air = (cycle.start_time, frame.end_offset)
+            self.stats.frames_sent += 1
+            self.stats.bytes_streamed += len(blob)
+            for extra in personal.values():
+                self.stats.bytes_streamed += len(extra) - len(blob)
+            if tracing and frame.doc_id is not None:
+                self.tracer.on_doc_sent(frame.doc_id)
+            if registry.enabled and frame.air_bytes:
+                self._count_air(registry, air_counters, frame)
+
+    @staticmethod
+    def _count_air(
+        registry: MetricsRegistry, air_counters: Dict[str, Counter], frame
+    ) -> None:
+        channel = str(frame.channel) if frame.channel is not None else "index"
+        counter = air_counters.get(channel)
+        if counter is None:
+            counter = air_counters[channel] = registry.counter(
+                "net.on_air_bytes_total", channel=channel
+            )
+        counter.inc(frame.air_bytes)
 
     def _personal_trailers(
         self, payload: bytes, cycle: BroadcastCycle
@@ -768,7 +873,25 @@ class BroadcastDaemon:
             return
         try:
             conn.writer.write(blob)
-            await conn.writer.drain()
+            buffered = conn.writer.transport.get_write_buffer_size()
+            if buffered > self.net.max_buffered_bytes:
+                # A broadcast never waits for one stalled subscriber: a
+                # reader that has fallen further behind than the cap is
+                # evicted (the medium's equivalent of drifting out of
+                # range), so everyone else keeps receiving.
+                self.stats.slow_consumers_evicted += 1
+                self.events.warning(
+                    "slow_consumer_evicted", buffered=buffered
+                )
+                self._drop(conn)
+                return
+            if buffered > self.net.drain_high_water:
+                # Below the high-water mark writes are fire-and-forget;
+                # above it, yield to the transport.  The transport's
+                # pause threshold sits at the eviction cap, so this
+                # drain cannot block on a subscriber that the check
+                # above would not already have evicted.
+                await conn.writer.drain()
         except (ConnectionError, OSError):
             self._drop(conn)
 

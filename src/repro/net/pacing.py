@@ -25,6 +25,10 @@ class TokenBucket:
     ``rate`` is bytes per second; ``None`` disables pacing entirely
     (every :meth:`acquire` returns immediately).  ``burst`` bounds how
     many tokens accumulate while idle (default: one second's worth).
+    The bucket starts **empty**: a freshly started stream owes the
+    channel model for every byte from the first frame on, instead of
+    getting a free second's worth of bytes ahead of the configured rate
+    (which let the first cycle of short runs blow past the bandwidth).
     """
 
     def __init__(
@@ -38,7 +42,7 @@ class TokenBucket:
         self.rate = rate
         self.clock = clock if clock is not None else MonotonicClock()
         self.burst = burst if burst is not None else (rate or 0.0)
-        self._tokens = self.burst
+        self._tokens = 0.0
         self._last = self.clock.now()
 
     async def acquire(self, tokens: float) -> None:

@@ -34,7 +34,9 @@ identically to the simulator -- the parity the differential test pins.
 
 from __future__ import annotations
 
+import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -195,6 +197,8 @@ def encode_cycle(
             )
         )
     doc_channels = getattr(cycle, "doc_channels", None) or {}
+    # Stores cache serialized documents; fall back for duck-typed stores.
+    serialized = getattr(store, "serialized", None)
     for doc_id in sorted(
         cycle.doc_ids,
         key=lambda d: (cycle.doc_offsets[d], doc_channels.get(d, 0), d),
@@ -211,10 +215,15 @@ def encode_cycle(
                 "air_bytes": air,
             }
         )
+        body = (
+            serialized(doc_id)
+            if serialized is not None
+            else serialize_document(document).encode("utf-8")
+        )
         frames.append(
             WireFrame(
                 FrameKind.DOC,
-                doc_header + b"\n" + serialize_document(document).encode("utf-8"),
+                doc_header + b"\n" + body,
                 air_bytes=air,
                 end_offset=offset + air,
                 channel=doc_channels.get(doc_id, 0),
@@ -245,11 +254,35 @@ class CycleDecoder:
     raises :class:`WireProtocolError` unless the rebuilt cycle's
     :func:`~repro.broadcast.program.program_signature` matches the
     header's -- the byte-for-byte parity check.
+
+    Decoding is a pure function of the cycle's frame bytes, so decoders
+    share a small process-wide cache keyed by a running digest of every
+    frame fed since CYCLE_BEGIN: when many clients in one process tune
+    to the same broadcast, the first subscriber pays the full decode
+    (index tree, packings, signature check) and the rest reuse it.
+    Consumers treat decoded cycles as read-only (the access protocols
+    only ever read them -- the parity suite pins this), and any byte
+    difference -- including a tampered frame or a personalised trailer
+    -- changes the digest and misses the cache.  ``share=False`` opts a
+    decoder out entirely.
     """
 
-    def __init__(self, verify: bool = True, keep_documents: bool = False) -> None:
+    #: ``(verify, digest) -> decoded cycle`` LRU shared by all decoders
+    _shared_cycles: "OrderedDict[Tuple[bool, bytes], Union[BroadcastCycle, MultiChannelCycle]]" = (
+        OrderedDict()
+    )
+    _SHARED_MAX = 8
+
+    def __init__(
+        self,
+        verify: bool = True,
+        keep_documents: bool = False,
+        share: bool = True,
+    ) -> None:
         self.verify = verify
         self.keep_documents = keep_documents
+        self.share = share
+        self._digest = hashlib.sha256()
         self.header: Optional[Dict] = None
         #: header of the most recently completed cycle (survives the
         #: per-cycle reset; callers read the signature from it)
@@ -268,6 +301,10 @@ class CycleDecoder:
     def feed(
         self, kind: FrameKind, payload: bytes
     ) -> Optional[Union[BroadcastCycle, MultiChannelCycle]]:
+        # Length-delimited so frame boundaries cannot alias in the digest.
+        self._digest.update(kind.name.encode("ascii"))
+        self._digest.update(len(payload).to_bytes(4, "big"))
+        self._digest.update(payload)
         if kind is FrameKind.CYCLE_BEGIN:
             if self.header is not None:
                 raise WireProtocolError("CYCLE_BEGIN inside an open cycle")
@@ -303,7 +340,17 @@ class CycleDecoder:
                 self.documents[doc_id] = body
             return None
         if kind is FrameKind.CYCLE_END:
-            cycle = self._finish()
+            cache = type(self)._shared_cycles
+            key = (self.verify, self._digest.digest())
+            cycle = cache.get(key) if self.share else None
+            if cycle is not None:
+                cache.move_to_end(key)
+            else:
+                cycle = self._finish()
+                if self.share:
+                    cache[key] = cycle
+                    while len(cache) > self._SHARED_MAX:
+                        cache.popitem(last=False)
             self.last_header = self.header
             try:
                 self.last_trailer = json.loads(payload.decode("utf-8"))
@@ -314,6 +361,7 @@ class CycleDecoder:
         raise WireProtocolError(f"unexpected {kind.name} frame in cycle stream")
 
     def _reset(self) -> None:
+        self._digest = hashlib.sha256()
         self.header = None
         self._index_payload = None
         self._offsets_payload = None

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.filtering.nfa import SharedPathNFA
+from repro.filtering.nfa import Configuration, SharedPathNFA
 from repro.xpath.ast import WILDCARD, XPathQuery
 
 #: Fresh symbol standing in for every label neither query mentions.  The
@@ -66,7 +66,7 @@ def contains(container: XPathQuery, contained: XPathQuery) -> bool:
     alphabet = sorted(_mentioned_labels(container, contained)) + [_FRESH]
 
     start = (small.initial_states(), big.initial_states())
-    seen: Set[Tuple[FrozenSet[int], FrozenSet[int]]] = {start}
+    seen: Set[Tuple[Configuration, Configuration]] = {start}
     frontier = deque([start])
     while frontier:
         small_config, big_config = frontier.popleft()

@@ -241,11 +241,23 @@ class TestPacing:
         async def body():
             clock = ManualClock()
             bucket = TokenBucket(1000.0, clock, burst=1000.0)
-            await bucket.acquire(1000)  # consumes the initial burst
-            await bucket.acquire(500)  # debt: sleeps 0.5 simulated seconds
+            # The bucket starts empty: the first acquire is pure debt.
+            await bucket.acquire(1000)  # sleeps 1.0 simulated seconds
+            await bucket.acquire(500)  # debt again: sleeps 0.5 more
             return clock.now()
 
-        assert _run(body()) == pytest.approx(0.5)
+        assert _run(body()) == pytest.approx(1.5)
+
+    def test_bucket_starts_empty(self):
+        """No free initial burst: byte 1 of cycle 1 is already paced."""
+
+        async def body():
+            clock = ManualClock()
+            bucket = TokenBucket(1000.0, clock, burst=1000.0)
+            await bucket.acquire(100)
+            return clock.now()
+
+        assert _run(body()) == pytest.approx(0.1)
 
     def test_unpaced_bucket_never_sleeps(self):
         async def body():
@@ -281,6 +293,7 @@ class TestPacing:
         report, elapsed, daemon = _run(body())
         assert report.satisfied
         on_air = daemon.server.clock  # total on-air bytes of all cycles
-        # Bucket debt means the last frame may not be fully repaid, and
-        # the initial burst forgives one second's worth of bytes.
-        assert elapsed >= (on_air - daemon.net.bandwidth) / daemon.net.bandwidth
+        # The bucket starts empty and debt is repaid frame by frame, so
+        # with a manual clock the elapsed simulated time is *exactly*
+        # the on-air byte count over the bandwidth -- cycle 1 included.
+        assert elapsed == pytest.approx(on_air / daemon.net.bandwidth)
