@@ -95,10 +95,16 @@ async def _drive(store, plans, bandwidth, telemetry=None, trace=False):
         store,
         CONFIG,
         DaemonConfig(
-            autostart=False, bandwidth=bandwidth, telemetry=telemetry
+            # port=0: always an OS-assigned ephemeral port, so parallel
+            # CI jobs and local runs can never collide on a fixed one.
+            port=0,
+            autostart=False,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         ),
     )
     await daemon.start()
+    assert daemon.port, "daemon must report its ephemeral bound port"
     clients = [
         AsyncTwoTierClient(
             query, port=daemon.port, arrival_time=arrival, trace=trace

@@ -18,11 +18,18 @@ Subcommands:
   to **stderr** as structured events (``--log-level``/``--log-json``);
   stdout stays clean for automation.  ``--metrics-port`` serves
   OpenMetrics at ``/metrics`` (+ drain-aware ``/healthz``) and
-  ``--flight-dir`` arms the flight recorder;
+  ``--flight-dir`` arms the flight recorder.  ``--workers N`` runs the
+  sharded cluster tier instead: N worker subprocesses each serving its
+  partition-map slice behind one front-door router (``--redirect``
+  keeps the router out of the data plane, ``--max-sessions`` bounds
+  cluster-wide admission, the metrics port aggregates every worker's
+  exposition relabelled per shard); ``--shard i/N`` runs one worker of
+  such a cluster directly;
 * ``client``    -- submit one query to a running daemon, tune in with
   the two-tier protocol and print the access/tuning byte accounting;
   ``--trace`` requests an end-to-end wire trace (``--trace-out`` saves
-  it as a v3 trace file for ``stats --trace``);
+  it as a v3 trace file for ``stats --trace``); ``--shard`` pins the
+  session to one cluster shard (``MOVED`` redirects are followed);
 * ``figures``   -- pointer to ``python -m repro.experiments``.
 
 Everything except ``serve``/``client`` (which talk TCP on localhost by
@@ -277,6 +284,20 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _parse_shard(spec: Optional[str]):
+    """``"i/N"`` -> ``(i, N)``; ``None`` -> ``(None, None)``."""
+    if spec is None:
+        return None, None
+    index_text, sep, total_text = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise SystemExit(f"--shard wants i/N (e.g. 0/2), got {spec!r}")
+    return index, total
+
+
 def cmd_serve(args) -> int:
     """Run the live broadcast daemon until SIGINT/SIGTERM drains it."""
     import asyncio
@@ -286,8 +307,13 @@ def cmd_serve(args) -> int:
     from repro.net import BroadcastDaemon, DaemonConfig, MonotonicClock
     from repro.obs.telemetry import EventLog, FlightRecorder, TelemetryConfig
 
+    if args.workers is not None and args.workers > 1:
+        if args.shard is not None:
+            raise SystemExit("--workers and --shard are mutually exclusive")
+        return _serve_cluster(args)
+
+    shard_index, num_shards = _parse_shard(args.shard)
     documents = _collection_for(args)
-    store = DocumentStore(documents)
     config = SimulationConfig(
         dtd=args.dtd,
         document_count=args.count,
@@ -297,7 +323,12 @@ def cmd_serve(args) -> int:
         scheme=IndexScheme(args.scheme),
         num_data_channels=getattr(args, "channels", None),
         channel_allocation=getattr(args, "allocation", "balanced"),
+        num_shards=num_shards,
+        shard_index=shard_index,
+        partition_seed=args.partition_seed,
     )
+    documents = config.shard_documents(documents)
+    store = DocumentStore(documents)
     clock = MonotonicClock()
     log = EventLog(
         sink=sys.stderr,
@@ -320,6 +351,7 @@ def cmd_serve(args) -> int:
         max_queries=args.max_queries,
         clock=clock,
         telemetry=telemetry,
+        shard=config.shard_identity,
     )
     preload = load_workload(args.workload) if args.workload else []
 
@@ -346,9 +378,14 @@ def cmd_serve(args) -> int:
             channels=config.num_data_channels or 1,
             bandwidth=args.bandwidth or "unpaced",
             metrics_port=daemon.metrics_port,
+            shard=args.shard or "none",
         )
         if args.port_file:
             pathlib.Path(args.port_file).write_text(f"{daemon.port}\n")
+        if args.metrics_port_file and daemon.metrics_port is not None:
+            pathlib.Path(args.metrics_port_file).write_text(
+                f"{daemon.metrics_port}\n"
+            )
         await daemon.wait_done()
         status = daemon.status()
         log.info(
@@ -361,6 +398,93 @@ def cmd_serve(args) -> int:
 
     asyncio.run(_serve())
     return 0
+
+
+def _serve_cluster(args) -> int:
+    """``serve --workers N``: supervisor + front-door router."""
+    import asyncio
+    import pathlib
+    import signal
+
+    from repro.net.cluster import ClusterConfig, ClusterRouter, ClusterSupervisor
+
+    passthrough = [
+        "--dtd", args.dtd,
+        "--count", str(args.count),
+        "--seed", str(args.seed),
+        "--capacity", str(args.capacity),
+        "--scheduler", args.scheduler,
+        "--scheme", args.scheme,
+        "--max-pending", str(args.max_pending),
+        "--log-level", args.log_level,
+    ]
+    if args.collection:
+        passthrough += ["--collection", args.collection]
+    if args.bandwidth is not None:
+        passthrough += ["--bandwidth", str(args.bandwidth)]
+    if args.max_queries is not None:
+        passthrough += ["--max-queries", str(args.max_queries)]
+    if getattr(args, "channels", None) is not None:
+        passthrough += [
+            "--channels", str(args.channels),
+            "--allocation", args.allocation,
+        ]
+    if args.log_json:
+        passthrough.append("--log-json")
+
+    supervisor = ClusterSupervisor(
+        args.workers,
+        partition_seed=args.partition_seed,
+        serve_args=passthrough,
+        metrics=args.metrics_port is not None,
+    )
+    print(
+        f"cluster: spawning {args.workers} workers "
+        f"(logs in {supervisor.workdir})",
+        file=sys.stderr,
+    )
+
+    async def _serve() -> int:
+        workers = await asyncio.to_thread(supervisor.start)
+        router = ClusterRouter(
+            supervisor.partition,
+            workers,
+            ClusterConfig(
+                host=args.host,
+                port=args.port,
+                max_sessions=args.max_sessions,
+                redirect=args.redirect,
+                metrics_port=args.metrics_port,
+            ),
+        )
+        await router.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        print(
+            f"cluster: front door on {args.host}:{router.port} "
+            f"({'redirect' if args.redirect else 'proxy'} mode, "
+            f"metrics_port={router.metrics_port})",
+            file=sys.stderr,
+        )
+        if args.port_file:
+            pathlib.Path(args.port_file).write_text(f"{router.port}\n")
+        if args.metrics_port_file and router.metrics_port is not None:
+            pathlib.Path(args.metrics_port_file).write_text(
+                f"{router.metrics_port}\n"
+            )
+        await stop.wait()
+        print("cluster: draining workers", file=sys.stderr)
+        codes = await asyncio.to_thread(supervisor.stop)
+        await router.stop()
+        print(f"cluster: workers exited {codes}", file=sys.stderr)
+        return 0 if all(code == 0 for code in codes) else 1
+
+    try:
+        return asyncio.run(_serve())
+    finally:
+        supervisor.stop()
 
 
 def cmd_client(args) -> int:
@@ -377,6 +501,7 @@ def cmd_client(args) -> int:
         arrival_time=args.arrival,
         client_key=args.key,
         trace=want_trace,
+        shard=args.shard,
     )
     report = asyncio.run(client.run())
     payload = {
@@ -576,7 +701,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="serve OpenMetrics on http://host:PORT/metrics (+ /healthz); "
-        "0 = ephemeral; default: no metrics endpoint",
+        "0 = ephemeral; default: no metrics endpoint; with --workers the "
+        "front door serves the shard-labelled aggregation of every worker",
+    )
+    serve.add_argument(
+        "--metrics-port-file",
+        help="write the bound metrics port here (scripted scrapers)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sharded cluster tier: N worker subprocesses behind "
+        "one front-door router (default: a single in-process daemon)",
+    )
+    serve.add_argument(
+        "--shard",
+        metavar="i/N",
+        help="serve only shard i of an N-way partition map (one worker of "
+        "a cluster); mutually exclusive with --workers",
+    )
+    serve.add_argument(
+        "--partition-seed",
+        type=int,
+        default=0,
+        help="seed of the cluster partition map (must match across all "
+        "workers of one cluster)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="cluster-wide admission bound at the front door; excess "
+        "sessions get RETRY_AFTER (needs --workers)",
+    )
+    serve.add_argument(
+        "--redirect",
+        action="store_true",
+        help="front door answers MOVED <shard> <host> <port> instead of "
+        "proxying, keeping it out of the data plane (needs --workers)",
     )
     serve.add_argument(
         "--log-level",
@@ -616,6 +780,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--key", type=int, default=None, help="idempotent-uplink client key"
+    )
+    client.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="pin the session to this cluster shard (SHARD= on the wire; "
+        "a front-door MOVED redirect is followed to the owning worker)",
     )
     client.add_argument(
         "--trace",

@@ -16,7 +16,9 @@ requests [8], re-implemented here along with simpler baselines.
   (channel allocation policies, extended ``<doc, channel, offset>``
   second tier);
 * :mod:`repro.broadcast.server` -- the server loop: query admission,
-  resolution, per-cycle PCI construction and program emission.
+  resolution, per-cycle PCI construction and program emission;
+* :mod:`repro.broadcast.partition` -- the hash-slot partition map that
+  splits a collection across the shards of a serving cluster.
 """
 
 from repro.broadcast.packets import PacketKind, CycleLayout
@@ -36,6 +38,7 @@ from repro.broadcast.multichannel import (
     allocate_channels,
     build_multichannel_program,
 )
+from repro.broadcast.partition import PartitionMap, ShardIdentity
 from repro.broadcast.server import BroadcastServer, DocumentStore, PendingQuery
 from repro.broadcast.loss import LOSSLESS, PacketLossModel
 from repro.broadcast.validate import CycleValidationError, validate_cycle
@@ -59,7 +62,9 @@ __all__ = [
     "build_multichannel_program",
     "BroadcastServer",
     "DocumentStore",
+    "PartitionMap",
     "PendingQuery",
+    "ShardIdentity",
     "LOSSLESS",
     "PacketLossModel",
     "CycleValidationError",

@@ -1,0 +1,145 @@
+"""Deterministic document partitioning for the sharded serving tier.
+
+The cluster front door (:mod:`repro.net.cluster`) splits one document
+collection across N independent broadcast workers.  The split must be
+
+* **a pure function** of ``(seed, doc_id)`` -- every process (router,
+  worker, client, load generator) computes the same placement with no
+  coordination and no shared state;
+* **stable under mutation** -- adding or removing documents never moves
+  any *other* document between shards (each document hashes on its own);
+* **nesting across worker counts** -- the same :data:`SLOT_COUNT`-slot
+  hash ring, cut into contiguous ranges, means a W-worker deployment is
+  a coarsening of an N-worker one whenever W divides N (and both divide
+  the slot count).  A load plan generated at shard granularity G can
+  therefore drive 1, 2 or 4 workers unchanged -- the scale benchmark's
+  "same workload" requirement.
+
+The scheme is hash-slot partitioning (cf. Redis Cluster): a document
+hashes to one of :data:`SLOT_COUNT` slots via SHA-256, and shard ``s``
+owns the contiguous slot range ``[s*slots/N, (s+1)*slots/N)``.
+
+:class:`ShardIdentity` is a worker's placement contract: the daemon
+embeds it in every ``CYCLE_BEGIN`` header (key ``"cluster"``) so a
+client can verify that each document it decodes actually belongs on the
+shard it tuned to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["PARTITION_VERSION", "SLOT_COUNT", "PartitionMap", "ShardIdentity"]
+
+#: wire-format version of :meth:`PartitionMap.describe`
+PARTITION_VERSION = 1
+
+#: default hash-ring size; divisible by every power-of-two worker count
+#: (and by 1..8 except 7), which is what makes partitions nest
+SLOT_COUNT = 1024
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash (``hash()`` is salted)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Hash-slot placement of documents onto ``num_shards`` workers."""
+
+    num_shards: int
+    seed: int = 0
+    slots: int = SLOT_COUNT
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.slots < self.num_shards:
+            raise ValueError("slots must be >= num_shards")
+
+    def slot_of(self, doc_id: int) -> int:
+        """The hash slot a document occupies (independent of shard count)."""
+        return _stable_hash(f"{self.seed}:doc:{doc_id}") % self.slots
+
+    def shard_of(self, doc_id: int) -> int:
+        """The shard that owns a document: contiguous slot ranges."""
+        return self.slot_of(doc_id) * self.num_shards // self.slots
+
+    def shard_for_query(self, query_text: str) -> int:
+        """Fallback routing for a SUBMIT that names no shard.
+
+        The router cannot resolve an XPath to its result documents, so
+        an unpinned query is spread by a stable hash of its text --
+        load-balancing, not placement (the owning worker still rejects
+        queries whose results live elsewhere with an empty-result ERR).
+        """
+        return _stable_hash(f"{self.seed}:query:{query_text}") % self.num_shards
+
+    def partition(self, doc_ids: Iterable[int]) -> List[List[int]]:
+        """Split ``doc_ids`` into per-shard lists (input order kept)."""
+        shards: List[List[int]] = [[] for _ in range(self.num_shards)]
+        for doc_id in doc_ids:
+            shards[self.shard_of(doc_id)].append(doc_id)
+        return shards
+
+    def describe(self) -> Dict:
+        """The wire form of this map (``CYCLE_BEGIN``'s ``cluster.map``)."""
+        return {
+            "version": PARTITION_VERSION,
+            "num_shards": self.num_shards,
+            "seed": self.seed,
+            "slots": self.slots,
+        }
+
+    @classmethod
+    def from_description(cls, payload: Dict) -> "PartitionMap":
+        """Rebuild a map from :meth:`describe` output (client side)."""
+        if payload.get("version") != PARTITION_VERSION:
+            raise ValueError(
+                f"unsupported partition map version {payload.get('version')!r}"
+            )
+        return cls(
+            num_shards=int(payload["num_shards"]),
+            seed=int(payload["seed"]),
+            slots=int(payload.get("slots", SLOT_COUNT)),
+        )
+
+    def digest(self) -> str:
+        """Short content digest: two ends agree on placement iff equal."""
+        blob = json.dumps(self.describe(), separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ShardIdentity:
+    """One worker's slice of a :class:`PartitionMap`."""
+
+    index: int
+    partition: PartitionMap = field(default_factory=lambda: PartitionMap(1))
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.partition.num_shards:
+            raise ValueError(
+                f"shard index {self.index} out of range for "
+                f"{self.partition.num_shards} shards"
+            )
+
+    def owns(self, doc_id: int) -> bool:
+        return self.partition.shard_of(doc_id) == self.index
+
+    def owned(self, doc_ids: Sequence[int]) -> List[int]:
+        return [d for d in doc_ids if self.owns(d)]
+
+    def header(self) -> Dict:
+        """The ``"cluster"`` value embedded in ``CYCLE_BEGIN`` headers."""
+        return {
+            "shard": self.index,
+            "num_shards": self.partition.num_shards,
+            "map": self.partition.describe(),
+            "digest": self.partition.digest(),
+        }

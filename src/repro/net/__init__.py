@@ -24,7 +24,26 @@ Telemetry is opt-in: hand the :class:`~repro.net.daemon.DaemonConfig` a
 ``/metrics`` (OpenMetrics) + ``/healthz`` from its own event loop,
 streams structured events, arms a flight recorder, and honours the
 ``TRACE=`` SUBMIT option for end-to-end query tracing.
+
+The tier scales out horizontally via :mod:`repro.net.cluster`: a
+:class:`~repro.net.cluster.ClusterRouter` front door partitions the
+collection across N unchanged worker daemons by a deterministic
+:class:`~repro.broadcast.partition.PartitionMap` (advertised in every
+``CYCLE_BEGIN`` header so clients verify placement), steering sessions
+by proxy splice or ``MOVED`` redirect and applying cluster-wide
+admission through the existing ``RETRY_AFTER`` reply.
+:mod:`repro.net.loadgen` drives any endpoint -- single daemon or
+cluster -- with a deterministic open-loop Poisson session schedule.
 """
+
+from repro.broadcast.partition import PartitionMap, ShardIdentity
+from repro.net.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSupervisor,
+    RouterStats,
+    WorkerAddress,
+)
 
 from repro.net.client import (
     AsyncTwoTierClient,
@@ -41,6 +60,13 @@ from repro.net.framing import (
     read_frame,
     read_frame_mixed,
 )
+from repro.net.loadgen import (
+    LoadPlan,
+    LoadReport,
+    SessionSpec,
+    build_load_plan,
+    run_load,
+)
 from repro.net.pacing import TokenBucket
 from repro.net.wire import CycleDecoder, WireFrame, WireProtocolError, encode_cycle
 
@@ -50,19 +76,31 @@ __all__ = [
     "BroadcastDaemon",
     "ClientReport",
     "ClockAdapter",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "CycleDecoder",
     "DaemonConfig",
     "DaemonStats",
     "FrameError",
     "FrameKind",
+    "LoadPlan",
+    "LoadReport",
     "ManualClock",
     "MonotonicClock",
+    "PartitionMap",
+    "RouterStats",
+    "SessionSpec",
+    "ShardIdentity",
     "TokenBucket",
     "UplinkError",
     "WireFrame",
     "WireProtocolError",
+    "WorkerAddress",
+    "build_load_plan",
     "encode_cycle",
     "encode_frame",
     "read_frame",
     "read_frame_mixed",
+    "run_load",
 ]

@@ -19,8 +19,9 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.broadcast.partition import PartitionMap
 from repro.broadcast.program import BroadcastCycle
 from repro.client.metrics import ClientMetrics
 from repro.client.protocol import AccessProtocol, FirstTierRead
@@ -32,7 +33,7 @@ from repro.net.framing import (
     encode_text,
     read_frame_mixed,
 )
-from repro.net.wire import CycleDecoder
+from repro.net.wire import CycleDecoder, WireProtocolError
 from repro.obs.telemetry.tracing import TRACE_TOKEN, QueryTrace
 from repro.xpath.parser import parse_query
 
@@ -93,6 +94,7 @@ class AsyncTwoTierClient:
         client_key: Optional[int] = None,
         trace: bool = False,
         clock: Optional[ClockAdapter] = None,
+        shard: Optional[int] = None,
     ) -> None:
         self.query = parse_query(query)
         self.host = host
@@ -106,6 +108,18 @@ class AsyncTwoTierClient:
         self._clock: ClockAdapter = clock or MonotonicClock()
         self.trace_id: Optional[str] = None
         self._trace_entry: Optional[dict] = None
+        #: pin the session to one cluster shard: TUNE/SUBMIT carry
+        #: ``SHARD=<i>``, a router ``MOVED`` redirect is followed to the
+        #: owning worker, and every decoded cycle's documents are
+        #: verified against the shard's partition map.  ``None`` = the
+        #: unchanged single-daemon client.
+        self.shard = shard
+        #: the daemon's placement contract from the TUNED banner /
+        #: CYCLE_BEGIN header (``None`` against an unsharded daemon)
+        self.cluster: Optional[Dict] = None
+        self._partition: Optional[PartitionMap] = None
+        self._placed: Set[int] = set()
+        self._moved_hops = 0
 
         self.query_id: Optional[int] = None
         self.num_channels = 1
@@ -114,6 +128,9 @@ class AsyncTwoTierClient:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self.protocol: Optional[AccessProtocol] = None
+        #: downlink frames that raced an uplink reply on this tuned
+        #: connection, replayed to :meth:`run_session` in arrival order
+        self._deferred: List[Tuple[FrameKind, bytes]] = []
 
     # ------------------------------------------------------------------
     # Staged API
@@ -123,17 +140,35 @@ class AsyncTwoTierClient:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        self._deferred.clear()  # frames belong to the old connection
 
     async def tune(self) -> None:
-        """Join the downlink and learn the daemon's channel model."""
-        reply = await self._command("TUNE")
+        """Join the downlink and learn the daemon's channel model.
+
+        Against a cluster front door this is also the placement step: a
+        ``MOVED <shard> <host> <port>`` redirect is followed to the
+        owning worker, and ``RETRY_AFTER`` (cluster-wide admission)
+        surfaces as :class:`Backpressure` exactly like an overloaded
+        SUBMIT.
+        """
+        line = "TUNE" if self.shard is None else f"TUNE SHARD={self.shard}"
+        reply = await self._command(line)
         word, _, rest = reply.partition(" ")
+        if word == "MOVED":
+            await self._follow_moved(rest)
+            await self.tune()
+            return
+        if word == "RETRY_AFTER":
+            raise Backpressure(int(rest.split()[0]) if rest.split() else 1)
         if word != "TUNED":
             raise UplinkError(f"unexpected TUNE reply: {reply!r}")
         info = json.loads(rest)
         self.num_channels = int(info.get("num_channels", 1))
         self.ack_required = bool(info.get("ack_required", False))
         self._checksum = int(info.get("checksum_bytes", 0))
+        cluster = info.get("cluster")
+        if cluster is not None:
+            self._check_cluster(cluster)
 
     async def submit(self) -> int:
         """SUBMIT the query; returns the daemon-assigned query id."""
@@ -142,12 +177,17 @@ class AsyncTwoTierClient:
             parts.append(f"AT={self.arrival_time}")
         if self.client_key is not None:
             parts.append(f"KEY={self.client_key}")
+        if self.shard is not None:
+            parts.append(f"SHARD={self.shard}")
         if self.trace:
             # Empty value: the daemon mints the trace ID and echoes it.
             parts.append(f"{TRACE_TOKEN}={self.trace_id or ''}")
         parts.append(str(self.query))
         reply = await self._command(" ".join(parts))
         word, _, rest = reply.partition(" ")
+        if word == "MOVED":
+            await self._follow_moved(rest)
+            return await self.submit()
         tokens, echo = self._split_trace_echo(rest)
         if word == "RETRY_AFTER":
             raise Backpressure(int(tokens[0] if tokens else "1"))
@@ -198,6 +238,10 @@ class AsyncTwoTierClient:
                 continue
             assert decoder.last_header is not None
             signatures.append(decoder.last_header["signature"])
+            cluster = decoder.last_header.get("cluster")
+            if cluster is not None:
+                self._check_cluster(cluster)
+                self._verify_placement(cluster, cycle)
             if self.trace_id is not None and decoder.last_trailer:
                 entry = decoder.last_trailer.get("traces", {}).get(
                     self.trace_id
@@ -281,23 +325,86 @@ class AsyncTwoTierClient:
             )
         return self.protocol
 
+    async def _follow_moved(self, rest: str) -> None:
+        """Reconnect to the worker a ``MOVED <shard> <host> <port>``
+        redirect names (the front door's out-of-data-plane routing)."""
+        self._moved_hops += 1
+        if self._moved_hops > 4:
+            raise UplinkError("MOVED redirect loop")
+        parts = rest.split()
+        if len(parts) != 3:
+            raise UplinkError(f"malformed MOVED reply: {rest!r}")
+        shard, host, port = int(parts[0]), parts[1], int(parts[2])
+        if self.shard is not None and shard != self.shard:
+            raise UplinkError(
+                f"router moved shard-{self.shard} session to shard {shard}"
+            )
+        await self.close()
+        self.host, self.port = host, port
+        await self.connect()
+
+    def _check_cluster(self, cluster: Dict) -> None:
+        """Pin the daemon's placement contract against the pinned shard."""
+        self.cluster = cluster
+        if self.shard is not None and int(cluster.get("shard", -1)) != self.shard:
+            raise WireProtocolError(
+                f"tuned to shard {cluster.get('shard')}, expected {self.shard}"
+            )
+
+    def _verify_placement(self, cluster: Dict, cycle: BroadcastCycle) -> None:
+        """Every document this shard broadcasts must hash to this shard
+        under the partition map the header itself advertises."""
+        shard = int(cluster["shard"])
+        if self._partition is None:
+            self._partition = PartitionMap.from_description(cluster["map"])
+        for doc_id in cycle.doc_ids:
+            if doc_id in self._placed:
+                continue
+            owner = self._partition.shard_of(doc_id)
+            if owner != shard:
+                raise WireProtocolError(
+                    f"doc {doc_id} belongs to shard {owner} but aired on "
+                    f"shard {shard}"
+                )
+            self._placed.add(doc_id)
+
+    #: one full cycle of a large collection is thousands of frames; a
+    #: reply delayed past this many is a wedged daemon, not a race
+    _MAX_DEFERRED = 65_536
+
     async def _command(self, line: str) -> str:
-        """Send one uplink command and read its TEXT reply."""
+        """Send one uplink command and read its TEXT reply.
+
+        On a tuned connection to a *live* daemon, downlink cycle frames
+        can legitimately race the reply (the daemon streams cycles to
+        every subscriber whenever any query is pending).  Those frames
+        are part of the broadcast this client tuned into, so they are
+        deferred -- not dropped -- and :meth:`run_session` consumes them
+        in arrival order before reading the socket again.
+        """
         assert self._reader is not None and self._writer is not None
         self._writer.write(encode_text(line))
         await self._writer.drain()
-        kind, payload = await read_frame_mixed(self._reader, self._checksum)
-        if kind is FrameKind.TEXT:
-            return payload.decode("utf-8")
-        # A cycle frame raced the reply (tuned connection): commands are
-        # only issued between cycles in the staged API, so this indicates
-        # a protocol misuse worth failing loudly on.
-        raise UplinkError(
-            f"expected TEXT reply to {line.split()[0]}, got {kind.name}"
-        )
+        while True:
+            kind, payload = await read_frame_mixed(
+                self._reader, self._checksum
+            )
+            if kind is FrameKind.TEXT:
+                return payload.decode("utf-8")
+            if len(self._deferred) >= self._MAX_DEFERRED:
+                raise UplinkError(
+                    f"no reply to {line.split()[0]} within "
+                    f"{self._MAX_DEFERRED} downlink frames"
+                )
+            self._deferred.append((kind, payload))
 
     async def _read_downlink(self) -> Tuple[FrameKind, bytes]:
-        """Read one downlink frame (TEXT = no trailer, binary = model's)."""
+        """Read one downlink frame (TEXT = no trailer, binary = model's).
+
+        Frames that raced an uplink reply drain first, so the decoder
+        sees the stream exactly as the daemon sent it."""
+        if self._deferred:
+            return self._deferred.pop(0)
         assert self._reader is not None
         return await read_frame_mixed(self._reader, self._checksum)
 

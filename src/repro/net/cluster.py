@@ -1,0 +1,666 @@
+"""The sharded serving tier: front-door router + worker supervisor.
+
+One :class:`ClusterRouter` owns the public listening socket; the
+document collection is partitioned across N worker processes -- each an
+*unchanged* :class:`~repro.net.daemon.BroadcastDaemon` serving its slice
+of the :class:`~repro.broadcast.partition.PartitionMap` -- and the
+router steers every uplink session to the owning shard:
+
+* ``SUBMIT``/``TUNE``/``RECV`` carrying ``SHARD=<i>`` route to worker
+  ``i`` (clients pin their shard; the worker re-validates, so a
+  misrouted session fails loudly);
+* a ``SUBMIT`` naming no shard is spread by a stable hash of its query
+  text (:meth:`~repro.broadcast.partition.PartitionMap.shard_for_query`);
+* ``STATUS`` at the front door aggregates every worker's status;
+* ``/metrics`` at the front door scrapes every worker's endpoint,
+  relabels the samples ``shard="i"`` and merges them with the router's
+  own counters into one lint-clean exposition.
+
+Two routing modes:
+
+* **proxy** (default): the router opens a backend connection, forwards
+  the first command and then splices raw bytes both ways -- clients
+  need no cluster awareness at all;
+* **redirect** (``ClusterConfig.redirect=True``): the router answers
+  ``MOVED <shard> <host> <port>`` and the client reconnects straight to
+  the worker, keeping the router out of the data plane entirely (the
+  scale benchmark's mode -- downlink fan-out bytes never cross the
+  router twice).
+
+Cluster-wide admission rides the existing wire vocabulary: when the sum
+of pending queries across all shards reaches ``max_sessions``, the
+front door answers the routing command with ``RETRY_AFTER`` before any
+worker sees it.
+
+:class:`ClusterSupervisor` spawns the workers as ``python -m repro
+serve --shard i/N`` subprocesses, discovering each worker's ephemeral
+uplink/metrics ports through ``--port-file``-style OS assignment (no
+port is ever hardcoded, so parallel CI jobs cannot collide).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.broadcast.partition import PartitionMap, ShardIdentity
+from repro.net.clock import ClockAdapter, MonotonicClock
+from repro.net.framing import FrameKind, encode_text, read_frame
+from repro.obs.telemetry.exporter import (
+    Family,
+    MetricsHTTPServer,
+    merge_expositions,
+    render_openmetrics,
+    scrape,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "RouterStats",
+    "WorkerAddress",
+]
+
+_SPLICE_CHUNK = 64 * 1024
+
+#: commands the router routes to a shard (everything else it answers)
+_ROUTED = ("SUBMIT", "TUNE", "RECV")
+
+
+@dataclass(frozen=True)
+class WorkerAddress:
+    """Where one shard's daemon listens."""
+
+    shard: int
+    host: str
+    port: int
+    #: the worker's /metrics endpoint; ``None`` = no telemetry plane
+    metrics_port: Optional[int] = None
+
+
+@dataclass
+class ClusterConfig:
+    """Front-door knobs (the broadcast model lives in the workers)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port lands in ``router.port``
+    #: cluster-wide admission bound: when the pending-query total across
+    #: all shards reaches this, routing commands get RETRY_AFTER at the
+    #: front door; ``None`` = each worker's own ``max_pending`` is the
+    #: only limit
+    max_sessions: Optional[int] = None
+    #: how stale (seconds) the cached cluster pending total may be
+    #: before the admission gate re-polls the workers; 0 = always fresh
+    admission_refresh: float = 0.25
+    #: answer routed commands with ``MOVED`` instead of proxying --
+    #: clients reconnect straight to the owning worker and the router
+    #: stays out of the data plane
+    redirect: bool = False
+    #: serve an aggregated /metrics (+ /healthz) at the front door;
+    #: ``None`` = no endpoint, 0 = ephemeral
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    #: injectable clock for the admission cache (tests pin staleness)
+    clock: Optional[ClockAdapter] = None
+
+
+@dataclass
+class RouterStats:
+    """Operational counters of the front door."""
+
+    connections_total: int = 0
+    routed_total: int = 0
+    proxied_total: int = 0
+    moved_total: int = 0
+    rejected_overload: int = 0
+    errors_total: int = 0
+    status_requests: int = 0
+    #: per-shard routed-session counts, indexed by shard
+    routed_by_shard: List[int] = field(default_factory=list)
+
+
+class ClusterRouter:
+    """Asyncio front door for a sharded broadcast cluster."""
+
+    def __init__(
+        self,
+        partition: PartitionMap,
+        workers: Sequence[WorkerAddress],
+        config: Optional[ClusterConfig] = None,
+    ) -> None:
+        if len(workers) != partition.num_shards:
+            raise ValueError(
+                f"{partition.num_shards} shards need exactly that many "
+                f"workers, got {len(workers)}"
+            )
+        for i, worker in enumerate(workers):
+            if worker.shard != i:
+                raise ValueError(
+                    f"workers must be listed in shard order; slot {i} "
+                    f"holds shard {worker.shard}"
+                )
+        self.partition = partition
+        self.workers = list(workers)
+        self.config = config if config is not None else ClusterConfig()
+        self.clock: ClockAdapter = self.config.clock or MonotonicClock()
+        self.stats = RouterStats(routed_by_shard=[0] * partition.num_shards)
+        #: live proxied sessions per shard (redirect mode routes away,
+        #: so only spliced sessions are tracked here)
+        self.active: List[int] = [0] * partition.num_shards
+
+        self.port: Optional[int] = None
+        self.metrics_port: Optional[int] = None
+        self._tcp: Optional[asyncio.base_events.Server] = None
+        self._metrics_http: Optional[MetricsHTTPServer] = None
+        self._pending_cache: Optional[int] = None
+        self._pending_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the front-door socket (and the metrics endpoint)."""
+        self._tcp = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = self._tcp.sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self._metrics_text,
+                self._health,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            self.metrics_port = await self._metrics_http.start()
+
+    async def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
+            self._metrics_http = None
+
+    @property
+    def active_sessions(self) -> int:
+        return sum(self.active)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections_total += 1
+        try:
+            while True:
+                try:
+                    kind, payload = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                if kind is not FrameKind.TEXT:
+                    await self._reply(writer, "ERR uplink frames must be TEXT")
+                    continue
+                try:
+                    line = payload.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    await self._reply(writer, "ERR command is not UTF-8")
+                    continue
+                command, _, rest = line.partition(" ")
+                command = command.upper()
+                if command == "STATUS":
+                    self.stats.status_requests += 1
+                    status = await self.aggregate_status()
+                    await self._reply(writer, "STATUS " + json.dumps(status))
+                    continue
+                if command == "BYE":
+                    await self._reply(writer, "BYE")
+                    return
+                if command in _ROUTED:
+                    routed = await self._route(
+                        command, rest, line, reader, writer
+                    )
+                    if routed:
+                        return  # the splice consumed the connection
+                    continue
+                self.stats.errors_total += 1
+                await self._reply(writer, f"ERR unknown command {command!r}")
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _reply(self, writer: asyncio.StreamWriter, line: str) -> None:
+        try:
+            writer.write(encode_text(line))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    def _shard_for(self, command: str, rest: str) -> Tuple[Optional[int], str]:
+        """(shard, error): the shard a command routes to."""
+        for token in rest.split():
+            name, eq, value = token.partition("=")
+            if name == "SHARD" and eq:
+                try:
+                    shard = int(value)
+                except ValueError:
+                    return None, "ERR SHARD must be an integer"
+                if not 0 <= shard < self.partition.num_shards:
+                    return None, (
+                        f"ERR shard {shard} out of range "
+                        f"(cluster has {self.partition.num_shards})"
+                    )
+                return shard, ""
+        if command == "SUBMIT":
+            # No pin: spread by the query text.  Options precede the
+            # query, so strip leading NAME=value tokens first.
+            tokens = rest.split()
+            while tokens and "=" in tokens[0]:
+                tokens.pop(0)
+            return self.partition.shard_for_query(" ".join(tokens)), ""
+        return 0, ""
+
+    async def _route(
+        self,
+        command: str,
+        rest: str,
+        line: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Steer one routed command; True = the connection is spliced."""
+        shard, error = self._shard_for(command, rest)
+        if shard is None:
+            self.stats.errors_total += 1
+            await self._reply(writer, error)
+            return False
+        if self.config.max_sessions is not None:
+            pending = await self._cluster_pending()
+            if pending >= self.config.max_sessions:
+                self.stats.rejected_overload += 1
+                await self._reply(writer, f"RETRY_AFTER {pending}")
+                return False
+        self.stats.routed_total += 1
+        self.stats.routed_by_shard[shard] += 1
+        worker = self.workers[shard]
+        if self.config.redirect:
+            self.stats.moved_total += 1
+            await self._reply(
+                writer, f"MOVED {shard} {worker.host} {worker.port}"
+            )
+            return False
+        return await self._splice(shard, line, reader, writer)
+
+    async def _splice(
+        self,
+        shard: int,
+        first_line: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Proxy mode: forward the routing command, then pump raw bytes
+        both ways until either side closes."""
+        worker = self.workers[shard]
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                worker.host, worker.port
+            )
+        except OSError:
+            self.stats.errors_total += 1
+            await self._reply(writer, f"ERR shard {shard} unavailable")
+            return False
+        self.stats.proxied_total += 1
+        self.active[shard] += 1
+        try:
+            up_writer.write(encode_text(first_line))
+            await up_writer.drain()
+            await asyncio.gather(
+                self._pump(reader, up_writer), self._pump(up_reader, writer)
+            )
+        finally:
+            self.active[shard] -= 1
+            for w in (up_writer, writer):
+                with contextlib.suppress(ConnectionError, OSError):
+                    w.close()
+                    await w.wait_closed()
+        return True
+
+    @staticmethod
+    async def _pump(
+        src: asyncio.StreamReader, dst: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                chunk = await src.read(_SPLICE_CHUNK)
+                if not chunk:
+                    break
+                dst.write(chunk)
+                await dst.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            # Propagate the EOF so the other end of the splice winds
+            # down instead of waiting on a half-dead session.
+            with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+                if dst.can_write_eof():
+                    dst.write_eof()
+                else:  # pragma: no cover - TLS-style transports only
+                    dst.close()
+
+    # ------------------------------------------------------------------
+    # Cluster-wide admission + aggregation
+    # ------------------------------------------------------------------
+
+    async def _worker_status(self, worker: WorkerAddress) -> Optional[Dict]:
+        """One worker's STATUS payload (``None`` if unreachable)."""
+        try:
+            reader, writer = await asyncio.open_connection(
+                worker.host, worker.port
+            )
+        except OSError:
+            return None
+        try:
+            writer.write(encode_text("STATUS"))
+            await writer.drain()
+            kind, payload = await read_frame(reader)
+            if kind is not FrameKind.TEXT:
+                return None
+            word, _, rest = payload.decode("utf-8").partition(" ")
+            if word != "STATUS":
+                return None
+            parsed = json.loads(rest)
+            return parsed if isinstance(parsed, dict) else None
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            ValueError,
+        ):
+            return None
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _gather_status(self) -> List[Optional[Dict]]:
+        return list(
+            await asyncio.gather(
+                *(self._worker_status(w) for w in self.workers)
+            )
+        )
+
+    async def _cluster_pending(self) -> int:
+        """Total pending queries across all shards (cached briefly)."""
+        now = self.clock.now()
+        if (
+            self._pending_cache is None
+            or now - self._pending_at >= self.config.admission_refresh
+        ):
+            statuses = await self._gather_status()
+            self._pending_cache = sum(
+                int(s.get("pending", 0)) for s in statuses if s is not None
+            )
+            self._pending_at = now
+        return self._pending_cache
+
+    async def aggregate_status(self) -> Dict:
+        """The front door's STATUS payload: per-shard + cluster totals."""
+        statuses = await self._gather_status()
+        totals: Dict[str, int] = {}
+        shards: Dict[str, Dict] = {}
+        for worker, status in zip(self.workers, statuses):
+            if status is None:
+                continue
+            shards[str(worker.shard)] = status
+            for key in (
+                "pending",
+                "completed",
+                "admitted",
+                "rejected",
+                "connections",
+                "cycles",
+                "dedup_hits",
+                "degraded_cycles",
+            ):
+                totals[key] = totals.get(key, 0) + int(status.get(key, 0))
+        return {
+            "num_shards": self.partition.num_shards,
+            "partition": self.partition.describe(),
+            "workers_up": len(shards),
+            "totals": totals,
+            "shards": shards,
+            "router": {
+                "connections": self.stats.connections_total,
+                "routed": self.stats.routed_total,
+                "proxied": self.stats.proxied_total,
+                "moved": self.stats.moved_total,
+                "rejected": self.stats.rejected_overload,
+                "active_sessions": self.active_sessions,
+                "mode": "redirect" if self.config.redirect else "proxy",
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Front-door /metrics aggregation
+    # ------------------------------------------------------------------
+
+    def _router_families(self) -> List[Family]:
+        stats = self.stats
+        routed = Family("router.sessions_routed", "counter")
+        active = Family("router.active_sessions", "gauge")
+        for shard in range(self.partition.num_shards):
+            routed.add(stats.routed_by_shard[shard], shard=str(shard))
+            active.add(self.active[shard], shard=str(shard))
+        return [
+            Family("router.connections", "counter").add(
+                stats.connections_total
+            ),
+            routed,
+            Family("router.sessions_proxied", "counter").add(
+                stats.proxied_total
+            ),
+            Family("router.sessions_moved", "counter").add(stats.moved_total),
+            Family("router.rejected_overload", "counter").add(
+                stats.rejected_overload
+            ),
+            Family("router.errors", "counter").add(stats.errors_total),
+            Family("router.status_requests", "counter").add(
+                stats.status_requests
+            ),
+            active,
+            Family("router.workers", "gauge").add(len(self.workers)),
+        ]
+
+    async def _metrics_text(self) -> str:
+        """Merge every worker's exposition (relabelled ``shard="i"``)
+        with the router's own families into one lint-clean document."""
+        parts: List[Tuple[Dict[str, str], str]] = [
+            ({}, render_openmetrics({}, extra_families=self._router_families()))
+        ]
+
+        async def _scrape(worker: WorkerAddress) -> Optional[str]:
+            assert worker.metrics_port is not None
+            try:
+                code, text = await scrape(worker.host, worker.metrics_port)
+            except (ConnectionError, OSError):
+                return None
+            return text if code == 200 else None
+
+        scrapable = [w for w in self.workers if w.metrics_port is not None]
+        bodies = await asyncio.gather(*(_scrape(w) for w in scrapable))
+        for worker, body in zip(scrapable, bodies):
+            if body is not None:
+                parts.append(({"shard": str(worker.shard)}, body))
+        return merge_expositions(parts)
+
+    def _health(self) -> Tuple[int, Dict]:
+        return 200, {
+            "status": "ok",
+            "workers": len(self.workers),
+            "active_sessions": self.active_sessions,
+        }
+
+
+# --------------------------------------------------------------------------
+# Worker supervisor
+
+
+class ClusterSupervisor:
+    """Spawn and drain ``repro serve --shard i/N`` worker subprocesses.
+
+    Each worker binds an **ephemeral** uplink port (and, with
+    ``metrics=True``, an ephemeral metrics port) and reports it through
+    a port file the supervisor polls -- the ``--port-file`` pattern the
+    CLI tests established, so parallel CI jobs can never collide on a
+    hardcoded port.  ``stop()`` sends SIGINT for the daemon's graceful
+    drain and escalates to SIGKILL only after ``stop_timeout``.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        partition_seed: int = 0,
+        serve_args: Sequence[str] = (),
+        metrics: bool = False,
+        workdir: Optional[pathlib.Path] = None,
+        python: str = sys.executable,
+        startup_timeout: float = 60.0,
+        stop_timeout: float = 60.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.partition = PartitionMap(num_workers, seed=partition_seed)
+        self.serve_args = list(serve_args)
+        self.metrics = metrics
+        self.python = python
+        self.startup_timeout = startup_timeout
+        self.stop_timeout = stop_timeout
+        self._own_workdir = workdir is None
+        self.workdir = pathlib.Path(
+            tempfile.mkdtemp(prefix="repro-cluster-")
+            if workdir is None
+            else workdir
+        )
+        self.procs: List[subprocess.Popen] = []
+        self.workers: List[WorkerAddress] = []
+
+    def shard_identity(self, index: int) -> ShardIdentity:
+        return ShardIdentity(index, self.partition)
+
+    def start(self) -> List[WorkerAddress]:
+        """Spawn every worker and wait for its bound ports."""
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        n = self.partition.num_shards
+        port_files: List[pathlib.Path] = []
+        metrics_files: List[Optional[pathlib.Path]] = []
+        for i in range(n):
+            port_file = self.workdir / f"worker-{i}.port"
+            port_file.unlink(missing_ok=True)
+            cmd = [
+                self.python,
+                "-m",
+                "repro",
+                "serve",
+                "--shard",
+                f"{i}/{n}",
+                "--partition-seed",
+                str(self.partition.seed),
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+            ]
+            metrics_file: Optional[pathlib.Path] = None
+            if self.metrics:
+                metrics_file = self.workdir / f"worker-{i}.metrics-port"
+                metrics_file.unlink(missing_ok=True)
+                cmd += [
+                    "--metrics-port",
+                    "0",
+                    "--metrics-port-file",
+                    str(metrics_file),
+                ]
+            cmd += self.serve_args
+            log_path = self.workdir / f"worker-{i}.log"
+            with log_path.open("wb") as log:
+                proc = subprocess.Popen(
+                    cmd,
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=os.environ.copy(),
+                )
+            self.procs.append(proc)
+            port_files.append(port_file)
+            metrics_files.append(metrics_file)
+        for i in range(n):
+            port = self._await_port(i, port_files[i])
+            metrics_port = (
+                self._await_port(i, metrics_files[i])
+                if metrics_files[i] is not None
+                else None
+            )
+            self.workers.append(
+                WorkerAddress(i, "127.0.0.1", port, metrics_port)
+            )
+        return self.workers
+
+    def _await_port(self, index: int, path: pathlib.Path) -> int:
+        deadline = time.monotonic() + self.startup_timeout
+        while time.monotonic() < deadline:
+            if self.procs[index].poll() is not None:
+                raise RuntimeError(
+                    f"worker {index} exited with "
+                    f"{self.procs[index].returncode} before binding; see "
+                    f"{self.workdir / f'worker-{index}.log'}"
+                )
+            try:
+                text = path.read_text().strip()
+            except OSError:
+                text = ""
+            if text:
+                return int(text)
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"worker {index} did not report a port within "
+            f"{self.startup_timeout}s; see {self.workdir / f'worker-{index}.log'}"
+        )
+
+    def stop(self) -> List[int]:
+        """SIGINT every worker (graceful drain) and collect exit codes."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                with contextlib.suppress(ProcessLookupError, OSError):
+                    proc.send_signal(signal.SIGINT)
+        codes: List[int] = []
+        deadline = time.monotonic() + self.stop_timeout
+        for proc in self.procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                codes.append(proc.wait(timeout=remaining))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait())
+        return codes
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

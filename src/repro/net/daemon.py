@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.broadcast.partition import ShardIdentity
 from repro.broadcast.program import BroadcastCycle, program_signature
 from repro.broadcast.server import DocumentStore, PendingQuery
 from repro.net.clock import ClockAdapter, MonotonicClock
@@ -117,6 +118,13 @@ class DaemonConfig:
     #: opt-in telemetry plane (metrics endpoint, event log, flight
     #: recorder); ``None`` = fully dark, byte-identical wire behaviour
     telemetry: Optional[TelemetryConfig] = None
+    #: cluster membership: this worker's slice of the partition map.
+    #: When set, ``CYCLE_BEGIN`` headers and the ``TUNED`` banner carry
+    #: the placement contract (key ``"cluster"``), ``SHARD=`` options on
+    #: SUBMIT/TUNE are validated against it, and the stats families gain
+    #: a ``shard`` label.  ``None`` = the unchanged standalone daemon,
+    #: byte-identical to before the cluster tier existed.
+    shard: Optional[ShardIdentity] = None
 
 
 @dataclass
@@ -177,6 +185,11 @@ class BroadcastDaemon:
         self.clock: ClockAdapter = self.net.clock or MonotonicClock()
         self._bucket = TokenBucket(self.net.bandwidth, self.clock)
         self._checksum = store.size_model.checksum_bytes
+        #: placement contract embedded in every CYCLE_BEGIN header
+        #: (``None`` keeps headers byte-identical to an unsharded daemon)
+        self._cluster_header = (
+            self.net.shard.header() if self.net.shard is not None else None
+        )
 
         self.port: Optional[int] = None
         self._tcp: Optional[asyncio.base_events.Server] = None
@@ -222,6 +235,7 @@ class BroadcastDaemon:
         self._metrics_http: Optional[MetricsHTTPServer] = None
         self._obs_was_enabled = False
         self._obs_previous: Optional[MetricsRegistry] = None
+        self._obs_installed: Optional[MetricsRegistry] = None
         if self.flight is not None:
             self.events.add_listener(self.flight.record_event)
             self.flight.context.update(
@@ -271,7 +285,8 @@ class BroadcastDaemon:
             # sink for the daemon's lifetime; restored at shutdown.
             self._obs_was_enabled = obs.is_enabled()
             self._obs_previous = obs.get_registry() if self._obs_was_enabled else None
-            obs.enable(self.telemetry.registry or MetricsRegistry())
+            self._obs_installed = self.telemetry.registry or MetricsRegistry()
+            obs.enable(self._obs_installed)
         self._tcp = await asyncio.start_server(
             self._handle_connection, self.net.host, self.net.port
         )
@@ -389,6 +404,10 @@ class BroadcastDaemon:
             await self._reply(conn, self._submit(conn, rest.strip()))
             return True
         if command == "TUNE":
+            error = self._check_shard_option(rest.strip())
+            if error is not None:
+                await self._reply(conn, error)
+                return True
             conn.tuned = True
             await self._reply(conn, "TUNED " + json.dumps(self._tune_info()))
             return True
@@ -404,9 +423,34 @@ class BroadcastDaemon:
         await self._reply(conn, f"ERR unknown command {command!r}")
         return True
 
+    def _check_shard_option(self, rest: str) -> Optional[str]:
+        """Validate a ``SHARD=<i>`` uplink option; ``None`` = accepted.
+
+        An unsharded daemon accepts only ``SHARD=0`` (it is its own
+        one-shard cluster); a cluster worker accepts only its own index
+        -- a misrouted command fails loudly instead of silently serving
+        from the wrong slice of the collection.
+        """
+        for token in rest.split():
+            name, _, value = token.partition("=")
+            if name != "SHARD":
+                continue
+            try:
+                requested = int(value)
+            except ValueError:
+                return "ERR SHARD must be an integer"
+            expected = self.net.shard.index if self.net.shard is not None else 0
+            if requested != expected:
+                return (
+                    f"ERR wrong shard: this worker serves shard {expected}, "
+                    f"not {requested}"
+                )
+        return None
+
     def _submit(self, conn: _Connection, rest: str) -> str:
         arrival: Optional[int] = None
         key: Optional[int] = None
+        shard: Optional[int] = None
         trace_id: Optional[str] = None  # None = untraced; "" = mint one
         tokens = rest.split()
         while tokens and "=" in tokens[0]:
@@ -416,6 +460,8 @@ class BroadcastDaemon:
                     arrival = int(value)
                 elif name == "KEY":
                     key = int(value)
+                elif name == "SHARD":
+                    shard = int(value)
                 elif name == TRACE_TOKEN:
                     trace_id = value
                 else:
@@ -425,6 +471,10 @@ class BroadcastDaemon:
             tokens.pop(0)
         if not tokens:
             return "ERR SUBMIT needs an XPath query"
+        if shard is not None:
+            error = self._check_shard_option(f"SHARD={shard}")
+            if error is not None:
+                return error
         if trace_id is not None:
             trace_id = self.tracer.on_submit(trace_id)
         # ``TRACE=`` is echoed only to clients that sent it: untraced
@@ -490,12 +540,15 @@ class BroadcastDaemon:
         return self.server.clock
 
     def _tune_info(self) -> Dict:
-        return {
+        info = {
             "num_channels": self.config.num_data_channels or 1,
             "ack_required": self.server.acknowledged_delivery,
             "checksum_bytes": self._checksum,
             "scheme": self.config.scheme.value,
         }
+        if self._cluster_header is not None:
+            info["cluster"] = self._cluster_header
+        return info
 
     def _record_ack(self, rest: str) -> None:
         parts = rest.split()
@@ -518,7 +571,7 @@ class BroadcastDaemon:
     def status(self) -> Dict:
         """The ``STATUS`` wire payload; reads the same
         :class:`DaemonStats` the ``/metrics`` endpoint renders."""
-        return {
+        status: Dict = {
             "pending": len(self.server.pending),
             "completed": len(self.server.completed),
             "cycles": self.server.cycle_number,
@@ -532,6 +585,10 @@ class BroadcastDaemon:
             "num_channels": self.config.num_data_channels or 1,
             "bandwidth": self.net.bandwidth,
         }
+        if self.net.shard is not None:
+            status["shard"] = self.net.shard.index
+            status["num_shards"] = self.net.shard.partition.num_shards
+        return status
 
     # ------------------------------------------------------------------
     # Telemetry endpoint callbacks
@@ -545,28 +602,50 @@ class BroadcastDaemon:
         a second copy.
         """
         stats = self.stats
+        # Cluster workers label every stats sample with their shard so
+        # the front door's merged exposition keeps series distinct even
+        # before it injects its own relabelling.
+        labels: Dict[str, str] = (
+            {"shard": str(self.net.shard.index)}
+            if self.net.shard is not None
+            else {}
+        )
         rejected = Family("net.queries_rejected", "counter")
-        rejected.add(stats.rejected_overload, reason="overload")
-        rejected.add(stats.rejected_closed, reason="closed")
+        rejected.add(stats.rejected_overload, reason="overload", **labels)
+        rejected.add(stats.rejected_closed, reason="closed", **labels)
         return [
-            Family("net.connections", "counter").add(stats.connections_total),
-            Family("net.queries_admitted", "counter").add(stats.admitted_total),
+            Family("net.connections", "counter").add(
+                stats.connections_total, **labels
+            ),
+            Family("net.queries_admitted", "counter").add(
+                stats.admitted_total, **labels
+            ),
             rejected,
-            Family("net.cycles_streamed", "counter").add(stats.cycles_streamed),
-            Family("net.frames_sent", "counter").add(stats.frames_sent),
-            Family("net.frames_encoded", "counter").add(stats.frames_encoded),
-            Family("net.bytes_streamed", "counter").add(stats.bytes_streamed),
+            Family("net.cycles_streamed", "counter").add(
+                stats.cycles_streamed, **labels
+            ),
+            Family("net.frames_sent", "counter").add(stats.frames_sent, **labels),
+            Family("net.frames_encoded", "counter").add(
+                stats.frames_encoded, **labels
+            ),
+            Family("net.bytes_streamed", "counter").add(
+                stats.bytes_streamed, **labels
+            ),
             Family("net.slow_consumers_evicted", "counter").add(
-                stats.slow_consumers_evicted
+                stats.slow_consumers_evicted, **labels
             ),
-            Family("net.uplink_errors", "counter").add(stats.errors_total),
-            Family("net.connections_open", "gauge").add(len(self._connections)),
-            Family("net.pending_queries", "gauge").add(len(self.server.pending)),
+            Family("net.uplink_errors", "counter").add(stats.errors_total, **labels),
+            Family("net.connections_open", "gauge").add(
+                len(self._connections), **labels
+            ),
+            Family("net.pending_queries", "gauge").add(
+                len(self.server.pending), **labels
+            ),
             Family("net.completed_queries", "gauge").add(
-                len(self.server.completed)
+                len(self.server.completed), **labels
             ),
-            Family("net.clock_bytes", "gauge").add(self.server.clock),
-            Family("net.draining", "gauge").add(int(self._draining)),
+            Family("net.clock_bytes", "gauge").add(self.server.clock, **labels),
+            Family("net.draining", "gauge").add(int(self._draining), **labels),
         ]
 
     def _metrics_text(self) -> str:
@@ -696,7 +775,12 @@ class BroadcastDaemon:
             self._ack_cycle = cycle.cycle_number
             self._acks = {}
             self._ack_event.clear()
-        frames = encode_cycle(cycle, self.store, ack_required=ack_required)
+        frames = encode_cycle(
+            cycle,
+            self.store,
+            ack_required=ack_required,
+            cluster=self._cluster_header,
+        )
         # Share-once assembly: every frame is serialised exactly once
         # per cycle, and the *same* bytes objects fan out to all
         # subscribers -- encode work is independent of the audience.
@@ -965,11 +1049,17 @@ class BroadcastDaemon:
             await self._metrics_http.stop()
             self._metrics_http = None
         if self.telemetry is not None and self.telemetry.wants_registry:
-            # Put the process-wide obs state back the way we found it.
-            if self._obs_was_enabled and self._obs_previous is not None:
-                obs.enable(self._obs_previous)
-            else:
-                obs.disable()
+            # Put the process-wide obs state back the way we found it --
+            # but only if this daemon's registry is still the active one.
+            # With several in-process daemons (cluster tests) a non-LIFO
+            # stop must not clobber a sibling's live registry, and a
+            # stale "previous" must not be resurrected after it.
+            if obs.is_enabled() and obs.get_registry() is self._obs_installed:
+                if self._obs_was_enabled and self._obs_previous is not None:
+                    obs.enable(self._obs_previous)
+                else:
+                    obs.disable()
+            self._obs_installed = None
         self._done.set()
 
     # ------------------------------------------------------------------

@@ -93,8 +93,19 @@ def _json_payload(obj: object) -> bytes:
     return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
 
-def cycle_header(cycle: BroadcastCycle, ack_required: bool = False) -> Dict:
-    """The CYCLE_BEGIN header describing everything but the bytes."""
+def cycle_header(
+    cycle: BroadcastCycle,
+    ack_required: bool = False,
+    cluster: Optional[Dict] = None,
+) -> Dict:
+    """The CYCLE_BEGIN header describing everything but the bytes.
+
+    ``cluster`` is a shard-configured daemon's placement contract
+    (:meth:`~repro.broadcast.partition.ShardIdentity.header`); it is
+    embedded only when given, so an unsharded daemon's headers stay
+    byte-identical to before the cluster tier existed (and the decoder
+    ignores unknown keys, so old clients keep working against shards).
+    """
     model = cycle.pci.size_model
     header: Dict = {
         "format": WIRE_FORMAT_VERSION,
@@ -125,6 +136,8 @@ def cycle_header(cycle: BroadcastCycle, ack_required: bool = False) -> Dict:
         header["channel_spans"] = list(cycle.channel_spans)
     else:
         header["multichannel"] = False
+    if cluster is not None:
+        header["cluster"] = cluster
     return header
 
 
@@ -153,6 +166,7 @@ def encode_cycle(
     cycle: BroadcastCycle,
     store,
     ack_required: bool = False,
+    cluster: Optional[Dict] = None,
 ) -> List[WireFrame]:
     """Serialise one cycle into its downlink frames, in streaming order."""
     label_table = LabelTable.from_index(cycle.pci)
@@ -169,7 +183,7 @@ def encode_cycle(
     frames = [
         WireFrame(
             FrameKind.CYCLE_BEGIN,
-            _json_payload(cycle_header(cycle, ack_required)),
+            _json_payload(cycle_header(cycle, ack_required, cluster=cluster)),
             air_bytes=0,
             end_offset=0,
         ),

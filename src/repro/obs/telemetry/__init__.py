@@ -36,6 +36,8 @@ from repro.obs.telemetry.exporter import (
     MetricsHTTPServer,
     OpenMetricsError,
     lint_openmetrics,
+    merge_expositions,
+    relabel_exposition,
     render_openmetrics,
     scrape,
 )
@@ -61,6 +63,8 @@ __all__ = [
     "TelemetryConfig",
     "lint_openmetrics",
     "load_flight_record",
+    "merge_expositions",
+    "relabel_exposition",
     "render_openmetrics",
     "scrape",
 ]

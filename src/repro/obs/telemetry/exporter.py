@@ -16,10 +16,21 @@ Three layers, each usable on its own:
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 __all__ = [
     "CONTENT_TYPE",
@@ -27,6 +38,8 @@ __all__ = [
     "MetricsHTTPServer",
     "OpenMetricsError",
     "lint_openmetrics",
+    "merge_expositions",
+    "relabel_exposition",
     "render_openmetrics",
     "scrape",
 ]
@@ -214,6 +227,95 @@ def render_openmetrics(
 
 
 # --------------------------------------------------------------------------
+# exposition merging (the cluster front door's /metrics aggregation)
+
+
+def _parse_label_body(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    for match in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', body):
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def _inject_labels(line: str, extra: Dict[str, str]) -> str:
+    """Add ``extra`` labels to one sample line (existing labels win)."""
+    match = _SAMPLE_RE.match(line)
+    if match is None:
+        raise OpenMetricsError(f"unparseable sample line {line!r}")
+    existing = _parse_label_body(match.group("labels") or "")
+    merged = {**{k: v for k, v in extra.items() if k not in existing}, **existing}
+    tail = f" {match.group('timestamp')}" if match.group("timestamp") else ""
+    return (
+        f"{match.group('name')}{_label_text(merged)} "
+        f"{match.group('value')}{tail}"
+    )
+
+
+def merge_expositions(
+    parts: Sequence[Tuple[Dict[str, str], str]]
+) -> str:
+    """Merge several OpenMetrics documents into one lint-clean document.
+
+    ``parts`` is a sequence of ``(labels, exposition_text)`` pairs; the
+    labels are injected into every sample of that part (samples already
+    carrying a label keep their own value).  Families appearing in more
+    than one part are merged under a **single** ``# TYPE`` line -- the
+    linter rejects duplicate declarations -- and a family declared with
+    conflicting types raises.  This is how the cluster front door
+    aggregates per-worker scrapes: each worker's exposition is
+    relabelled ``shard="i"`` and merged with the router's own families.
+
+    ``HELP``/``UNIT`` comment lines are dropped (none of our renderers
+    emit them); ``# EOF`` terminators are stripped and a single one is
+    re-appended.
+    """
+    family_types: Dict[str, str] = {}
+    family_samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for labels, text in parts:
+        local: Dict[str, str] = {}
+        for line in text.split("\n"):
+            if not line or line == "# EOF":
+                continue
+            if line.startswith("#"):
+                pieces = line.split(" ")
+                if len(pieces) >= 4 and pieces[1] == "TYPE":
+                    name, ftype = pieces[2], pieces[3]
+                    local[name] = ftype
+                    known = family_types.get(name)
+                    if known is None:
+                        family_types[name] = ftype
+                        family_samples[name] = []
+                        order.append(name)
+                    elif known != ftype:
+                        raise OpenMetricsError(
+                            f"family {name!r} declared as both "
+                            f"{known!r} and {ftype!r}"
+                        )
+                continue
+            name_only = line.split("{", 1)[0].split(" ", 1)[0]
+            family = _match_family(name_only, local)
+            if family is None:
+                raise OpenMetricsError(
+                    f"sample {name_only!r} precedes its TYPE declaration"
+                )
+            family_samples[family].append(
+                _inject_labels(line, labels) if labels else line
+            )
+    lines: List[str] = []
+    for family in order:
+        lines.append(f"# TYPE {family} {family_types[family]}")
+        lines.extend(family_samples[family])
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def relabel_exposition(text: str, **labels: str) -> str:
+    """Inject labels into every sample of one exposition document."""
+    return merge_expositions([(dict(labels), text)])
+
+
+# --------------------------------------------------------------------------
 # linter
 
 _SAMPLE_RE = re.compile(
@@ -361,14 +463,17 @@ class MetricsHTTPServer:
     ``metrics_fn`` returns the exposition text; ``health_fn`` returns
     ``(status_code, payload_dict)`` -- the daemon maps draining onto
     503 so orchestrators stop routing scrapes/clients at drain time.
-    Both callbacks run synchronously inside the request handler (no
-    awaits between snapshot and render), which is what makes a scrape
-    a consistent point-in-time view of the registry.
+    A synchronous ``metrics_fn`` runs with no awaits between snapshot
+    and render, which is what makes a daemon scrape a consistent
+    point-in-time view of the registry.  ``metrics_fn`` may instead be
+    an async callable (the cluster front door fans a scrape out to its
+    workers); such an endpoint is an aggregation, not a point-in-time
+    snapshot, by construction.
     """
 
     def __init__(
         self,
-        metrics_fn: Callable[[], str],
+        metrics_fn: Callable[[], Union[str, Awaitable[str]]],
         health_fn: Callable[[], Tuple[int, Dict]],
         host: str = "127.0.0.1",
         port: int = 0,
@@ -422,9 +527,13 @@ class MetricsHTTPServer:
                     writer, 405, "text/plain", "method not allowed\n"
                 )
             elif path == "/metrics":
-                # Synchronous snapshot+render: no await may separate
-                # the registry read from the serialisation.
+                # Synchronous snapshot+render: no await may separate a
+                # registry read from its serialisation.  An *async*
+                # metrics_fn (front-door aggregation over remote
+                # workers) is awaited instead.
                 body = self.metrics_fn()
+                if inspect.isawaitable(body):
+                    body = await body
                 self.scrapes += 1
                 self._respond(writer, 200, CONTENT_TYPE, body)
             elif path == "/healthz":

@@ -14,9 +14,10 @@ even one average document and is clearly an OCR casualty).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.broadcast.multichannel import ALLOCATION_POLICIES
+from repro.broadcast.partition import PartitionMap, ShardIdentity
 from repro.broadcast.program import IndexScheme
 from repro.index.packing import PackingStrategy
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
@@ -89,6 +90,18 @@ class SimulationConfig:
     #: ``dual_channel`` and ``num_data_channels``.
     faults: Optional["FaultPlan"] = None
 
+    #: Cluster sharding (the serving tier of :mod:`repro.net.cluster`):
+    #: ``num_shards``/``shard_index`` restrict the run to one worker's
+    #: slice of the collection under the deterministic
+    #: :class:`~repro.broadcast.partition.PartitionMap` seeded by
+    #: ``partition_seed``.  Both must be set together; ``None`` keeps
+    #: the paper's unsharded system.  Per-shard reference simulations
+    #: built this way are what the cluster parity test compares the
+    #: live multi-worker tier against.
+    num_shards: Optional[int] = None
+    shard_index: Optional[int] = None
+    partition_seed: int = 0
+
     #: Incremental cycle-build caches in the server (CI delta maintenance,
     #: pruning-DFA reuse, PCI reuse, demand-table scheduling).  ``False``
     #: is the ``--no-cache`` escape hatch: every cycle is rebuilt from
@@ -152,6 +165,19 @@ class SimulationConfig:
                     "fault injection runs on the single-channel program; "
                     "combine with multi/dual channel in separate runs"
                 )
+        if (self.num_shards is None) != (self.shard_index is None):
+            raise ValueError(
+                "num_shards and shard_index must be set together"
+            )
+        if self.num_shards is not None:
+            if self.num_shards < 1:
+                raise ValueError("num_shards must be at least 1")
+            assert self.shard_index is not None
+            if not 0 <= self.shard_index < self.num_shards:
+                raise ValueError(
+                    f"shard_index {self.shard_index} out of range for "
+                    f"{self.num_shards} shards"
+                )
         if self.arrival_cycles < 1:
             raise ValueError("arrival_cycles must be positive")
         if self.max_cycles < self.arrival_cycles:
@@ -167,6 +193,41 @@ class SimulationConfig:
         live daemon so both construct identically-behaving servers.
         """
         return self.loss_prob > 0.0 or (self.num_data_channels or 1) >= 2
+
+    @property
+    def partition_map(self) -> Optional[PartitionMap]:
+        """The cluster partition map, or ``None`` when unsharded."""
+        if self.num_shards is None:
+            return None
+        return PartitionMap(self.num_shards, seed=self.partition_seed)
+
+    @property
+    def shard_identity(self) -> Optional[ShardIdentity]:
+        """This run's shard slice, or ``None`` when unsharded."""
+        partition = self.partition_map
+        if partition is None:
+            return None
+        assert self.shard_index is not None
+        return ShardIdentity(self.shard_index, partition)
+
+    def shard_documents(self, documents: Sequence) -> List:
+        """Filter a full collection down to this configuration's shard.
+
+        The identity when unsharded.  Raises if the shard owns nothing:
+        an empty collection cannot broadcast, and a silent empty shard
+        would make a cluster member that rejects every query.
+        """
+        identity = self.shard_identity
+        if identity is None:
+            return list(documents)
+        owned = [d for d in documents if identity.owns(d.doc_id)]
+        if not owned:
+            raise ValueError(
+                f"shard {identity.index}/{identity.partition.num_shards} "
+                f"owns no documents of this {len(documents)}-document "
+                "collection; use more documents or fewer shards"
+            )
+        return owned
 
     def total_queries(self) -> int:
         return self.n_q * self.arrival_cycles

@@ -53,15 +53,23 @@ from repro.xpath.ast import XPathQuery
 
 
 def build_collection(config: SimulationConfig) -> List[XMLDocument]:
-    """The document collection a configuration describes."""
+    """The document collection a configuration describes.
+
+    With ``num_shards``/``shard_index`` set, the full seeded collection
+    is generated and then filtered to the configured shard's slice of
+    the :class:`~repro.broadcast.partition.PartitionMap` -- every worker
+    (and every per-shard reference simulation) derives its sub-collection
+    from the same deterministic whole.
+    """
     dtd = {
         "nitf": nitf_like_dtd,
         "nasa": nasa_like_dtd,
         "dblp": dblp_like_dtd,
     }[config.dtd]()
-    return generate_collection(
+    documents = generate_collection(
         dtd, config.document_count, config=GeneratorConfig(seed=config.collection_seed)
     )
+    return config.shard_documents(documents)
 
 
 def make_server(config: SimulationConfig, store: DocumentStore) -> BroadcastServer:

@@ -1,0 +1,416 @@
+"""The front-door router: routing, admission, aggregation, supervision.
+
+In-process tests (tier-1) run real daemons and a real router inside one
+event loop: shard-pinned routing, the query-hash fallback, wrong-shard
+rejection at the worker, cluster-wide RETRY_AFTER admission, STATUS and
+``/metrics`` aggregation, and MOVED redirects end-to-end.
+
+The ``cluster``-marked tests (excluded from tier-1; ``-m cluster``)
+additionally exercise the real deployment shape: ``repro serve --shard
+i/N`` worker subprocesses under a :class:`ClusterSupervisor`, and the
+``serve --workers N`` CLI entry point with SIGINT drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.broadcast.partition import PartitionMap
+from repro.broadcast.server import DocumentStore
+from repro.net import AsyncTwoTierClient, Backpressure, BroadcastDaemon, DaemonConfig
+from repro.net.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSupervisor,
+    WorkerAddress,
+)
+from repro.net.framing import FrameKind, encode_text, read_frame
+from repro.net.loadgen import build_load_plan, run_load
+from repro.obs.telemetry import TelemetryConfig, lint_openmetrics, scrape
+from repro.sim.config import small_setup
+from repro.sim.simulation import build_collection
+from repro.xpath.generator import generate_workload
+
+NUM_SHARDS = 2
+PARTITION_SEED = 5
+
+BASE = small_setup(document_count=48, n_q=6, arrival_cycles=2)
+
+
+def _shard_configs():
+    return [
+        BASE.with_(
+            num_shards=NUM_SHARDS,
+            shard_index=i,
+            partition_seed=PARTITION_SEED,
+        )
+        for i in range(NUM_SHARDS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def full_docs():
+    return build_collection(BASE)
+
+
+def _shard_query(full_docs, shard: int, seed: int = 33) -> str:
+    """A query guaranteed to match >= 1 document of *shard*."""
+    pm = PartitionMap(NUM_SHARDS, seed=PARTITION_SEED)
+    docs = [d for d in full_docs if pm.shard_of(d.doc_id) == shard]
+    return str(generate_workload(docs, 1, seed=seed)[0])
+
+
+class _Cluster:
+    """Daemons + router in this event loop, with uniform teardown."""
+
+    def __init__(self, full_docs, config: ClusterConfig, autostart=True,
+                 telemetry=False):
+        self.full_docs = full_docs
+        self.config = config
+        self.autostart = autostart
+        self.telemetry = telemetry
+        self.daemons = []
+        self.router = None
+
+    async def __aenter__(self) -> "_Cluster":
+        for cfg in _shard_configs():
+            docs = cfg.shard_documents(self.full_docs)
+            net = DaemonConfig(
+                autostart=self.autostart,
+                shard=cfg.shard_identity,
+                telemetry=(
+                    TelemetryConfig(metrics_port=0) if self.telemetry else None
+                ),
+            )
+            daemon = BroadcastDaemon(DocumentStore(docs), cfg, net)
+            await daemon.start()
+            self.daemons.append(daemon)
+        self.router = ClusterRouter(
+            PartitionMap(NUM_SHARDS, seed=PARTITION_SEED),
+            [
+                WorkerAddress(i, "127.0.0.1", d.port, d.metrics_port)
+                for i, d in enumerate(self.daemons)
+            ],
+            self.config,
+        )
+        await self.router.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.router.stop()
+        # LIFO: each daemon's stop restores the process-wide obs
+        # registry it displaced, so telemetry-enabled shards unwind
+        # cleanly back to the pre-cluster state.
+        for daemon in reversed(self.daemons):
+            daemon.request_stop()
+            await daemon.wait_done()
+
+
+async def _text_roundtrip(port: int, line: str) -> str:
+    """One TEXT command against the front door, first reply line back."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(encode_text(line))
+        await writer.drain()
+        kind, payload = await read_frame(reader)
+        assert kind is FrameKind.TEXT
+        return payload.decode("utf-8")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+class TestProxyRouting:
+    def test_pinned_session_end_to_end(self, full_docs):
+        async def run():
+            async with _Cluster(full_docs, ClusterConfig()) as cluster:
+                report = await AsyncTwoTierClient(
+                    _shard_query(full_docs, 1),
+                    port=cluster.router.port,
+                    shard=1,
+                ).run()
+                assert report.satisfied
+                assert cluster.router.stats.routed_by_shard == [0, 1]
+                assert cluster.router.stats.proxied_total == 1
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+    def test_unpinned_submit_routes_by_query_hash(self, full_docs):
+        async def run():
+            async with _Cluster(full_docs, ClusterConfig()) as cluster:
+                pm = cluster.router.partition
+                query = _shard_query(full_docs, 0)
+                want = pm.shard_for_query(query)
+                reply = await _text_roundtrip(
+                    cluster.router.port, f"SUBMIT {query}"
+                )
+                assert cluster.router.stats.routed_by_shard[want] == 1
+                # the worker answered through the splice (ACK if the
+                # query matches that shard, ERR otherwise -- either way
+                # the reply came from the right worker)
+                assert reply.split()[0] in ("ACK", "ERR")
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+    def test_wrong_shard_rejected_by_worker(self, full_docs):
+        """The worker re-validates SHARD=: a session routed to the
+        wrong worker fails loudly instead of silently serving."""
+
+        async def run():
+            async with _Cluster(full_docs, ClusterConfig()) as cluster:
+                # direct to worker 0, claiming shard 1
+                reply = await _text_roundtrip(
+                    cluster.daemons[0].port, "TUNE SHARD=1"
+                )
+                assert reply.startswith("ERR wrong shard")
+                reply = await _text_roundtrip(
+                    cluster.daemons[0].port,
+                    f"SUBMIT SHARD=1 {_shard_query(full_docs, 1)}",
+                )
+                assert reply.startswith("ERR wrong shard")
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+    def test_out_of_range_shard_rejected_at_router(self, full_docs):
+        async def run():
+            async with _Cluster(full_docs, ClusterConfig()) as cluster:
+                reply = await _text_roundtrip(
+                    cluster.router.port, "TUNE SHARD=7"
+                )
+                assert reply.startswith("ERR shard 7 out of range")
+                reply = await _text_roundtrip(
+                    cluster.router.port, "TUNE SHARD=x"
+                )
+                assert reply.startswith("ERR SHARD must be an integer")
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+
+class TestRedirect:
+    def test_moved_is_followed_end_to_end(self, full_docs):
+        async def run():
+            config = ClusterConfig(redirect=True)
+            async with _Cluster(full_docs, config) as cluster:
+                client = AsyncTwoTierClient(
+                    _shard_query(full_docs, 1),
+                    port=cluster.router.port,
+                    shard=1,
+                )
+                report = await client.run()
+                assert report.satisfied
+                assert cluster.router.stats.moved_total == 1
+                assert cluster.router.stats.proxied_total == 0
+                # the client really reconnected to the worker
+                assert client.port == cluster.daemons[1].port
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+    def test_moved_reply_names_the_worker(self, full_docs):
+        async def run():
+            config = ClusterConfig(redirect=True)
+            async with _Cluster(full_docs, config) as cluster:
+                reply = await _text_roundtrip(
+                    cluster.router.port, "TUNE SHARD=0"
+                )
+                word, shard, host, port = reply.split()
+                assert word == "MOVED"
+                assert int(shard) == 0
+                assert (host, int(port)) == (
+                    "127.0.0.1",
+                    cluster.daemons[0].port,
+                )
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+
+class TestAdmission:
+    def test_cluster_wide_retry_after(self, full_docs):
+        """With workers held pre-broadcast (autostart=False), pending
+        queries accumulate; once their cluster-wide total reaches
+        max_sessions the front door sheds the next session."""
+
+        async def run():
+            config = ClusterConfig(max_sessions=2, admission_refresh=0.0)
+            async with _Cluster(
+                full_docs, config, autostart=False
+            ) as cluster:
+                for shard in (0, 1):
+                    reply = await _text_roundtrip(
+                        cluster.router.port,
+                        f"SUBMIT SHARD={shard} "
+                        f"{_shard_query(full_docs, shard)}",
+                    )
+                    assert reply.startswith("ACK"), reply
+                with pytest.raises(Backpressure):
+                    client = AsyncTwoTierClient(
+                        _shard_query(full_docs, 0),
+                        port=cluster.router.port,
+                        shard=0,
+                    )
+                    await client.connect()
+                    try:
+                        await client.tune()
+                    finally:
+                        await client.close()
+                assert cluster.router.stats.rejected_overload == 1
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+
+class TestAggregation:
+    def test_status_totals_and_shards(self, full_docs):
+        async def run():
+            async with _Cluster(full_docs, ClusterConfig()) as cluster:
+                for shard in (0, 1):
+                    await AsyncTwoTierClient(
+                        _shard_query(full_docs, shard),
+                        port=cluster.router.port,
+                        shard=shard,
+                    ).run()
+                reply = await _text_roundtrip(cluster.router.port, "STATUS")
+                word, _, rest = reply.partition(" ")
+                assert word == "STATUS"
+                status = json.loads(rest)
+                assert status["num_shards"] == NUM_SHARDS
+                assert status["workers_up"] == NUM_SHARDS
+                assert status["totals"]["completed"] == 2
+                assert set(status["shards"]) == {"0", "1"}
+                for shard in ("0", "1"):
+                    assert status["shards"][shard]["completed"] == 1
+                assert status["partition"] == PartitionMap(
+                    NUM_SHARDS, seed=PARTITION_SEED
+                ).describe()
+                assert status["router"]["routed"] == 2
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+    def test_front_door_metrics_aggregate_with_shard_labels(self, full_docs):
+        async def run():
+            config = ClusterConfig(metrics_port=0)
+            async with _Cluster(
+                full_docs, config, telemetry=True
+            ) as cluster:
+                await AsyncTwoTierClient(
+                    _shard_query(full_docs, 1),
+                    port=cluster.router.port,
+                    shard=1,
+                ).run()
+                code, text = await scrape(
+                    "127.0.0.1", cluster.router.metrics_port
+                )
+                assert code == 200
+                lint_openmetrics(text)  # one TYPE per family, well-formed
+                assert 'shard="0"' in text
+                assert 'shard="1"' in text
+                assert "router_sessions_routed" in text
+                assert 'net_queries_admitted_total{shard="1"} 1' in text
+
+        asyncio.run(asyncio.wait_for(run(), timeout=60))
+
+
+@pytest.mark.cluster
+class TestSupervisor:
+    """Real worker subprocesses under the supervisor (slow; -m cluster)."""
+
+    def test_two_worker_cluster_serves_a_load_plan(self, full_docs):
+        serve_args = [
+            "--count", str(BASE.document_count),
+            "--seed", str(BASE.collection_seed),
+            "--capacity", str(BASE.cycle_data_capacity),
+            "--log-level", "warning",
+        ]
+        supervisor = ClusterSupervisor(
+            2, partition_seed=PARTITION_SEED, serve_args=serve_args
+        )
+
+        async def run():
+            workers = await asyncio.to_thread(supervisor.start)
+            assert [w.shard for w in workers] == [0, 1]
+            router = ClusterRouter(
+                supervisor.partition, workers, ClusterConfig(redirect=True)
+            )
+            await router.start()
+            try:
+                plan = build_load_plan(
+                    full_docs,
+                    8,
+                    seed=2,
+                    granularity=2,
+                    partition_seed=PARTITION_SEED,
+                )
+                return await run_load(
+                    plan, "127.0.0.1", router.port, num_workers=2
+                )
+            finally:
+                await router.stop()
+
+        try:
+            report = asyncio.run(asyncio.wait_for(run(), timeout=120))
+        finally:
+            codes = supervisor.stop()
+        assert report.satisfied == 8
+        assert report.failed == 0
+        assert codes == [0, 0]  # SIGINT drained both workers cleanly
+
+
+@pytest.mark.cluster
+class TestServeWorkersCLI:
+    """``python -m repro serve --workers N`` end to end."""
+
+    def test_cluster_smoke_with_sigint_drain(self, tmp_path, full_docs):
+        port_file = tmp_path / "front.port"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workers", "2",
+                "--partition-seed", str(PARTITION_SEED),
+                "--count", str(BASE.document_count),
+                "--seed", str(BASE.collection_seed),
+                "--capacity", str(BASE.cycle_data_capacity),
+                "--redirect",
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--log-level", "warning",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    raise AssertionError(
+                        f"serve exited early: {proc.communicate()[1].decode()}"
+                    )
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+
+            async def drive():
+                plan = build_load_plan(
+                    full_docs,
+                    4,
+                    seed=6,
+                    granularity=2,
+                    partition_seed=PARTITION_SEED,
+                )
+                return await run_load(plan, "127.0.0.1", port, num_workers=2)
+
+            report = asyncio.run(asyncio.wait_for(drive(), timeout=120))
+            assert report.satisfied == 4
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                code = proc.wait(timeout=120)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert code == 0, proc.communicate()[1].decode()

@@ -1,0 +1,145 @@
+"""Property tests of the cluster partition map.
+
+The :class:`~repro.broadcast.partition.PartitionMap` is the placement
+contract between router, workers and clients, so its invariants are
+checked property-style:
+
+* every document routes to exactly one shard, and ``partition()`` is a
+  disjoint cover of the input;
+* routing is *stable*: a document's shard never depends on what other
+  documents exist (add/remove anything, nothing else moves);
+* re-sharding N -> N is the identity, and the contiguous-slot-range
+  construction makes W-way partitions **nest** inside N-way ones
+  whenever W divides N;
+* the wire description round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.broadcast.partition import (
+    SLOT_COUNT,
+    PartitionMap,
+    ShardIdentity,
+)
+
+doc_ids = st.integers(min_value=0, max_value=10_000)
+seeds = st.integers(min_value=0, max_value=2**31)
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestRoutingInvariants:
+    @given(doc_id=doc_ids, num_shards=shard_counts, seed=seeds)
+    def test_every_document_routes_to_exactly_one_shard(
+        self, doc_id, num_shards, seed
+    ):
+        pm = PartitionMap(num_shards, seed=seed)
+        shard = pm.shard_of(doc_id)
+        assert 0 <= shard < num_shards
+        owners = [
+            i for i in range(num_shards) if ShardIdentity(i, pm).owns(doc_id)
+        ]
+        assert owners == [shard]
+
+    @given(
+        ids=st.lists(doc_ids, unique=True, max_size=60),
+        num_shards=shard_counts,
+        seed=seeds,
+    )
+    def test_partition_is_a_disjoint_cover(self, ids, num_shards, seed):
+        pm = PartitionMap(num_shards, seed=seed)
+        parts = pm.partition(ids)
+        assert len(parts) == num_shards
+        flattened = [d for part in parts for d in part]
+        assert sorted(flattened) == sorted(ids)  # cover, no duplicates
+        for shard, part in enumerate(parts):
+            assert all(pm.shard_of(d) == shard for d in part)
+
+    @given(
+        ids=st.lists(doc_ids, unique=True, min_size=1, max_size=40),
+        extra=doc_ids,
+        num_shards=shard_counts,
+        seed=seeds,
+    )
+    def test_routing_is_stable_under_add_and_remove(
+        self, ids, extra, num_shards, seed
+    ):
+        """A document's placement is a pure function of (id, map): other
+        documents appearing or disappearing never moves it."""
+        pm = PartitionMap(num_shards, seed=seed)
+        before = {d: pm.shard_of(d) for d in ids}
+        # add one, drop one -- placements of the survivors are unchanged
+        survivors = ids[1:] + [extra]
+        after = {d: pm.shard_of(d) for d in survivors}
+        for d in survivors:
+            if d in before:
+                assert after[d] == before[d]
+
+
+class TestResharding:
+    @given(
+        ids=st.lists(doc_ids, unique=True, max_size=60),
+        num_shards=shard_counts,
+        seed=seeds,
+    )
+    def test_resharding_to_same_count_is_identity(self, ids, num_shards, seed):
+        a = PartitionMap(num_shards, seed=seed)
+        b = PartitionMap(num_shards, seed=seed)
+        assert a.partition(ids) == b.partition(ids)
+        assert a.digest() == b.digest()
+
+    @given(
+        doc_id=doc_ids,
+        seed=seeds,
+        wide=st.sampled_from([2, 4, 8, 16]),
+        factor=st.sampled_from([1, 2, 4]),
+    )
+    def test_partitions_nest_when_counts_divide(
+        self, doc_id, seed, wide, factor
+    ):
+        """W | N => the N-way shard collapses onto the W-way shard by
+        ``n_shard * W // N`` -- the property the load plan and the scale
+        bench lean on to replay one plan at several cluster sizes."""
+        narrow = wide // factor if wide // factor >= 1 else 1
+        if wide % narrow != 0:
+            return
+        pm_wide = PartitionMap(wide, seed=seed)
+        pm_narrow = PartitionMap(narrow, seed=seed)
+        assert (
+            pm_narrow.shard_of(doc_id)
+            == pm_wide.shard_of(doc_id) * narrow // wide
+        )
+
+
+class TestWireContract:
+    @given(num_shards=shard_counts, seed=seeds)
+    def test_description_round_trips(self, num_shards, seed):
+        pm = PartitionMap(num_shards, seed=seed)
+        clone = PartitionMap.from_description(pm.describe())
+        assert clone == pm
+        assert clone.digest() == pm.digest()
+
+    def test_version_mismatch_rejected(self):
+        payload = PartitionMap(2).describe()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            PartitionMap.from_description(payload)
+
+    @given(text=st.text(min_size=1, max_size=80), num_shards=shard_counts)
+    def test_query_fallback_routing_in_range_and_deterministic(
+        self, text, num_shards
+    ):
+        pm = PartitionMap(num_shards)
+        shard = pm.shard_for_query(text)
+        assert 0 <= shard < num_shards
+        assert pm.shard_for_query(text) == shard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMap(0)
+        with pytest.raises(ValueError):
+            PartitionMap(SLOT_COUNT + 1)
+        with pytest.raises(ValueError):
+            ShardIdentity(2, PartitionMap(2))
