@@ -1,0 +1,285 @@
+"""Availability under process-level chaos, and the price of the armor.
+
+Two gates on the self-healing tier, measured against the real
+deployment shape (``repro serve --shard i/N`` subprocesses behind a
+proxying front door):
+
+1. **Fault-free overhead**: the failure machinery -- write-ahead
+   journal on every admission, supervisor monitor polling, resume-mode
+   clients -- must cost at most ``REGRESSION`` (default 3%) of the
+   bare cluster's queries/sec on an identical fault-free flood.  The
+   downlink is paced air-time, so the journal's file appends must
+   disappear into the pacing budget.
+2. **Availability under kills**: with a seeded chaos schedule
+   SIGKILLing every worker at least once mid-run, at least ``GATE``
+   (default 90%) of the offered sessions must still complete -- and
+   the journals must account for every admitted query
+   (:func:`repro.net.chaos.assert_recovery`).
+
+Knobs (CI downsamples through them):
+
+* ``REPRO_AVAIL_SESSIONS``   -- open-loop sessions per run (default 32)
+* ``REPRO_AVAIL_DOCS``       -- collection size (default 160)
+* ``REPRO_AVAIL_WORKERS``    -- worker count (default 2)
+* ``REPRO_AVAIL_GATE``       -- required completion under chaos (default 0.9)
+* ``REPRO_AVAIL_REGRESSION`` -- max fault-free q/s regression (default 0.03)
+* ``REPRO_AVAIL_BANDWIDTH``  -- per-worker downlink bytes/second
+* ``REPRO_AVAIL_HORIZON``    -- chaos horizon in seconds (default 3.0)
+* ``REPRO_AVAIL_REPS``       -- fault-free repetitions per arm (default 3;
+  each arm scores its best run, which strips scheduler noise -- single
+  rounds on a shared runner jitter ~10%, far above the 3% gate)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.report import format_table
+from repro.net.chaos import (
+    ChaosController,
+    assert_recovery,
+    build_chaos_schedule,
+)
+from repro.net.cluster import ClusterConfig, ClusterRouter, ClusterSupervisor
+from repro.net.loadgen import build_load_plan, run_load
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import build_collection
+from repro.tools.persist import load_journal
+
+SESSIONS = int(os.environ.get("REPRO_AVAIL_SESSIONS", "32"))
+DOCS = int(os.environ.get("REPRO_AVAIL_DOCS", "160"))
+WORKERS = int(os.environ.get("REPRO_AVAIL_WORKERS", "2"))
+GATE = float(os.environ.get("REPRO_AVAIL_GATE", "0.9"))
+REGRESSION = float(os.environ.get("REPRO_AVAIL_REGRESSION", "0.03"))
+BANDWIDTH = int(os.environ.get("REPRO_AVAIL_BANDWIDTH", "250000"))
+HORIZON = float(os.environ.get("REPRO_AVAIL_HORIZON", "3.0"))
+REPS = int(os.environ.get("REPRO_AVAIL_REPS", "3"))
+
+PARTITION_SEED = 7
+PLAN_SEED = 31
+CHAOS_SEED = 17
+CAPACITY = 40_000
+
+CONFIG = SimulationConfig(
+    document_count=DOCS,
+    collection_seed=7,
+    cycle_data_capacity=CAPACITY,
+)
+
+SERVE_ARGS = [
+    "--dtd", CONFIG.dtd,
+    "--count", str(DOCS),
+    "--seed", str(CONFIG.collection_seed),
+    "--capacity", str(CAPACITY),
+    "--bandwidth", str(BANDWIDTH),
+    "--max-pending", str(max(1024, SESSIONS)),
+    "--log-level", "warning",
+]
+
+
+async def _measure(plan, *, armored: bool, chaos: bool) -> dict:
+    """One cluster boot + one load run.
+
+    ``armored=False`` is the bare tier: no journal, no monitor, plain
+    clients.  ``armored=True`` arms everything the failure domain adds;
+    ``chaos=True`` additionally injects the seeded kill schedule.
+    """
+    supervisor = ClusterSupervisor(
+        WORKERS,
+        partition_seed=PARTITION_SEED,
+        serve_args=SERVE_ARGS,
+        journal=armored,
+        restart_backoff=0.1,
+        max_restarts=10,
+        crash_window=300.0,
+    )
+    audits = None
+    try:
+        workers = await asyncio.to_thread(supervisor.start)
+        router = ClusterRouter(
+            supervisor.partition,
+            workers,
+            ClusterConfig(down_probe_interval=0.1),
+        )
+        await router.start()
+        monitor = (
+            asyncio.ensure_future(
+                supervisor.monitor(router, poll_interval=0.05)
+            )
+            if armored
+            else None
+        )
+        try:
+            load = run_load(
+                plan,
+                "127.0.0.1",
+                router.port,
+                num_workers=WORKERS,
+                resume=armored,
+                max_retries=20,
+                retry_delay=0.2,
+            )
+            if chaos:
+                controller = ChaosController(
+                    supervisor,
+                    build_chaos_schedule(WORKERS, HORIZON, seed=CHAOS_SEED),
+                )
+                report, applied = await asyncio.gather(load, controller.run())
+                assert all(a["ok"] for a in applied), applied
+                await _await_restarts(supervisor)
+                await _drain_journals(supervisor)
+                audits = assert_recovery(
+                    [supervisor.journal_path(i) for i in range(WORKERS)]
+                )
+            else:
+                report = await load
+        finally:
+            if monitor is not None:
+                monitor.cancel()
+                try:
+                    await monitor
+                except asyncio.CancelledError:
+                    pass
+            await router.stop()
+    finally:
+        await asyncio.to_thread(supervisor.stop)
+    result = {
+        "armored": armored,
+        "chaos": chaos,
+        "restarts": list(supervisor.restarts),
+        **report.describe(),
+    }
+    if audits is not None:
+        result["journal_audits"] = audits
+    return result
+
+
+async def _await_restarts(supervisor, timeout: float = 120.0) -> None:
+    """The last kill may land after the load drains; the monitor's
+    respawn must finish before it is cancelled."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(r >= 1 for r in supervisor.restarts):
+            return
+        await asyncio.sleep(0.1)
+    raise AssertionError(
+        f"monitor never healed every shard: restarts={supervisor.restarts}"
+    )
+
+
+async def _drain_journals(supervisor, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        states = [
+            load_journal(supervisor.journal_path(i)) for i in range(WORKERS)
+        ]
+        if all(not s.outstanding for s in states):
+            return
+        await asyncio.sleep(0.2)
+    raise AssertionError(
+        "journals never drained after chaos: "
+        + str([len(s.outstanding) for s in states])
+    )
+
+
+def _run() -> dict:
+    documents = build_collection(CONFIG)
+    flood = build_load_plan(
+        documents,
+        SESSIONS,
+        seed=PLAN_SEED,
+        rate=None,
+        granularity=WORKERS,
+        partition_seed=PARTITION_SEED,
+    )
+    # chaos wants the offered load spread across the kill window, so
+    # sessions are still in flight when the SIGKILLs land
+    paced = build_load_plan(
+        documents,
+        SESSIONS,
+        seed=PLAN_SEED,
+        rate=SESSIONS / max(HORIZON, 0.5),
+        granularity=WORKERS,
+        partition_seed=PARTITION_SEED,
+    )
+    def best(armored: bool) -> dict:
+        reps = [
+            asyncio.run(_measure(flood, armored=armored, chaos=False))
+            for _ in range(REPS)
+        ]
+        top = max(reps, key=lambda r: r["queries_per_sec"])
+        top["reps_queries_per_sec"] = [r["queries_per_sec"] for r in reps]
+        return top
+
+    return {
+        "bare": best(False),
+        "armored": best(True),
+        "chaos": asyncio.run(_measure(paced, armored=True, chaos=True)),
+    }
+
+
+def test_availability(benchmark):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    bare, armored, chaos = runs["bare"], runs["armored"], runs["chaos"]
+
+    overhead = 1.0 - (
+        armored["queries_per_sec"] / bare["queries_per_sec"]
+        if bare["queries_per_sec"]
+        else 0.0
+    )
+    completion = chaos["satisfied"] / chaos["sessions"]
+
+    rows = [
+        ("bare: queries/sec", bare["queries_per_sec"]),
+        ("armored: queries/sec", armored["queries_per_sec"]),
+        (
+            f"fault-free overhead (gate <= {REGRESSION:.0%})",
+            f"{overhead:+.2%}",
+        ),
+        ("chaos: sessions satisfied", f"{chaos['satisfied']}/{chaos['sessions']}"),
+        (f"chaos: completion (gate >= {GATE:.0%})", f"{completion:.2%}"),
+        ("chaos: worker restarts", str(chaos["restarts"])),
+        ("chaos: latency p99 s", chaos["latency_p99_s"]),
+    ]
+    text = format_table(
+        "Availability under process-level chaos (supervised cluster)",
+        ("metric", "value"),
+        rows,
+        note=(
+            f"{DOCS} docs, {SESSIONS} sessions, {WORKERS} workers, "
+            f"per-worker downlink {BANDWIDTH} B/s; chaos seed "
+            f"{CHAOS_SEED} SIGKILLs every worker once inside a "
+            f"{HORIZON}s horizon; journals audited for lost/duplicated "
+            "admissions after recovery"
+        ),
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "availability.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "gate_completion": GATE,
+        "gate_regression": REGRESSION,
+        "overhead": overhead,
+        "completion": completion,
+        "runs": runs,
+    }
+    (RESULTS_DIR / "availability.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    assert bare["failed"] == 0 and armored["failed"] == 0
+    assert overhead <= REGRESSION, (
+        f"failure machinery costs {overhead:.2%} of fault-free throughput "
+        f"(gate {REGRESSION:.0%})"
+    )
+    assert completion >= GATE, (
+        f"only {completion:.2%} of sessions completed under chaos "
+        f"(gate {GATE:.0%}); errors: {chaos['errors']}"
+    )
+    # every worker was killed and healed at least once
+    assert all(r >= 1 for r in chaos["restarts"]), chaos["restarts"]

@@ -18,13 +18,20 @@ Subcommands:
   to **stderr** as structured events (``--log-level``/``--log-json``);
   stdout stays clean for automation.  ``--metrics-port`` serves
   OpenMetrics at ``/metrics`` (+ drain-aware ``/healthz``) and
-  ``--flight-dir`` arms the flight recorder.  ``--workers N`` runs the
-  sharded cluster tier instead: N worker subprocesses each serving its
-  partition-map slice behind one front-door router (``--redirect``
+  ``--flight-dir`` arms the flight recorder.  ``--journal FILE`` arms
+  the write-ahead query journal: admitted-but-unsatisfied queries
+  survive a crash and are replayed on the next boot (``--epoch N``
+  advertises the restart generation to reconnecting clients).
+  ``--workers N`` runs the sharded cluster tier instead: N worker
+  subprocesses each serving its partition-map slice behind one
+  front-door router with per-shard health tracking (``--redirect``
   keeps the router out of the data plane, ``--max-sessions`` bounds
   cluster-wide admission, the metrics port aggregates every worker's
-  exposition relabelled per shard); ``--shard i/N`` runs one worker of
-  such a cluster directly;
+  exposition relabelled per shard); the supervisor journals every
+  worker, watches for crashes and respawns dead workers with backoff
+  under a bumped epoch (``--no-failover`` disables the watch,
+  ``--heartbeat-interval`` adds hung-worker detection); ``--shard
+  i/N`` runs one worker of such a cluster directly;
 * ``client``    -- submit one query to a running daemon, tune in with
   the two-tier protocol and print the access/tuning byte accounting;
   ``--trace`` requests an end-to-end wire trace (``--trace-out`` saves
@@ -39,7 +46,9 @@ default) is seeded and offline; see ``--help`` of each subcommand.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import secrets
 import sys
 from typing import List, Optional
 
@@ -343,6 +352,14 @@ def cmd_serve(args) -> int:
         flight=FlightRecorder() if flight_dir else None,
         flight_dir=flight_dir,
     )
+    shard = config.shard_identity
+    if shard is not None and args.epoch:
+        shard = dataclasses.replace(shard, epoch=args.epoch)
+    journal = None
+    if args.journal:
+        from repro.tools.persist import QueryJournal
+
+        journal = QueryJournal(args.journal)
     net = DaemonConfig(
         host=args.host,
         port=args.port,
@@ -351,7 +368,8 @@ def cmd_serve(args) -> int:
         max_queries=args.max_queries,
         clock=clock,
         telemetry=telemetry,
-        shard=config.shard_identity,
+        shard=shard,
+        journal=journal,
     )
     preload = load_workload(args.workload) if args.workload else []
 
@@ -437,6 +455,9 @@ def _serve_cluster(args) -> int:
         partition_seed=args.partition_seed,
         serve_args=passthrough,
         metrics=args.metrics_port is not None,
+        journal=not args.no_failover,
+        flight=bool(args.flight_dir),
+        heartbeat_interval=args.heartbeat_interval,
     )
     print(
         f"cluster: spawning {args.workers} workers "
@@ -445,6 +466,8 @@ def _serve_cluster(args) -> int:
     )
 
     async def _serve() -> int:
+        import contextlib
+
         workers = await asyncio.to_thread(supervisor.start)
         router = ClusterRouter(
             supervisor.partition,
@@ -458,6 +481,15 @@ def _serve_cluster(args) -> int:
             ),
         )
         await router.start()
+        monitor_task = None
+        if not args.no_failover:
+
+            def _on_event(event) -> None:
+                print(f"cluster: {event}", file=sys.stderr)
+
+            monitor_task = asyncio.create_task(
+                supervisor.monitor(router, on_event=_on_event)
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         loop.add_signal_handler(signal.SIGINT, stop.set)
@@ -476,6 +508,10 @@ def _serve_cluster(args) -> int:
             )
         await stop.wait()
         print("cluster: draining workers", file=sys.stderr)
+        if monitor_task is not None:
+            monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await monitor_task
         codes = await asyncio.to_thread(supervisor.stop)
         await router.stop()
         print(f"cluster: workers exited {codes}", file=sys.stderr)
@@ -494,14 +530,19 @@ def cmd_client(args) -> int:
     from repro.net import AsyncTwoTierClient
 
     want_trace = args.trace or bool(args.trace_out)
+    key = args.key
+    if args.resume and key is None:
+        # resume needs an idempotent-uplink identity for dedup
+        key = secrets.randbits(31)
     client = AsyncTwoTierClient(
         args.query,
         host=args.host,
         port=args.port,
         arrival_time=args.arrival,
-        client_key=args.key,
+        client_key=key,
         trace=want_trace,
         shard=args.shard,
+        resume=args.resume,
     )
     report = asyncio.run(client.run())
     payload = {
@@ -514,22 +555,29 @@ def cmd_client(args) -> int:
         "cycles_listened": report.metrics.cycles_listened,
         "cycles_verified": report.cycles_verified,
     }
+    if args.resume:
+        payload["resumes"] = report.resumes
+        payload["epoch_bumps"] = report.epoch_bumps
     if report.trace is not None:
         payload["trace"] = report.trace.to_record()
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
+        rows = [
+            ("satisfied", str(report.satisfied)),
+            ("access bytes", report.access_bytes),
+            ("tuning bytes", report.tuning_bytes),
+            ("index look-up bytes", report.metrics.index_lookup_bytes),
+            ("cycles listened", report.metrics.cycles_listened),
+            ("cycles signature-verified", report.cycles_verified),
+        ]
+        if args.resume:
+            rows.append(("downlink resumes", report.resumes))
+            rows.append(("worker epoch bumps", report.epoch_bumps))
         print_table(
             f"Query {report.query_id} ({report.protocol})",
             ("metric", "value"),
-            [
-                ("satisfied", str(report.satisfied)),
-                ("access bytes", report.access_bytes),
-                ("tuning bytes", report.tuning_bytes),
-                ("index look-up bytes", report.metrics.index_lookup_bytes),
-                ("cycles listened", report.metrics.cycles_listened),
-                ("cycles signature-verified", report.cycles_verified),
-            ],
+            rows,
         )
         if report.trace is not None:
             comp = report.trace.components()
@@ -757,7 +805,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--flight-dir",
         metavar="DIR",
         help="arm the flight recorder; dumps a replayable artifact to DIR "
-        "on uplink ERR or SIGTERM",
+        "on uplink ERR, SIGTERM, or crash-resume",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write-ahead journal of admitted queries: every fresh "
+        "admission is flushed to FILE before its ACK, and a daemon booting "
+        "on an existing journal replays admitted-but-unsatisfied queries "
+        "(crash-resume); with --workers the supervisor journals every "
+        "worker automatically",
+    )
+    serve.add_argument(
+        "--epoch",
+        type=int,
+        default=0,
+        help="restart generation advertised in the cluster header; the "
+        "supervisor bumps this on every respawn so reconnecting clients "
+        "detect the restart and discard stale per-cycle state",
+    )
+    serve.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="with --workers: do not journal workers or restart crashed "
+        "ones (PR-8 behaviour; mainly for A/B benchmarking the failure "
+        "machinery's overhead)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --workers: STATUS-round-trip heartbeat period for "
+        "hung-worker detection; repeated misses escalate to SIGKILL and "
+        "a supervised restart (default: exit-watch only)",
     )
     _add_channel_args(serve)
     serve.set_defaults(func=cmd_serve)
@@ -787,6 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pin the session to this cluster shard (SHARD= on the wire; "
         "a front-door MOVED redirect is followed to the owning worker)",
+    )
+    client.add_argument(
+        "--resume",
+        action="store_true",
+        help="survive worker restarts: re-tune after a dropped downlink, "
+        "detect the successor epoch and resubmit idempotently (picks a "
+        "random --key if none is given)",
     )
     client.add_argument(
         "--trace",

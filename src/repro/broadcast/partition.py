@@ -22,7 +22,10 @@ owns the contiguous slot range ``[s*slots/N, (s+1)*slots/N)``.
 :class:`ShardIdentity` is a worker's placement contract: the daemon
 embeds it in every ``CYCLE_BEGIN`` header (key ``"cluster"``) so a
 client can verify that each document it decodes actually belongs on the
-shard it tuned to.
+shard it tuned to.  The identity also carries a restart ``epoch``: the
+supervisor bumps it each time it respawns a crashed worker, so a client
+that reconnects can tell "same worker, resumed stream" (equal epoch)
+from "restarted worker, my per-cycle state is stale" (higher epoch).
 """
 
 from __future__ import annotations
@@ -121,6 +124,10 @@ class ShardIdentity:
 
     index: int
     partition: PartitionMap = field(default_factory=lambda: PartitionMap(1))
+    #: restart generation; bumped by the supervisor on every respawn so
+    #: reconnecting clients can detect a restarted worker and discard
+    #: stale PCI/decoder state before resubmitting
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.partition.num_shards:
@@ -128,6 +135,8 @@ class ShardIdentity:
                 f"shard index {self.index} out of range for "
                 f"{self.partition.num_shards} shards"
             )
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
 
     def owns(self, doc_id: int) -> bool:
         return self.partition.shard_of(doc_id) == self.index
@@ -140,6 +149,7 @@ class ShardIdentity:
         return {
             "shard": self.index,
             "num_shards": self.partition.num_shards,
+            "epoch": self.epoch,
             "map": self.partition.describe(),
             "digest": self.partition.digest(),
         }

@@ -462,6 +462,18 @@ class BroadcastServer:
             [query], arrival_time, client_keys=[client_key]
         )[0]
 
+    def forget_uplink_key(self, client_key: int, query_text: str) -> bool:
+        """Drop one idempotent-uplink dedup entry; True if it existed.
+
+        The daemon's redelivery path uses this: when a reconnecting
+        client resubmits a ``(client_key, query)`` whose original
+        admission already completed, the bytes it missed will never
+        re-air on their own -- the dedup entry must be forgotten so the
+        resubmit becomes a fresh admission instead of an ACK for a
+        broadcast that is gone.
+        """
+        return self._uplink_dedup.pop((client_key, query_text), None) is not None
+
     def submit_batch(
         self,
         queries: Sequence[XPathQuery],

@@ -34,14 +34,37 @@ by proxy splice or ``MOVED`` redirect and applying cluster-wide
 admission through the existing ``RETRY_AFTER`` reply.
 :mod:`repro.net.loadgen` drives any endpoint -- single daemon or
 cluster -- with a deterministic open-loop Poisson session schedule.
+
+The tier is also *self-healing*: the
+:class:`~repro.net.cluster.ClusterSupervisor` restarts crashed workers
+(exponential backoff, crash-loop circuit breaker, heartbeat escalation
+for hung processes), each worker rehydrates its admitted-but-unsatisfied
+queries from a per-shard write-ahead journal
+(:class:`~repro.tools.persist.QueryJournal`), the router tracks
+per-shard health (:class:`~repro.net.cluster.ShardHealth`) and answers
+``RETRY_AFTER`` for DOWN shards while the rest keep streaming, and
+clients in ``resume`` mode reconnect, detect the restart via the
+``ShardIdentity`` epoch, and resubmit idempotently.  The whole failure
+path is exercised by the deterministic process-level chaos harness in
+:mod:`repro.net.chaos`.
 """
 
 from repro.broadcast.partition import PartitionMap, ShardIdentity
+from repro.net.chaos import (
+    ChaosAction,
+    ChaosController,
+    ChaosSchedule,
+    ChaosViolation,
+    assert_recovery,
+    audit_journal,
+    build_chaos_schedule,
+)
 from repro.net.cluster import (
     ClusterConfig,
     ClusterRouter,
     ClusterSupervisor,
     RouterStats,
+    ShardHealth,
     WorkerAddress,
 )
 
@@ -50,6 +73,7 @@ from repro.net.client import (
     Backpressure,
     ClientReport,
     UplinkError,
+    WireError,
 )
 from repro.net.clock import ClockAdapter, ManualClock, MonotonicClock
 from repro.net.daemon import BroadcastDaemon, DaemonConfig, DaemonStats
@@ -74,6 +98,10 @@ __all__ = [
     "AsyncTwoTierClient",
     "Backpressure",
     "BroadcastDaemon",
+    "ChaosAction",
+    "ChaosController",
+    "ChaosSchedule",
+    "ChaosViolation",
     "ClientReport",
     "ClockAdapter",
     "ClusterConfig",
@@ -91,12 +119,17 @@ __all__ = [
     "PartitionMap",
     "RouterStats",
     "SessionSpec",
+    "ShardHealth",
     "ShardIdentity",
     "TokenBucket",
     "UplinkError",
+    "WireError",
     "WireFrame",
     "WireProtocolError",
     "WorkerAddress",
+    "assert_recovery",
+    "audit_journal",
+    "build_chaos_schedule",
     "build_load_plan",
     "encode_cycle",
     "encode_frame",

@@ -29,6 +29,7 @@ from repro.client.twotier import TwoTierClient
 from repro.client.multichannel import MultiChannelTwoTierClient
 from repro.net.clock import ClockAdapter, MonotonicClock
 from repro.net.framing import (
+    FrameError,
     FrameKind,
     encode_text,
     read_frame_mixed,
@@ -50,6 +51,33 @@ class Backpressure(ConnectionError):
         self.hint = hint
 
 
+class WireError(WireProtocolError):
+    """A downlink frame failed CRC/framing/decode checks, with context.
+
+    Subclasses :class:`~repro.net.wire.WireProtocolError` so existing
+    handlers keep working, but carries *where* the corruption happened
+    (shard, frame kind, phase) instead of killing the reader with a
+    bare exception.  Resume-mode sessions treat it like a dropped
+    connection: reconnect, discard the partial cycle, resubmit.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        shard: Optional[int] = None,
+        frame_kind: Optional[str] = None,
+        phase: str = "downlink",
+    ) -> None:
+        where = f"shard {shard}" if shard is not None else "daemon"
+        kind = f" {frame_kind} frame" if frame_kind else ""
+        super().__init__(f"{phase} from {where}:{kind} {detail}")
+        self.detail = detail
+        self.shard = shard
+        self.frame_kind = frame_kind
+        self.phase = phase
+
+
 @dataclass
 class ClientReport:
     """What one satisfied (or disconnected) client session measured."""
@@ -64,6 +92,14 @@ class ClientReport:
     signatures: List[str] = field(default_factory=list)
     #: closed end-to-end wire trace (``trace=True`` sessions only)
     trace: Optional[QueryTrace] = None
+    #: the downlink dropped mid-session (worker crash / reset) --
+    #: ``satisfied`` is False and the metrics cover the partial tune
+    dropped: bool = False
+    #: reconnect attempts a ``resume=True`` :meth:`AsyncTwoTierClient.run`
+    #: needed before this report was produced
+    resumes: int = 0
+    #: restarted-worker detections (ShardIdentity epoch bumps observed)
+    epoch_bumps: int = 0
 
     @property
     def access_bytes(self) -> int:
@@ -95,10 +131,18 @@ class AsyncTwoTierClient:
         trace: bool = False,
         clock: Optional[ClockAdapter] = None,
         shard: Optional[int] = None,
+        resume: bool = False,
+        max_resumes: int = 8,
+        resume_delay: float = 0.05,
     ) -> None:
         self.query = parse_query(query)
         self.host = host
         self.port = port
+        #: where :meth:`run` starts every attempt (the front door) --
+        #: ``MOVED`` redirects mutate ``host``/``port``, and a restarted
+        #: worker may come back on a different port, so a resume must
+        #: re-enter through the original address
+        self._home = (host, port)
         #: scripted arrival byte-time (replay); ``None`` = daemon stamps it
         self.arrival_time = arrival_time
         self.first_tier_read = first_tier_read
@@ -120,6 +164,21 @@ class AsyncTwoTierClient:
         self._partition: Optional[PartitionMap] = None
         self._placed: Set[int] = set()
         self._moved_hops = 0
+        #: reconnect-and-resubmit on dropped downlinks.  Requires a
+        #: ``client_key``: resume correctness rests on the daemon's
+        #: ``(client_key, query)`` uplink dedup making the resubmit
+        #: idempotent against the journal-replayed admission.
+        self.resume = resume
+        self.max_resumes = max_resumes
+        self.resume_delay = resume_delay
+        if resume and client_key is None:
+            raise ValueError("resume=True requires a client_key")
+        #: last ShardIdentity epoch seen on this session's downlink; a
+        #: bump means the worker restarted and our placement/PCI state
+        #: describes a dead incarnation
+        self.epoch: Optional[int] = None
+        self.resumes = 0
+        self.epoch_bumps = 0
 
         self.query_id: Optional[int] = None
         self.num_channels = 1
@@ -224,16 +283,33 @@ class AsyncTwoTierClient:
         decoder = CycleDecoder()
         signatures: List[str] = []
         satisfied = False
+        dropped = False
         while True:
             try:
                 kind, payload = await self._read_downlink()
+            except FrameError as exc:
+                # Corrupt bytes, not a lost peer: surface the typed
+                # error so callers can distinguish "the worker died"
+                # from "the stream lied".
+                raise WireError(
+                    str(exc), shard=self._cluster_shard(), phase="framing"
+                ) from exc
             except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                dropped = True
                 break
             if kind is FrameKind.SERVER_BYE:
                 break
             if kind is FrameKind.TEXT:
                 continue  # late uplink replies (e.g. a queued ACK echo)
-            cycle = decoder.feed(kind, payload)
+            try:
+                cycle = decoder.feed(kind, payload)
+            except WireProtocolError as exc:
+                raise WireError(
+                    str(exc),
+                    shard=self._cluster_shard(),
+                    frame_kind=kind.name,
+                    phase="decode",
+                ) from exc
             if cycle is None:
                 continue
             assert decoder.last_header is not None
@@ -281,17 +357,76 @@ class AsyncTwoTierClient:
             cycles_verified=len(signatures),
             signatures=signatures,
             trace=trace,
+            dropped=dropped and not satisfied,
+            resumes=self.resumes,
+            epoch_bumps=self.epoch_bumps,
         )
 
     async def run(self) -> ClientReport:
-        """connect + tune + submit + session, with cleanup."""
-        await self.connect()
-        try:
-            await self.tune()
-            await self.submit()
-            return await self.run_session()
-        finally:
-            await self.close()
+        """connect + tune + submit + session, with cleanup.
+
+        With ``resume=True``, a dropped downlink (worker crash, socket
+        reset, corrupt frame) is retried: the client re-enters through
+        its original address, re-tunes, and resubmits the same query
+        under the same ``client_key``.  The daemon's uplink dedup makes
+        the resubmit idempotent -- if the crash-resume journal already
+        re-admitted the query, the resubmit attaches to that pending
+        entry instead of double-counting it.  ``UplinkError`` (the
+        daemon *answered* and said no) is never retried.
+        """
+        if not self.resume:
+            await self.connect()
+            try:
+                await self.tune()
+                await self.submit()
+                return await self.run_session()
+            finally:
+                await self.close()
+        delay = self.resume_delay
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_resumes + 1):
+            if attempt > 0:
+                self.resumes += 1
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 1.0)
+            # A restarted worker can come back on a new port; always
+            # re-enter through the front door.
+            self.host, self.port = self._home
+            self._moved_hops = 0
+            try:
+                await self.connect()
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                continue
+            try:
+                await self.tune()
+                await self.submit()
+                report = await self.run_session()
+            except UplinkError:
+                raise
+            except (
+                Backpressure,
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                last_error = exc
+                continue
+            finally:
+                await self.close()
+            if report.satisfied or not report.dropped:
+                return report
+            last_error = ConnectionResetError(
+                "downlink dropped before satisfied"
+            )
+        # Re-raise the concrete transient error: callers with their own
+        # retry taxonomy (run_load) classify it instead of a bare
+        # ConnectionError that reads as a verdict.
+        if last_error is not None:
+            raise last_error
+        raise ConnectionError(
+            f"query not satisfied after {self.max_resumes} resumes"
+        )
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -344,12 +479,35 @@ class AsyncTwoTierClient:
         await self.connect()
 
     def _check_cluster(self, cluster: Dict) -> None:
-        """Pin the daemon's placement contract against the pinned shard."""
+        """Pin the daemon's placement contract against the pinned shard.
+
+        Also watches the ShardIdentity ``epoch``: a bump means the
+        worker restarted since we last tuned, so every piece of state
+        derived from the old incarnation's broadcast -- placement
+        verdicts, the cached partition map, deferred frames, and the
+        access protocol's index position -- is discarded before the new
+        stream is consumed.
+        """
         self.cluster = cluster
         if self.shard is not None and int(cluster.get("shard", -1)) != self.shard:
             raise WireProtocolError(
                 f"tuned to shard {cluster.get('shard')}, expected {self.shard}"
             )
+        epoch = int(cluster.get("epoch", 0))
+        if self.epoch is not None and epoch != self.epoch:
+            self.epoch_bumps += 1
+            self._placed.clear()
+            self._partition = None
+            self._deferred.clear()
+            self.protocol = None
+        self.epoch = epoch
+
+    def _cluster_shard(self) -> Optional[int]:
+        if self.shard is not None:
+            return self.shard
+        if self.cluster is not None:
+            return int(self.cluster.get("shard", -1))
+        return None
 
     def _verify_placement(self, cluster: Dict, cycle: BroadcastCycle) -> None:
         """Every document this shard broadcasts must hash to this shard

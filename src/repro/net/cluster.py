@@ -36,12 +36,32 @@ worker sees it.
 serve --shard i/N`` subprocesses, discovering each worker's ephemeral
 uplink/metrics ports through ``--port-file``-style OS assignment (no
 port is ever hardcoded, so parallel CI jobs cannot collide).
+
+**Failure domains.** Each shard is an independent failure domain and
+both tiers track its health:
+
+* the router keeps a per-shard :class:`ShardHealth` (``UP`` /
+  ``DEGRADED`` / ``DOWN``): transient connect failures are retried with
+  backoff and mark the shard DEGRADED; enough consecutive failures mark
+  it DOWN, after which routed commands get ``RETRY_AFTER`` at the front
+  door (bounded by periodic re-probes) while every other shard keeps
+  streaming -- graceful degradation, not collapse;
+* :meth:`ClusterSupervisor.monitor` watches worker processes: a crashed
+  worker is respawned with exponential backoff and a bumped
+  ``ShardIdentity`` epoch (``--epoch``), its pending queries rehydrated
+  from its per-shard write-ahead journal (``--journal``); a crash loop
+  (too many restarts inside a sliding window) opens a circuit breaker
+  and pins the shard DOWN instead of burning CPU on doomed respawns.
+  Optional heartbeats (uplink ``STATUS`` round trips) escalate a hung
+  worker -- alive but unresponsive -- to a kill, which the exit-watch
+  then restarts.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import enum
 import os
 import json
 import pathlib
@@ -51,7 +71,7 @@ import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.broadcast.partition import PartitionMap, ShardIdentity
 from repro.net.clock import ClockAdapter, MonotonicClock
@@ -69,6 +89,7 @@ __all__ = [
     "ClusterRouter",
     "ClusterSupervisor",
     "RouterStats",
+    "ShardHealth",
     "WorkerAddress",
 ]
 
@@ -76,6 +97,20 @@ _SPLICE_CHUNK = 64 * 1024
 
 #: commands the router routes to a shard (everything else it answers)
 _ROUTED = ("SUBMIT", "TUNE", "RECV")
+
+
+class ShardHealth(enum.Enum):
+    """The router's view of one shard's failure domain.
+
+    ``UP`` routes normally; ``DEGRADED`` (recent connect failures, still
+    under the DOWN threshold) routes but is one failure from isolation;
+    ``DOWN`` answers ``RETRY_AFTER`` at the front door, re-probing the
+    worker at most once per ``ClusterConfig.down_probe_interval``.
+    """
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
 
 
 @dataclass(frozen=True)
@@ -113,6 +148,25 @@ class ClusterConfig:
     metrics_host: str = "127.0.0.1"
     #: injectable clock for the admission cache (tests pin staleness)
     clock: Optional[ClockAdapter] = None
+    #: extra backend connect attempts before a splice gives up (a worker
+    #: mid-restart refuses connections for a few hundred ms; retrying
+    #: here hides the blip from the client entirely)
+    connect_retries: int = 2
+    #: base backoff between connect attempts, doubled per attempt
+    connect_backoff: float = 0.05
+    #: consecutive failed connects (after retries) that flip a shard
+    #: from DEGRADED to DOWN
+    down_after: int = 3
+    #: how often (seconds) a DOWN shard is re-probed by letting one
+    #: routed command attempt a real connect
+    down_probe_interval: float = 1.0
+    #: close a spliced session when *neither* direction moves a byte for
+    #: this long -- reclaims sessions wedged on a hung (not dead) worker.
+    #: ``None`` disables the timer (an idle-but-healthy tuned session is
+    #: legitimate; enable this for chaos runs and busy front doors)
+    splice_idle_timeout: Optional[float] = None
+    #: hint value sent with front-door ``RETRY_AFTER`` for DOWN shards
+    retry_after_hint: int = 1
 
 
 @dataclass
@@ -124,6 +178,13 @@ class RouterStats:
     proxied_total: int = 0
     moved_total: int = 0
     rejected_overload: int = 0
+    #: routed commands answered RETRY_AFTER because their shard was
+    #: DOWN or its backend connect failed after retries
+    rejected_unavailable: int = 0
+    #: backend connect attempts beyond the first (retry pressure)
+    connect_retries_total: int = 0
+    #: spliced sessions closed by the idle timeout
+    splices_idle_closed: int = 0
     errors_total: int = 0
     status_requests: int = 0
     #: per-shard routed-session counts, indexed by shard
@@ -158,6 +219,14 @@ class ClusterRouter:
         #: live proxied sessions per shard (redirect mode routes away,
         #: so only spliced sessions are tracked here)
         self.active: List[int] = [0] * partition.num_shards
+        #: per-shard failure-domain state the routing decisions read
+        self.health: List[ShardHealth] = (
+            [ShardHealth.UP] * partition.num_shards
+        )
+        #: consecutive failed connects (post-retry) per shard
+        self._connect_failures: List[int] = [0] * partition.num_shards
+        #: clock time of the last DOWN-shard probe per shard
+        self._probe_at: List[float] = [float("-inf")] * partition.num_shards
 
         self.port: Optional[int] = None
         self.metrics_port: Optional[int] = None
@@ -197,6 +266,49 @@ class ClusterRouter:
     @property
     def active_sessions(self) -> int:
         return sum(self.active)
+
+    # ------------------------------------------------------------------
+    # Shard health
+    # ------------------------------------------------------------------
+
+    def set_health(self, shard: int, health: ShardHealth) -> None:
+        """Externally assert a shard's health (the supervisor's monitor
+        marks a shard DOWN the moment its process exits, ahead of any
+        client discovering it the slow way)."""
+        self.health[shard] = health
+        if health is ShardHealth.UP:
+            self._connect_failures[shard] = 0
+
+    def update_worker(self, shard: int, worker: WorkerAddress) -> None:
+        """Point a shard at a (re)started worker and mark it UP."""
+        if worker.shard != shard:
+            raise ValueError(
+                f"address for shard {worker.shard} cannot serve slot {shard}"
+            )
+        self.workers[shard] = worker
+        self.set_health(shard, ShardHealth.UP)
+
+    def _record_connect_failure(self, shard: int) -> None:
+        self._connect_failures[shard] += 1
+        if self._connect_failures[shard] >= self.config.down_after:
+            self.health[shard] = ShardHealth.DOWN
+        else:
+            self.health[shard] = ShardHealth.DEGRADED
+
+    def _allow_attempt(self, shard: int) -> bool:
+        """Whether a routed command may try this shard's backend now.
+
+        UP/DEGRADED shards always may.  A DOWN shard admits one probe
+        per ``down_probe_interval`` so recovery is discovered even if
+        the supervisor never calls :meth:`update_worker`.
+        """
+        if self.health[shard] is not ShardHealth.DOWN:
+            return True
+        now = self.clock.now()
+        if now - self._probe_at[shard] >= self.config.down_probe_interval:
+            self._probe_at[shard] = now
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -295,6 +407,15 @@ class ClusterRouter:
                 self.stats.rejected_overload += 1
                 await self._reply(writer, f"RETRY_AFTER {pending}")
                 return False
+        if not self._allow_attempt(shard):
+            # Graceful degradation: a DOWN shard answers RETRY_AFTER at
+            # the front door -- the client backs off and resubmits --
+            # while sessions for every other shard route normally.
+            self.stats.rejected_unavailable += 1
+            await self._reply(
+                writer, f"RETRY_AFTER {self.config.retry_after_hint}"
+            )
+            return False
         self.stats.routed_total += 1
         self.stats.routed_by_shard[shard] += 1
         worker = self.workers[shard]
@@ -306,6 +427,35 @@ class ClusterRouter:
             return False
         return await self._splice(shard, line, reader, writer)
 
+    async def _connect_worker(
+        self, shard: int
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """Open a backend connection, retrying transient failures.
+
+        A worker mid-restart refuses connections for a moment; bounded
+        retry-with-backoff here turns that into added latency instead of
+        a client-visible error.  Success resets the shard to UP; final
+        failure counts toward the DOWN threshold.
+        """
+        delay = self.config.connect_backoff
+        for attempt in range(self.config.connect_retries + 1):
+            if attempt:
+                self.stats.connect_retries_total += 1
+                await asyncio.sleep(delay)
+                delay *= 2
+            worker = self.workers[shard]
+            try:
+                pair = await asyncio.open_connection(worker.host, worker.port)
+            except OSError:
+                continue
+            if self.health[shard] is not ShardHealth.UP:
+                self.set_health(shard, ShardHealth.UP)
+            else:
+                self._connect_failures[shard] = 0
+            return pair
+        self._record_connect_failure(shard)
+        return None
+
     async def _splice(
         self,
         shard: int,
@@ -314,16 +464,17 @@ class ClusterRouter:
         writer: asyncio.StreamWriter,
     ) -> bool:
         """Proxy mode: forward the routing command, then pump raw bytes
-        both ways until either side closes."""
-        worker = self.workers[shard]
-        try:
-            up_reader, up_writer = await asyncio.open_connection(
-                worker.host, worker.port
+        both ways until either side closes (or goes idle too long)."""
+        pair = await self._connect_worker(shard)
+        if pair is None:
+            # Same vocabulary as overload: the client's Backpressure
+            # retry loop handles a crashed worker with no new code.
+            self.stats.rejected_unavailable += 1
+            await self._reply(
+                writer, f"RETRY_AFTER {self.config.retry_after_hint}"
             )
-        except OSError:
-            self.stats.errors_total += 1
-            await self._reply(writer, f"ERR shard {shard} unavailable")
             return False
+        up_reader, up_writer = pair
         self.stats.proxied_total += 1
         self.active[shard] += 1
         try:
@@ -340,13 +491,25 @@ class ClusterRouter:
                     await w.wait_closed()
         return True
 
-    @staticmethod
     async def _pump(
-        src: asyncio.StreamReader, dst: asyncio.StreamWriter
+        self, src: asyncio.StreamReader, dst: asyncio.StreamWriter
     ) -> None:
+        timeout = self.config.splice_idle_timeout
         try:
             while True:
-                chunk = await src.read(_SPLICE_CHUNK)
+                if timeout is None:
+                    chunk = await src.read(_SPLICE_CHUNK)
+                else:
+                    # Per-direction idle timer: a session whose worker
+                    # is hung (alive but wedged, e.g. SIGSTOP) moves no
+                    # bytes and is reclaimed instead of leaking forever.
+                    try:
+                        chunk = await asyncio.wait_for(
+                            src.read(_SPLICE_CHUNK), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        self.stats.splices_idle_closed += 1
+                        break
                 if not chunk:
                     break
                 dst.write(chunk)
@@ -444,12 +607,14 @@ class ClusterRouter:
             "workers_up": len(shards),
             "totals": totals,
             "shards": shards,
+            "health": [h.value for h in self.health],
             "router": {
                 "connections": self.stats.connections_total,
                 "routed": self.stats.routed_total,
                 "proxied": self.stats.proxied_total,
                 "moved": self.stats.moved_total,
                 "rejected": self.stats.rejected_overload,
+                "rejected_unavailable": self.stats.rejected_unavailable,
                 "active_sessions": self.active_sessions,
                 "mode": "redirect" if self.config.redirect else "proxy",
             },
@@ -463,10 +628,20 @@ class ClusterRouter:
         stats = self.stats
         routed = Family("router.sessions_routed", "counter")
         active = Family("router.active_sessions", "gauge")
+        # Health as a one-hot state gauge (the OpenMetrics idiom for
+        # enums): exactly one of the three series per shard is 1.
+        health = Family("router.shard_health", "gauge")
         for shard in range(self.partition.num_shards):
             routed.add(stats.routed_by_shard[shard], shard=str(shard))
             active.add(self.active[shard], shard=str(shard))
+            for state in ShardHealth:
+                health.add(
+                    int(self.health[shard] is state),
+                    shard=str(shard),
+                    state=state.value,
+                )
         return [
+            health,
             Family("router.connections", "counter").add(
                 stats.connections_total
             ),
@@ -477,6 +652,15 @@ class ClusterRouter:
             Family("router.sessions_moved", "counter").add(stats.moved_total),
             Family("router.rejected_overload", "counter").add(
                 stats.rejected_overload
+            ),
+            Family("router.rejected_unavailable", "counter").add(
+                stats.rejected_unavailable
+            ),
+            Family("router.connect_retries", "counter").add(
+                stats.connect_retries_total
+            ),
+            Family("router.splices_idle_closed", "counter").add(
+                stats.splices_idle_closed
             ),
             Family("router.errors", "counter").add(stats.errors_total),
             Family("router.status_requests", "counter").add(
@@ -521,7 +705,8 @@ class ClusterRouter:
 
 
 class ClusterSupervisor:
-    """Spawn and drain ``repro serve --shard i/N`` worker subprocesses.
+    """Spawn, watch, restart and drain ``repro serve --shard i/N``
+    worker subprocesses.
 
     Each worker binds an **ephemeral** uplink port (and, with
     ``metrics=True``, an ephemeral metrics port) and reports it through
@@ -529,6 +714,18 @@ class ClusterSupervisor:
     CLI tests established, so parallel CI jobs can never collide on a
     hardcoded port.  ``stop()`` sends SIGINT for the daemon's graceful
     drain and escalates to SIGKILL only after ``stop_timeout``.
+
+    **Failover**: run :meth:`monitor` as an asyncio task and a crashed
+    worker is respawned with exponential backoff under a fresh
+    ``ShardIdentity`` epoch, rehydrating its admitted-but-unsatisfied
+    queries from its write-ahead journal (``journal=True``).  More than
+    ``max_restarts`` crashes inside ``crash_window`` seconds open a
+    **circuit breaker**: the shard is declared broken and pinned DOWN
+    at the router instead of being respawned forever.  With
+    ``heartbeat_interval > 0`` the monitor also round-trips ``STATUS``
+    on each worker's uplink; ``heartbeat_misses`` consecutive timeouts
+    escalate a hung-but-alive worker to ``SIGKILL``, which the
+    exit-watch then handles like any other crash.
     """
 
     def __init__(
@@ -542,6 +739,15 @@ class ClusterSupervisor:
         python: str = sys.executable,
         startup_timeout: float = 60.0,
         stop_timeout: float = 60.0,
+        journal: bool = False,
+        flight: bool = False,
+        restart_backoff: float = 0.2,
+        restart_backoff_cap: float = 5.0,
+        max_restarts: int = 5,
+        crash_window: float = 30.0,
+        heartbeat_interval: float = 0.0,
+        heartbeat_timeout: float = 2.0,
+        heartbeat_misses: int = 2,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -551,6 +757,15 @@ class ClusterSupervisor:
         self.python = python
         self.startup_timeout = startup_timeout
         self.stop_timeout = stop_timeout
+        self.journal = journal
+        self.flight = flight
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.max_restarts = max_restarts
+        self.crash_window = crash_window
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_misses = heartbeat_misses
         self._own_workdir = workdir is None
         self.workdir = pathlib.Path(
             tempfile.mkdtemp(prefix="repro-cluster-")
@@ -559,75 +774,162 @@ class ClusterSupervisor:
         )
         self.procs: List[subprocess.Popen] = []
         self.workers: List[WorkerAddress] = []
+        #: restart generation per shard; worker i serves with
+        #: ``--epoch epochs[i]`` so clients can detect the respawn
+        self.epochs: List[int] = [0] * num_workers
+        #: completed restarts per shard (monitor bookkeeping)
+        self.restarts: List[int] = [0] * num_workers
+        #: circuit breaker: True = shard crashed too often, stay down
+        self.broken: List[bool] = [False] * num_workers
+        #: monitor event journal (crash / restart / circuit_open /
+        #: heartbeat_kill dicts, in order) -- tests and ops read this
+        self.events: List[Dict] = []
+        self._crash_times: List[List[float]] = [[] for _ in range(num_workers)]
+        self._hb_misses: List[int] = [0] * num_workers
+        self._stopping = False
 
     def shard_identity(self, index: int) -> ShardIdentity:
-        return ShardIdentity(index, self.partition)
+        return ShardIdentity(index, self.partition, epoch=self.epochs[index])
+
+    def journal_path(self, index: int) -> pathlib.Path:
+        """Where shard ``index``'s write-ahead journal lives."""
+        return self.workdir / f"worker-{index}.journal"
+
+    # -- spawning ------------------------------------------------------
+
+    def _worker_cmd(
+        self, index: int
+    ) -> Tuple[List[str], pathlib.Path, Optional[pathlib.Path]]:
+        """(command, port_file, metrics_file) for one worker spawn."""
+        n = self.partition.num_shards
+        port_file = self.workdir / f"worker-{index}.port"
+        cmd = [
+            self.python,
+            "-m",
+            "repro",
+            "serve",
+            "--shard",
+            f"{index}/{n}",
+            "--partition-seed",
+            str(self.partition.seed),
+            "--epoch",
+            str(self.epochs[index]),
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+        ]
+        if self.journal:
+            cmd += ["--journal", str(self.journal_path(index))]
+        if self.flight:
+            cmd += ["--flight-dir", str(self.workdir / f"worker-{index}.flight")]
+        metrics_file: Optional[pathlib.Path] = None
+        if self.metrics:
+            metrics_file = self.workdir / f"worker-{index}.metrics-port"
+            cmd += [
+                "--metrics-port",
+                "0",
+                "--metrics-port-file",
+                str(metrics_file),
+            ]
+        cmd += self.serve_args
+        return cmd, port_file, metrics_file
+
+    def _spawn(self, index: int) -> Tuple[pathlib.Path, Optional[pathlib.Path]]:
+        """Launch worker ``index``; stale port files are removed first so
+        :meth:`_await_port` can never read a previous incarnation's port."""
+        cmd, port_file, metrics_file = self._worker_cmd(index)
+        port_file.unlink(missing_ok=True)
+        if metrics_file is not None:
+            metrics_file.unlink(missing_ok=True)
+        log_path = self.workdir / f"worker-{index}.log"
+        with log_path.open("ab") as log:  # append across restarts
+            proc = subprocess.Popen(
+                cmd,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=os.environ.copy(),
+            )
+        if index < len(self.procs):
+            self.procs[index] = proc
+        else:
+            self.procs.append(proc)
+        return port_file, metrics_file
 
     def start(self) -> List[WorkerAddress]:
-        """Spawn every worker and wait for its bound ports."""
+        """Spawn every worker and wait for its bound ports.
+
+        Fails fast: a worker that exits before writing its port file
+        raises immediately (with its log tail), and every worker already
+        spawned is torn down -- no orphan subprocesses outlive a failed
+        start.
+        """
         self.workdir.mkdir(parents=True, exist_ok=True)
         n = self.partition.num_shards
-        port_files: List[pathlib.Path] = []
-        metrics_files: List[Optional[pathlib.Path]] = []
-        for i in range(n):
-            port_file = self.workdir / f"worker-{i}.port"
-            port_file.unlink(missing_ok=True)
-            cmd = [
-                self.python,
-                "-m",
-                "repro",
-                "serve",
-                "--shard",
-                f"{i}/{n}",
-                "--partition-seed",
-                str(self.partition.seed),
-                "--port",
-                "0",
-                "--port-file",
-                str(port_file),
-            ]
-            metrics_file: Optional[pathlib.Path] = None
-            if self.metrics:
-                metrics_file = self.workdir / f"worker-{i}.metrics-port"
-                metrics_file.unlink(missing_ok=True)
-                cmd += [
-                    "--metrics-port",
-                    "0",
-                    "--metrics-port-file",
-                    str(metrics_file),
-                ]
-            cmd += self.serve_args
-            log_path = self.workdir / f"worker-{i}.log"
-            with log_path.open("wb") as log:
-                proc = subprocess.Popen(
-                    cmd,
-                    stdout=log,
-                    stderr=subprocess.STDOUT,
-                    env=os.environ.copy(),
+        files = [self._spawn(i) for i in range(n)]
+        try:
+            for i, (port_file, metrics_file) in enumerate(files):
+                port = self._await_port(i, port_file)
+                metrics_port = (
+                    self._await_port(i, metrics_file)
+                    if metrics_file is not None
+                    else None
                 )
-            self.procs.append(proc)
-            port_files.append(port_file)
-            metrics_files.append(metrics_file)
-        for i in range(n):
-            port = self._await_port(i, port_files[i])
-            metrics_port = (
-                self._await_port(i, metrics_files[i])
-                if metrics_files[i] is not None
-                else None
-            )
-            self.workers.append(
-                WorkerAddress(i, "127.0.0.1", port, metrics_port)
-            )
-        return self.workers
+                self.workers.append(
+                    WorkerAddress(i, "127.0.0.1", port, metrics_port)
+                )
+            return self.workers
+        except Exception:
+            for proc in self.procs:
+                if proc.poll() is None:
+                    with contextlib.suppress(ProcessLookupError, OSError):
+                        proc.kill()
+            for proc in self.procs:
+                with contextlib.suppress(Exception):
+                    proc.wait(timeout=5)
+            raise
+
+    def restart_worker(self, index: int) -> WorkerAddress:
+        """Respawn one worker under a bumped epoch (blocking).
+
+        The new process replays its journal before binding, so by the
+        time the port file appears its pending set is rehydrated.
+        """
+        self.epochs[index] += 1
+        port_file, metrics_file = self._spawn(index)
+        port = self._await_port(index, port_file)
+        metrics_port = (
+            self._await_port(index, metrics_file)
+            if metrics_file is not None
+            else None
+        )
+        worker = WorkerAddress(index, "127.0.0.1", port, metrics_port)
+        self.workers[index] = worker
+        self.restarts[index] += 1
+        return worker
+
+    def _log_tail(self, index: int, lines: int = 8) -> str:
+        log_path = self.workdir / f"worker-{index}.log"
+        try:
+            text = log_path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return "<no log>"
+        tail = text.strip().splitlines()[-lines:]
+        return "\n".join(tail) if tail else "<empty log>"
 
     def _await_port(self, index: int, path: pathlib.Path) -> int:
         deadline = time.monotonic() + self.startup_timeout
         while time.monotonic() < deadline:
             if self.procs[index].poll() is not None:
+                # Fail fast: the worker died before binding (bad flags,
+                # unreadable collection, import error) -- surface its
+                # exit code and log tail instead of spinning out the
+                # full startup timeout on a port that will never come.
                 raise RuntimeError(
                     f"worker {index} exited with "
-                    f"{self.procs[index].returncode} before binding; see "
-                    f"{self.workdir / f'worker-{index}.log'}"
+                    f"{self.procs[index].returncode} before binding; "
+                    f"log tail ({self.workdir / f'worker-{index}.log'}):\n"
+                    f"{self._log_tail(index)}"
                 )
             try:
                 text = path.read_text().strip()
@@ -641,8 +943,157 @@ class ClusterSupervisor:
             f"{self.startup_timeout}s; see {self.workdir / f'worker-{index}.log'}"
         )
 
+    # -- failure watch -------------------------------------------------
+
+    def _note(
+        self,
+        kind: str,
+        on_event: Optional[Callable[[Dict], None]],
+        **fields,
+    ) -> None:
+        event: Dict = {"kind": kind, **fields}
+        self.events.append(event)
+        if on_event is not None:
+            on_event(event)
+
+    async def monitor(
+        self,
+        router: Optional[ClusterRouter] = None,
+        *,
+        poll_interval: float = 0.05,
+        on_event: Optional[Callable[[Dict], None]] = None,
+    ) -> None:
+        """Exit-watch + heartbeats: run as a task next to the router.
+
+        Restarts crashed workers (exponential backoff, circuit breaker)
+        and, when a ``router`` is given, keeps its health view current:
+        DOWN the moment the process is gone -- ahead of any client
+        timing out on it -- and UP again at :meth:`ClusterRouter.update_worker`
+        once the respawn binds.  Runs until cancelled or :meth:`stop`.
+        """
+        last_heartbeat = time.monotonic()
+        while not self._stopping:
+            for index in range(self.partition.num_shards):
+                if self._stopping:
+                    return
+                if self.broken[index] or index >= len(self.procs):
+                    continue
+                if self.procs[index].poll() is not None:
+                    await self._handle_crash(index, router, on_event)
+            now = time.monotonic()
+            if (
+                self.heartbeat_interval > 0
+                and now - last_heartbeat >= self.heartbeat_interval
+                and not self._stopping
+            ):
+                last_heartbeat = now
+                await self._heartbeat_sweep(on_event)
+            await asyncio.sleep(poll_interval)
+
+    async def _handle_crash(
+        self,
+        index: int,
+        router: Optional[ClusterRouter],
+        on_event: Optional[Callable[[Dict], None]],
+    ) -> None:
+        code = self.procs[index].returncode
+        now = time.monotonic()
+        window = self._crash_times[index]
+        window.append(now)
+        self._crash_times[index] = window = [
+            t for t in window if now - t <= self.crash_window
+        ]
+        self._hb_misses[index] = 0
+        if router is not None:
+            router.set_health(index, ShardHealth.DOWN)
+        self._note(
+            "crash", on_event, shard=index, code=code, crashes=len(window)
+        )
+        if len(window) > self.max_restarts:
+            # Crash loop: stop burning CPU on doomed respawns.  The
+            # shard stays DOWN (RETRY_AFTER at the front door) until an
+            # operator intervenes; everything else keeps streaming.
+            self.broken[index] = True
+            self._note("circuit_open", on_event, shard=index, crashes=len(window))
+            return
+        backoff = min(
+            self.restart_backoff_cap,
+            self.restart_backoff * (2 ** (len(window) - 1)),
+        )
+        await asyncio.sleep(backoff)
+        if self._stopping:
+            return
+        try:
+            worker = await asyncio.to_thread(self.restart_worker, index)
+        except RuntimeError as exc:
+            # The respawn itself died pre-bind; count it as another
+            # crash next sweep (poll() will see the corpse).
+            self._note("restart_failed", on_event, shard=index, error=str(exc))
+            return
+        if router is not None:
+            router.update_worker(index, worker)
+        self._note(
+            "restart",
+            on_event,
+            shard=index,
+            epoch=self.epochs[index],
+            port=worker.port,
+            backoff=backoff,
+        )
+
+    async def _heartbeat_sweep(
+        self, on_event: Optional[Callable[[Dict], None]]
+    ) -> None:
+        for index, worker in enumerate(self.workers):
+            if (
+                self.broken[index]
+                or index >= len(self.procs)
+                or self.procs[index].poll() is not None
+            ):
+                continue
+            if await self._heartbeat(worker):
+                self._hb_misses[index] = 0
+                continue
+            self._hb_misses[index] += 1
+            if self._hb_misses[index] >= self.heartbeat_misses:
+                # Alive but unresponsive (hung event loop, SIGSTOP):
+                # escalate to a kill; the exit-watch restarts it.
+                self._note(
+                    "heartbeat_kill",
+                    on_event,
+                    shard=index,
+                    misses=self._hb_misses[index],
+                )
+                with contextlib.suppress(ProcessLookupError, OSError):
+                    self.procs[index].kill()
+
+    async def _heartbeat(self, worker: WorkerAddress) -> bool:
+        """One STATUS round trip; False = no reply inside the timeout."""
+        try:
+            return await asyncio.wait_for(
+                self._heartbeat_once(worker), self.heartbeat_timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            return False
+
+    @staticmethod
+    async def _heartbeat_once(worker: WorkerAddress) -> bool:
+        reader, writer = await asyncio.open_connection(worker.host, worker.port)
+        try:
+            writer.write(encode_text("STATUS"))
+            await writer.drain()
+            kind, payload = await read_frame(reader)
+            return kind is FrameKind.TEXT and payload.startswith(b"STATUS")
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- drain ---------------------------------------------------------
+
     def stop(self) -> List[int]:
         """SIGINT every worker (graceful drain) and collect exit codes."""
+        self._stopping = True  # the monitor must not restart drainees
         for proc in self.procs:
             if proc.poll() is None:
                 with contextlib.suppress(ProcessLookupError, OSError):

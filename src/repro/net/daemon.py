@@ -82,6 +82,7 @@ from repro.obs.telemetry import (
 from repro.obs.telemetry.tracing import TRACE_TOKEN
 from repro.sim.config import SimulationConfig
 from repro.sim.simulation import make_server
+from repro.tools.persist import QueryJournal
 from repro.xpath.parser import parse_query
 
 
@@ -125,6 +126,13 @@ class DaemonConfig:
     #: a ``shard`` label.  ``None`` = the unchanged standalone daemon,
     #: byte-identical to before the cluster tier existed.
     shard: Optional[ShardIdentity] = None
+    #: write-ahead journal of admitted queries (crash-resume).  When
+    #: set, every fresh uplink admission is journaled *before* its ACK
+    #: leaves the socket and marked done only after the cycle carrying
+    #: its last document has fully streamed; on boot the daemon replays
+    #: admitted-but-unsatisfied entries, so pending state survives
+    #: SIGKILL.  ``None`` = no journal, behaviour unchanged.
+    journal: Optional[QueryJournal] = None
 
 
 @dataclass
@@ -150,6 +158,10 @@ class DaemonStats:
     bytes_streamed: int = 0
     #: subscribers dropped for exceeding ``max_buffered_bytes``
     slow_consumers_evicted: int = 0
+    #: keyed resubmits re-admitted fresh because their original
+    #: admission had already completed -- the client reconnected after
+    #: missing the broadcast, so the documents must air again
+    redelivered_total: int = 0
     errors_total: int = 0
 
     @property
@@ -190,6 +202,15 @@ class BroadcastDaemon:
         self._cluster_header = (
             self.net.shard.header() if self.net.shard is not None else None
         )
+        #: restart generation advertised to clients (0 = first boot)
+        self.epoch = self.net.shard.epoch if self.net.shard is not None else 0
+        self.journal = self.net.journal
+        #: how many of ``server.completed`` already have a journal
+        #: ``done`` record (completed only ever grows, in order)
+        self._journal_done_idx = 0
+        #: queries rehydrated from the journal at boot
+        self.journal_replayed = 0
+        self._aborting = False
 
         self.port: Optional[int] = None
         self._tcp: Optional[asyncio.base_events.Server] = None
@@ -287,6 +308,8 @@ class BroadcastDaemon:
             self._obs_previous = obs.get_registry() if self._obs_was_enabled else None
             self._obs_installed = self.telemetry.registry or MetricsRegistry()
             obs.enable(self._obs_installed)
+        if self.journal is not None:
+            self._resume_from_journal()
         self._tcp = await asyncio.start_server(
             self._handle_connection, self.net.host, self.net.port
         )
@@ -305,6 +328,79 @@ class BroadcastDaemon:
                 port=self.metrics_port,
             )
         self._loop_task = asyncio.create_task(self._broadcast_loop())
+
+    def _resume_from_journal(self) -> int:
+        """Rehydrate pending queries from the write-ahead journal.
+
+        Runs once at boot, before the socket binds: outstanding entries
+        (admitted, never marked done) are compacted out of the old
+        journal and re-admitted through the unchanged ``server.submit``
+        path -- same arrivals, same admission order, same client keys.
+        Because the keys go through the idempotent-uplink dedup, a
+        client that resubmits after reconnecting maps onto the replayed
+        query instead of being served twice.
+        """
+        assert self.journal is not None
+        if not self.journal.path.exists():
+            self.journal.open()
+            return 0
+        state = self.journal.load()
+        if state.torn_tail:
+            self.events.warning("journal_torn_tail", path=str(self.journal.path))
+        self.journal.compact(state.outstanding, epoch=self.epoch)
+        self.journal.open()
+        replayed = 0
+        for entry in state.outstanding:
+            try:
+                query = parse_query(entry.query)
+            except ValueError:
+                continue
+            dedup_before = self.server.uplink_dedup_hits
+            try:
+                pending = self.server.submit(
+                    query, entry.arrival, client_key=entry.client_key
+                )
+            except ValueError:
+                continue  # e.g. empty result set after a collection change
+            if self.server.uplink_dedup_hits == dedup_before:
+                self.journal.record_admit(
+                    pending.query_id,
+                    entry.query,
+                    pending.arrival_time,
+                    entry.client_key,
+                    epoch=self.epoch,
+                )
+            replayed += 1
+            self.stats.admitted_total += 1
+        self.journal_replayed = replayed
+        if replayed:
+            self._wake.set()
+            self.events.warning(
+                "journal_replayed",
+                replayed=replayed,
+                epoch=self.epoch,
+                path=str(self.journal.path),
+            )
+            if self.flight is not None:
+                self.flight.context["journal_replayed"] = replayed
+                self.flight.context["epoch"] = self.epoch
+            self.dump_flight("crash_resume")
+        return replayed
+
+    def _journal_mark_done(self) -> None:
+        """Journal ``done`` for queries completed since the last cycle.
+
+        ``server.completed`` only ever appends, so a cursor suffices.
+        Runs *after* the cycle has fully streamed: a kill mid-stream
+        must replay the query (the client never got its bytes), even
+        though the server marked it satisfied at build time.
+        """
+        if self.journal is None:
+            return
+        completed = self.server.completed
+        while self._journal_done_idx < len(completed):
+            self.journal.record_done(completed[self._journal_done_idx].query_id)
+            self._journal_done_idx += 1
 
     def start_broadcast(self) -> None:
         """Release cycling (replay mode with ``autostart=False``)."""
@@ -513,6 +609,26 @@ class BroadcastDaemon:
             pending = self.server.submit(query, arrival, client_key=key)
         except ValueError as exc:
             return _reject(f"ERR {exc}")
+        if (
+            key is not None
+            and self.server.uplink_dedup_hits > dedup_before
+            and pending.is_satisfied
+        ):
+            # Redelivery: the dedup hit points at an admission that
+            # already completed, so its documents aired while this
+            # client was disconnected and will never re-air on their
+            # own.  A resubmit after a reconnect means the client
+            # missed them -- forget the entry and admit fresh.
+            self.server.forget_uplink_key(key, str(query))
+            dedup_before = self.server.uplink_dedup_hits
+            try:
+                pending = self.server.submit(query, arrival, client_key=key)
+            except ValueError as exc:
+                return _reject(f"ERR {exc}")
+            self.stats.redelivered_total += 1
+            self.events.info(
+                "redeliver", query_id=pending.query_id, key=key
+            )
         conn.query_ids.add(pending.query_id)
         self.stats.admitted_total += 1
         if trace_id is not None:
@@ -521,6 +637,18 @@ class BroadcastDaemon:
         if self.server.uplink_dedup_hits > dedup_before:
             self.events.info(
                 "dedup_hit", query_id=pending.query_id, key=key
+            )
+        elif self.journal is not None:
+            # Write-ahead: the admit record is flushed before the ACK
+            # leaves, so an acknowledged query can never be lost to a
+            # crash.  Dedup hits are not re-journaled -- the original
+            # admission already covers them.
+            self.journal.record_admit(
+                pending.query_id,
+                str(query),
+                pending.arrival_time,
+                key,
+                epoch=self.epoch,
             )
         self.events.info(
             "admit",
@@ -580,6 +708,7 @@ class BroadcastDaemon:
             "admitted": self.stats.admitted_total,
             "rejected": self.stats.rejected_total,
             "dedup_hits": self.server.uplink_dedup_hits,
+            "redelivered": self.stats.redelivered_total,
             "degraded_cycles": self.server.degraded_cycles,
             "draining": self._draining,
             "num_channels": self.config.num_data_channels or 1,
@@ -588,6 +717,9 @@ class BroadcastDaemon:
         if self.net.shard is not None:
             status["shard"] = self.net.shard.index
             status["num_shards"] = self.net.shard.partition.num_shards
+            status["epoch"] = self.epoch
+        if self.journal is not None:
+            status["journal_replayed"] = self.journal_replayed
         return status
 
     # ------------------------------------------------------------------
@@ -633,6 +765,9 @@ class BroadcastDaemon:
             ),
             Family("net.slow_consumers_evicted", "counter").add(
                 stats.slow_consumers_evicted, **labels
+            ),
+            Family("net.queries_redelivered", "counter").add(
+                stats.redelivered_total, **labels
             ),
             Family("net.uplink_errors", "counter").add(stats.errors_total, **labels),
             Family("net.connections_open", "gauge").add(
@@ -706,6 +841,7 @@ class BroadcastDaemon:
                 await self._stream_cycle(cycle)
                 if self.server.acknowledged_delivery:
                     await self._collect_acks(cycle)
+                self._journal_mark_done()
         finally:
             await self._shutdown()
 
@@ -1031,6 +1167,8 @@ class BroadcastDaemon:
 
     async def _shutdown(self) -> None:
         """Drain epilogue: SERVER_BYE to every subscriber, close sockets."""
+        if self._aborting:
+            return  # abort() already tore everything down, no goodbyes
         self.events.info(
             "server_bye",
             completed=len(self.server.completed),
@@ -1048,6 +1186,12 @@ class BroadcastDaemon:
         if self._metrics_http is not None:
             await self._metrics_http.stop()
             self._metrics_http = None
+        if self.journal is not None:
+            self.journal.close()
+        self._restore_obs()
+        self._done.set()
+
+    def _restore_obs(self) -> None:
         if self.telemetry is not None and self.telemetry.wants_registry:
             # Put the process-wide obs state back the way we found it --
             # but only if this daemon's registry is still the active one.
@@ -1060,6 +1204,45 @@ class BroadcastDaemon:
                 else:
                     obs.disable()
             self._obs_installed = None
+
+    async def abort(self) -> None:
+        """Crash the daemon: the in-process analogue of ``SIGKILL``.
+
+        No drain, no ``SERVER_BYE``, no journal compaction -- sockets
+        are reset mid-frame and pending queries are simply dropped on
+        the floor.  Everything a real crash would leak into the OS is
+        released (ports, tasks, the obs registry) so tests can boot a
+        successor daemon in the same process and exercise the journal
+        replay + client resume path deterministically.
+        """
+        if self._done.is_set():
+            return
+        self._aborting = True
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        for conn in list(self._connections):
+            conn.closed = True
+            try:
+                conn.writer.transport.abort()  # RST, not FIN: a crash
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._connections.clear()
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
+            self._metrics_http = None
+        if self.journal is not None:
+            # Close the handle only: the journal *file* keeps its
+            # admitted-not-done records -- that is the crash contract.
+            self.journal.close()
+        self._restore_obs()
         self._done.set()
 
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.broadcast.partition import PartitionMap
-from repro.net.client import AsyncTwoTierClient, Backpressure
+from repro.net.client import AsyncTwoTierClient, Backpressure, WireError
 from repro.net.clock import ClockAdapter, MonotonicClock
 from repro.xpath.generator import generate_workload
 
@@ -234,6 +234,7 @@ async def run_load(
     clock: Optional[ClockAdapter] = None,
     max_retries: int = 8,
     retry_delay: float = 0.05,
+    resume: bool = False,
 ) -> LoadReport:
     """Execute *plan* open-loop against ``host:port``.
 
@@ -243,6 +244,14 @@ async def run_load(
     worker.  ``None`` -> unpinned sessions for a single daemon or a
     proxying front door.  ``RETRY_AFTER`` backpressure is retried up to
     ``max_retries`` times with a fixed ``retry_delay``.
+
+    A connection torn down mid-dialogue (reset, broken pipe, EOF in
+    the middle of a reply, corrupt frame) is a crash or restart of the
+    peer, not a verdict on the query -- those are retried on the same
+    schedule as backpressure rather than counted as failures.
+    ``resume=True`` additionally arms each session's own in-client
+    reconnect loop (idempotent resubmit under its ``client_key``),
+    which is what the chaos/availability benches run with.
     """
     wall = clock or MonotonicClock()
     t0 = wall.now()
@@ -263,6 +272,16 @@ async def run_load(
             else None
         )
         started = wall.now()
+        #: mid-dialogue teardown = the peer died or restarted; treat it
+        #: exactly like backpressure (the retry, not the failure, is
+        #: the correct account of a self-healing cluster)
+        transient = (
+            ConnectionResetError,
+            BrokenPipeError,
+            ConnectionRefusedError,
+            asyncio.IncompleteReadError,
+            WireError,
+        )
         for attempt in range(max_retries + 1):
             client = AsyncTwoTierClient(
                 spec.query,
@@ -270,6 +289,7 @@ async def run_load(
                 port=port,
                 client_key=spec.client_key,
                 shard=shard,
+                resume=resume,
             )
             try:
                 client_report = await client.run()
@@ -280,7 +300,16 @@ async def run_load(
                     return
                 await asyncio.sleep(retry_delay * (attempt + 1))
                 continue
-            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            except transient as exc:
+                report.retries += 1
+                if attempt == max_retries:
+                    _record_failure(
+                        spec, f"transient retries exhausted: {exc}"
+                    )
+                    return
+                await asyncio.sleep(retry_delay * (attempt + 1))
+                continue
+            except (ConnectionError, OSError) as exc:
                 _record_failure(spec, f"{type(exc).__name__}: {exc}")
                 return
             if client_report.satisfied:

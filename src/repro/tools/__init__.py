@@ -2,14 +2,20 @@
 
 * :mod:`repro.tools.persist` -- save/load document collections and query
   workloads to disk, so experiments can run against externally curated
-  data sets instead of freshly generated ones;
+  data sets instead of freshly generated ones; also the per-shard
+  write-ahead :class:`~repro.tools.persist.QueryJournal` behind the
+  daemon's crash-resume path;
 * :mod:`repro.tools.trace` -- export a broadcast run as a JSONL trace
   (one record per cycle, plus client summaries) and compute summary
   statistics from traces.
 """
 
 from repro.tools.persist import (
+    JournalEntry,
+    JournalState,
+    QueryJournal,
     load_collection,
+    load_journal,
     load_workload,
     save_collection,
     save_workload,
@@ -28,7 +34,11 @@ from repro.tools.compare import (
 )
 
 __all__ = [
+    "JournalEntry",
+    "JournalState",
+    "QueryJournal",
     "load_collection",
+    "load_journal",
     "load_workload",
     "save_collection",
     "save_workload",

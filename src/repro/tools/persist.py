@@ -1,4 +1,4 @@
-"""Disk persistence for collections and workloads.
+"""Disk persistence for collections, workloads, and query journals.
 
 Layout of a saved collection directory::
 
@@ -10,13 +10,34 @@ blank lines ignored), so they are hand-editable.
 
 Everything round-trips exactly: documents are re-parsed with the
 library's own parser and compared structurally in tests.
+
+:class:`QueryJournal` is the per-shard write-ahead journal behind the
+daemon's crash-resume path: one JSON record per line, appended and
+flushed *before* an uplink ``ACK`` leaves the socket (``admit``) and
+after a cycle carrying the query's last document has fully streamed
+(``done``).  A worker killed with ``SIGKILL`` therefore loses at most
+work it never acknowledged; every admitted-but-unsatisfied query is
+recoverable as ``admits - dones``.  Records::
+
+    {"kind": "journal", "format": 1}                            # header
+    {"kind": "admit", "query_id": 3, "query": "//nitf",
+     "arrival": 120, "client_key": 7}                           # pre-ACK
+    {"kind": "done", "query_id": 3}                             # post-cycle
+    {"kind": "resume", "epoch": 2, "replayed": 4}               # on boot
+
+A torn final line (the record being written when the process died) is
+tolerated and dropped; corruption anywhere else raises.  The journal is
+compacted on resume: outstanding entries are re-admitted by the daemon
+and re-journaled under fresh query ids in a fresh epoch section.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import pathlib
-from typing import List, Sequence, Union
+from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.xmlkit.model import XMLDocument
 from repro.xmlkit.parser import parse_document
@@ -28,6 +49,8 @@ PathLike = Union[str, pathlib.Path]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
+
+JOURNAL_FORMAT = 1
 
 
 def save_collection(documents: Sequence[XMLDocument], directory: PathLike) -> pathlib.Path:
@@ -100,3 +123,204 @@ def load_workload(file_path: PathLike) -> List[XPathQuery]:
         except ValueError as exc:
             raise ValueError(f"{path}:{line_number}: {exc}") from exc
     return queries
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One outstanding (admitted, not yet satisfied) journaled query."""
+
+    query_id: int
+    query: str
+    arrival: int
+    client_key: Optional[int] = None
+    epoch: int = 0
+
+
+@dataclasses.dataclass
+class JournalState:
+    """Decoded journal contents, ready for replay and audit.
+
+    ``outstanding`` preserves admission order -- replaying it through
+    ``server.submit`` reproduces the dead worker's pending set exactly
+    (same arrivals, same relative order, fresh query ids).
+    """
+
+    outstanding: List[JournalEntry] = dataclasses.field(default_factory=list)
+    admits: List[JournalEntry] = dataclasses.field(default_factory=list)
+    done_ids: List[int] = dataclasses.field(default_factory=list)
+    resumes: int = 0
+    torn_tail: bool = False
+
+    def admit_counts(self) -> Dict[Tuple[Optional[int], str], int]:
+        """Admissions per ``(client_key, query)`` across all epochs."""
+        counts: Dict[Tuple[Optional[int], str], int] = {}
+        for entry in self.admits:
+            key = (entry.client_key, entry.query)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class QueryJournal:
+    """Append-only write-ahead journal of admitted queries.
+
+    Durability contract: every record is flushed to the OS before the
+    call returns, which survives ``SIGKILL`` of the process (the kernel
+    owns the page cache).  Pass ``durable=True`` to also ``fsync`` each
+    record, extending the guarantee to machine crashes at a substantial
+    per-record cost; the chaos harness only kills processes, so the
+    default is the cheap mode.
+    """
+
+    def __init__(self, path: PathLike, *, durable: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.durable = durable
+        self._file: Optional[IO[str]] = None
+        self.records_written = 0
+
+    # -- lifecycle ---------------------------------------------------
+
+    def open(self) -> None:
+        """Open for appending, writing the format header if new."""
+        if self._file is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._file = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._append({"kind": "journal", "format": JOURNAL_FORMAT})
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- writes ------------------------------------------------------
+
+    def record_admit(
+        self,
+        query_id: int,
+        query: str,
+        arrival: int,
+        client_key: Optional[int] = None,
+        *,
+        epoch: int = 0,
+    ) -> None:
+        self._append(
+            {
+                "kind": "admit",
+                "query_id": query_id,
+                "query": query,
+                "arrival": arrival,
+                "client_key": client_key,
+                "epoch": epoch,
+            }
+        )
+
+    def record_done(self, query_id: int) -> None:
+        self._append({"kind": "done", "query_id": query_id})
+
+    def record_resume(self, epoch: int, replayed: int) -> None:
+        self._append({"kind": "resume", "epoch": epoch, "replayed": replayed})
+
+    def _append(self, record: Dict) -> None:
+        if self._file is None:
+            raise RuntimeError("journal is not open")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        if self.durable:
+            os.fsync(self._file.fileno())
+        self.records_written += 1
+
+    # -- reads -------------------------------------------------------
+
+    def load(self) -> JournalState:
+        return load_journal(self.path)
+
+    def compact(self, outstanding: Sequence[JournalEntry], *, epoch: int) -> None:
+        """Rewrite the journal to just a header + resume marker.
+
+        Called at the top of crash-resume, *before* the daemon re-admits
+        ``outstanding`` (each re-admission appends a fresh ``admit``
+        record with its new query id).  The rewrite goes through a temp
+        file + ``os.replace`` so a crash mid-compaction leaves either
+        the old journal or the new one, never a half-written file.
+        """
+        if self._file is not None:
+            raise RuntimeError("compact before open(), not after")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"kind": "journal", "format": JOURNAL_FORMAT}) + "\n"
+            )
+            handle.write(
+                json.dumps(
+                    {"kind": "resume", "epoch": epoch, "replayed": len(outstanding)},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+
+def load_journal(path: PathLike) -> JournalState:
+    """Decode a journal file into admits/dones/outstanding.
+
+    A journal that does not exist yet decodes as empty.  The *final*
+    line is allowed to be torn (truncated JSON from a mid-write kill)
+    and is dropped; a malformed line anywhere else is corruption and
+    raises ``ValueError``.
+    """
+    journal_path = pathlib.Path(path)
+    state = JournalState()
+    if not journal_path.exists():
+        return state
+    lines = journal_path.read_text(encoding="utf-8").splitlines()
+    open_admits: Dict[int, JournalEntry] = {}
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                state.torn_tail = True
+                break
+            raise ValueError(f"{journal_path}:{number}: corrupt record") from exc
+        kind = record.get("kind")
+        if kind == "journal":
+            if record.get("format") != JOURNAL_FORMAT:
+                raise ValueError(
+                    f"unsupported journal format {record.get('format')!r}"
+                )
+        elif kind == "admit":
+            entry = JournalEntry(
+                query_id=int(record["query_id"]),
+                query=str(record["query"]),
+                arrival=int(record["arrival"]),
+                client_key=(
+                    None
+                    if record.get("client_key") is None
+                    else int(record["client_key"])
+                ),
+                epoch=int(record.get("epoch", 0)),
+            )
+            state.admits.append(entry)
+            open_admits[entry.query_id] = entry
+        elif kind == "done":
+            query_id = int(record["query_id"])
+            state.done_ids.append(query_id)
+            open_admits.pop(query_id, None)
+        elif kind == "resume":
+            state.resumes += 1
+            # a resume marker means everything before it was either
+            # replayed (and re-admitted after it) or already done
+            open_admits.clear()
+        else:
+            raise ValueError(
+                f"{journal_path}:{number}: unknown record kind {kind!r}"
+            )
+    state.outstanding = list(open_admits.values())
+    return state

@@ -414,3 +414,32 @@ class TestServeWorkersCLI:
                 proc.kill()
                 raise
         assert code == 0, proc.communicate()[1].decode()
+
+
+@pytest.mark.cluster
+class TestSupervisorFailFast:
+    """The port-file handshake must fail fast, not time out."""
+
+    def test_worker_dead_before_bind_raises_with_log_tail(self, tmp_path):
+        supervisor = ClusterSupervisor(
+            2,
+            partition_seed=PARTITION_SEED,
+            # an unreadable collection kills the worker before it binds
+            serve_args=["--collection", str(tmp_path / "no-such-collection")],
+            workdir=tmp_path / "cluster",
+            startup_timeout=120.0,
+        )
+        t0 = time.monotonic()
+        try:
+            with pytest.raises(RuntimeError) as excinfo:
+                supervisor.start()
+        finally:
+            supervisor.stop()
+        # fail-fast: the exit was noticed, not the 120s timeout
+        assert time.monotonic() - t0 < 60
+        message = str(excinfo.value)
+        assert "before binding" in message
+        assert "exited with" in message
+        assert "log tail" in message
+        # every already-spawned worker was reaped, none leaked
+        assert all(proc.poll() is not None for proc in supervisor.procs)

@@ -7,7 +7,10 @@ import json
 import pytest
 
 from repro.tools.persist import (
+    JournalEntry,
+    QueryJournal,
     load_collection,
+    load_journal,
     load_workload,
     save_collection,
     save_workload,
@@ -151,3 +154,104 @@ class TestWorkloadPersistence:
         path.write_text("/a/b\nnot-a-query\n")
         with pytest.raises(ValueError, match=":2:"):
             load_workload(path)
+
+
+class TestQueryJournal:
+    """The write-ahead journal behind the daemon's crash-resume path."""
+
+    def _journal(self, tmp_path) -> QueryJournal:
+        return QueryJournal(tmp_path / "shard.journal")
+
+    def test_admit_done_roundtrip(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        journal.record_admit(1, "//nitf", 0, client_key=7)
+        journal.record_admit(2, "//head", 40, client_key=8)
+        journal.record_done(1)
+        journal.close()
+        state = load_journal(journal.path)
+        assert [e.query_id for e in state.admits] == [1, 2]
+        assert state.done_ids == [1]
+        assert [e.query_id for e in state.outstanding] == [2]
+        assert state.outstanding[0].query == "//head"
+        assert state.outstanding[0].arrival == 40
+        assert state.outstanding[0].client_key == 8
+        assert not state.torn_tail
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = load_journal(tmp_path / "never-written.journal")
+        assert state.admits == [] and state.outstanding == []
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        journal.record_admit(1, "//nitf", 0)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as f:
+            f.write('{"kind": "admit", "query_id": 2, "qu')  # killed mid-write
+        state = load_journal(journal.path)
+        assert state.torn_tail
+        assert [e.query_id for e in state.admits] == [1]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        journal.record_admit(1, "//nitf", 0)
+        journal.close()
+        text = journal.path.read_text()
+        lines = text.splitlines()
+        lines.insert(1, "garbage not json")
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            load_journal(journal.path)
+
+    def test_compact_then_reopen_starts_fresh_epoch(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        journal.record_admit(1, "//nitf", 0, client_key=7)
+        journal.record_admit(2, "//head", 40, client_key=8)
+        journal.record_done(1)
+        journal.close()
+        outstanding = load_journal(journal.path).outstanding
+
+        fresh = QueryJournal(journal.path)
+        fresh.compact(outstanding, epoch=1)
+        fresh.open()
+        for i, entry in enumerate(outstanding):
+            fresh.record_admit(
+                10 + i, entry.query, entry.arrival,
+                client_key=entry.client_key, epoch=1,
+            )
+        fresh.record_done(10)
+        fresh.close()
+        state = load_journal(journal.path)
+        assert state.resumes == 1
+        # the compaction cleared pre-crash admits; only epoch-1 remain
+        assert [e.epoch for e in state.admits] == [1]
+        assert state.outstanding == []
+
+    def test_compact_after_open_refused(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        with pytest.raises(RuntimeError, match="compact before open"):
+            journal.compact([], epoch=1)
+        journal.close()
+
+    def test_append_requires_open(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with pytest.raises(RuntimeError, match="not open"):
+            journal.record_done(1)
+
+    def test_admit_counts_span_epochs(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.open()
+        journal.record_admit(1, "//nitf", 0, client_key=7)
+        journal.record_admit(2, "//nitf", 0, client_key=7, epoch=1)
+        journal.close()
+        counts = load_journal(journal.path).admit_counts()
+        assert counts[(7, "//nitf")] == 2
+
+    def test_entries_are_frozen(self):
+        entry = JournalEntry(1, "//a", 0)
+        with pytest.raises(Exception):
+            entry.query_id = 2  # type: ignore[misc]
