@@ -109,6 +109,67 @@ def _add_channel_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable the adaptive control plane: re-plan K/policy/hot set "
+        "each cycle from live demand (off = the static broadcast, "
+        "byte-identical to a build without this flag)",
+    )
+    parser.add_argument(
+        "--k-min", type=int, default=1, metavar="K",
+        help="adaptive: lower bound of the data-channel band",
+    )
+    parser.add_argument(
+        "--k-max", type=int, default=4, metavar="K",
+        help="adaptive: upper bound of the data-channel band",
+    )
+    parser.add_argument(
+        "--hot-set-size", type=int, default=0, metavar="N",
+        help="adaptive: promote up to N hot documents onto a fast-repeat "
+        "channel (0 = no hot channel)",
+    )
+    parser.add_argument(
+        "--control-seed", type=int, default=0,
+        help="adaptive: controller tie-break seed",
+    )
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.config import SCENARIOS
+
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIOS,
+        default=None,
+        help="shape the arrival stream: flash crowd, diurnal wave, or "
+        "popularity drift (default: the paper's constant-rate stream)",
+    )
+    parser.add_argument(
+        "--scenario-intensity", type=float, default=3.0,
+        help="peak load as a multiple of N_Q (flash/diurnal)",
+    )
+    parser.add_argument(
+        "--scenario-period", type=int, default=8,
+        help="cycles per diurnal wave / drift hot-slice rotation",
+    )
+
+
+def _control_config(args):
+    """The CLI's ControlConfig, or None when --adaptive is off."""
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.control import ControlConfig
+
+    return ControlConfig(
+        k_min=getattr(args, "k_min", 1),
+        k_max=getattr(args, "k_max", 4),
+        hot_set_size=getattr(args, "hot_set_size", 0),
+        seed=getattr(args, "control_seed", 0),
+    )
+
+
 def cmd_generate(args) -> int:
     documents = generate_collection(
         _dtd(args.dtd), args.count, config=GeneratorConfig(seed=args.seed)
@@ -223,6 +284,11 @@ def _simulation_config(args) -> SimulationConfig:
         server_caches=not getattr(args, "no_cache", False),
         num_data_channels=getattr(args, "channels", None),
         channel_allocation=getattr(args, "allocation", "balanced"),
+        adaptive=getattr(args, "adaptive", False),
+        control=_control_config(args),
+        scenario=getattr(args, "scenario", None),
+        scenario_intensity=getattr(args, "scenario_intensity", 3.0),
+        scenario_period=getattr(args, "scenario_period", 8),
     )
 
 
@@ -332,6 +398,8 @@ def cmd_serve(args) -> int:
         scheme=IndexScheme(args.scheme),
         num_data_channels=getattr(args, "channels", None),
         channel_allocation=getattr(args, "allocation", "balanced"),
+        adaptive=getattr(args, "adaptive", False),
+        control=_control_config(args),
         num_shards=num_shards,
         shard_index=shard_index,
         partition_seed=args.partition_seed,
@@ -648,6 +716,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--loss", type=float, default=0.0)
     _add_fault_args(simulate)
     _add_channel_args(simulate)
+    _add_adaptive_args(simulate)
+    _add_scenario_args(simulate)
     simulate.add_argument(
         "--no-cache",
         action="store_true",
@@ -685,6 +755,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(stats)
     _add_channel_args(stats)
+    _add_adaptive_args(stats)
+    _add_scenario_args(stats)
     stats.add_argument(
         "--no-cache",
         action="store_true",
@@ -841,6 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
         "a supervised restart (default: exit-watch only)",
     )
     _add_channel_args(serve)
+    _add_adaptive_args(serve)
     serve.set_defaults(func=cmd_serve)
 
     client = commands.add_parser(

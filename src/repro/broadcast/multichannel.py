@@ -97,6 +97,7 @@ def allocate_channels(
     num_channels: int,
     policy: str = "balanced",
     demand_sets: Optional[Mapping[int, FrozenSet[int]]] = None,
+    hot_doc_ids: Optional[Sequence[int]] = None,
 ) -> List[List[int]]:
     """Partition the schedule across *num_channels* data channels.
 
@@ -106,6 +107,15 @@ def allocate_channels(
     (document id -> ids of the pending queries still missing it) is only
     consulted by the ``demand`` policy; missing documents have empty
     demand and fall back to balanced placement.
+
+    ``hot_doc_ids`` (adaptive control plane) carves out a broadcast-disk
+    style **fast-repeat channel**: scheduled documents in the hot set are
+    pinned to channel 0 in schedule order, and the cold remainder is
+    split across the other ``num_channels - 1`` channels by *policy*.
+    Requires ``num_channels >= 2`` when any scheduled document is hot
+    (a hot channel cannot consume the only data channel); an empty or
+    non-scheduled hot set degenerates to the plain policy split, so
+    static runs (no controller, no hot set) are unaffected.
     """
     if num_channels < 1:
         raise ValueError("num_channels must be at least 1")
@@ -113,6 +123,17 @@ def allocate_channels(
         raise ValueError(
             f"unknown allocation policy {policy!r}; "
             f"choose from {ALLOCATION_POLICIES}"
+        )
+    hot_set = set(hot_doc_ids or ())
+    hot_scheduled = [d for d in scheduled_doc_ids if d in hot_set]
+    if hot_scheduled:
+        if num_channels < 2:
+            raise ValueError(
+                "a fast-repeat hot channel needs at least 2 data channels"
+            )
+        cold = [d for d in scheduled_doc_ids if d not in hot_set]
+        return [hot_scheduled] + allocate_channels(
+            cold, store, num_channels - 1, policy, demand_sets
         )
     queues: List[List[int]] = [[] for _ in range(num_channels)]
     if num_channels == 1:
@@ -250,6 +271,11 @@ class MultiChannelCycle(BroadcastCycle):
     channel_spans: Tuple[int, ...] = ()
     #: the extended second tier actually on air
     channel_offset_list: Optional[ChannelOffsetList] = None
+    #: scheduled documents pinned to the fast-repeat channel (adaptive
+    #: control plane); empty for static runs.  Reporting only -- the
+    #: physical placement itself is covered by ``doc_channels`` (and
+    #: therefore by the program signature).
+    hot_doc_ids: Tuple[int, ...] = ()
 
     @property
     def offset_list_air_bytes(self) -> int:
@@ -283,6 +309,7 @@ def build_multichannel_program(
     scheme: IndexScheme = IndexScheme.TWO_TIER,
     packing: PackingStrategy = PackingStrategy.GREEDY_DFS,
     demand_sets: Optional[Mapping[int, FrozenSet[int]]] = None,
+    hot_doc_ids: Optional[Sequence[int]] = None,
 ) -> MultiChannelCycle:
     """Assemble a K-data-channel cycle from the PCI and the schedule.
 
@@ -319,6 +346,7 @@ def build_multichannel_program(
             num_channels,
             policy=allocation,
             demand_sets=demand_sets,
+            hot_doc_ids=hot_doc_ids,
         )
 
     # Second-tier length depends only on the doc count and channel count,
@@ -388,4 +416,9 @@ def build_multichannel_program(
         channel_queues=tuple(tuple(queue) for queue in queues),
         channel_spans=tuple(spans),
         channel_offset_list=channel_offset_list,
+        hot_doc_ids=tuple(
+            doc_id
+            for doc_id in scheduled_doc_ids
+            if doc_id in set(hot_doc_ids or ())
+        ),
     )

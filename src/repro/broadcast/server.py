@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -55,6 +56,9 @@ from repro.index.pruning import PruningStats, prune_to_pci
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
 from repro.xmlkit.model import XMLDocument
 from repro.xpath.ast import XPathQuery
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (control -> broadcast)
+    from repro.control.plan import CyclePlan
 
 
 class DocumentStore:
@@ -306,6 +310,11 @@ class BroadcastServer:
         #: air for a single channel.
         self.num_data_channels = num_data_channels
         self.channel_allocation = channel_allocation
+        #: Documents promoted onto the fast-repeat channel by the adaptive
+        #: control plane (:meth:`apply_plan`).  Hot documents still
+        #: demanded are force-scheduled every cycle and pinned to data
+        #: channel 0; empty (the default) leaves scheduling untouched.
+        self.hot_doc_ids: Tuple[int, ...] = ()
         #: Incremental cycle-build caches (CI delta maintenance, pruning-DFA
         #: LRU, PCI reuse) plus demand-table reads by the scheduler.  With
         #: ``enable_caches=False`` (the CLI's ``--no-cache``) every cycle is
@@ -615,6 +624,12 @@ class BroadcastServer:
                     now,
                     demand=self.demand if self.cache is not None else None,
                 )
+                hot_on_air = self._force_hot_schedule(scheduled, requested, capacity)
+                if hot_on_air:
+                    scheduled = hot_on_air[1]
+                    hot_scheduled: Tuple[int, ...] = hot_on_air[0]
+                else:
+                    hot_scheduled = ()
             with registry.span("server.cycle_assembly") as assembly_span:
                 if self.num_data_channels is None:
                     cycle: BroadcastCycle = build_cycle_program(
@@ -642,6 +657,7 @@ class BroadcastServer:
                         scheme=self.scheme,
                         packing=self.packing,
                         demand_sets=demand_sets,
+                        hot_doc_ids=hot_scheduled,
                     )
         cycle.start_time = now
         cycle.degraded = degraded
@@ -710,6 +726,78 @@ class BroadcastServer:
         self.cycle_number += 1
         self.clock = cycle.end_time
         return cycle
+
+    def _force_hot_schedule(
+        self,
+        scheduled: Sequence[int],
+        requested: Set[int],
+        capacity: int,
+    ) -> Optional[Tuple[Tuple[int, ...], List[int]]]:
+        """Force still-demanded hot documents into the schedule.
+
+        The adaptive control plane's fast-repeat channel re-airs the hot
+        set every cycle: hot documents that are still requested are
+        prepended to the schedule (schedule order otherwise preserved)
+        and the cold tail is trimmed back under *capacity*.  Trimmed
+        documents are not lost -- they stay in their queries' remaining
+        sets (adaptive runs use acknowledged delivery) and the scheduler
+        re-picks them as their wait grows, so the cold set rotates.
+
+        Returns ``(hot_on_air, new_schedule)``, or ``None`` when the hot
+        set changes nothing (no hot set, single channel, or every hot
+        document already scheduled).
+        """
+        if not self.hot_doc_ids or (self.num_data_channels or 1) < 2:
+            return None
+        hot_requested = [d for d in self.hot_doc_ids if d in requested]
+        if not hot_requested:
+            return None
+        scheduled_set = set(scheduled)
+        missing = [d for d in hot_requested if d not in scheduled_set]
+        if not missing:
+            return tuple(hot_requested), list(scheduled)
+        schedule = missing + list(scheduled)
+        total = sum(self.store.air_bytes(d) for d in schedule)
+        hot_set = set(hot_requested)
+        # Trim cold documents from the tail until the schedule fits; hot
+        # documents are never trimmed (they are why we are here).
+        position = len(schedule) - 1
+        while total > capacity and position >= 0:
+            doc_id = schedule[position]
+            if doc_id not in hot_set:
+                total -= self.store.air_bytes(doc_id)
+                del schedule[position]
+            position -= 1
+        obs.counter("server.hot_forced_docs_total").inc(len(missing))
+        return tuple(d for d in hot_requested if d in set(schedule)), schedule
+
+    def apply_plan(self, plan: "CyclePlan") -> None:
+        """Apply an adaptive control-plane plan to the next builds.
+
+        Mutates the channel count, allocation policy and hot set between
+        cycles.  Only servers built on the multi-channel path (an
+        integer ``num_data_channels``, which K=1 joins byte-identically)
+        accept plans: flipping a single-channel server to the
+        multi-channel builder mid-run would change its program layout
+        contract under the clients already listening.
+        """
+        if self.num_data_channels is None:
+            raise RuntimeError(
+                "apply_plan requires the multi-channel builder; construct "
+                "the server with num_data_channels set (1 is byte-identical "
+                "to the single-channel program)"
+            )
+        if plan.num_channels < 1:
+            raise ValueError("plan.num_channels must be at least 1")
+        if plan.num_channels > 1 and self.scheme is not IndexScheme.TWO_TIER:
+            raise ValueError("multi-channel broadcast requires the two-tier scheme")
+        if plan.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(f"unknown allocation policy {plan.allocation!r}")
+        if plan.hot_doc_ids and plan.num_channels < 2:
+            raise ValueError("a hot channel needs at least 2 data channels")
+        self.num_data_channels = plan.num_channels
+        self.channel_allocation = plan.allocation
+        self.hot_doc_ids = tuple(plan.hot_doc_ids)
 
     def _degraded_pci(
         self, ci: CompactIndex, queries: Sequence[XPathQuery]

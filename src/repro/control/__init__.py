@@ -1,0 +1,23 @@
+"""Adaptive broadcast control plane.
+
+Re-plans the broadcast cycle under shifting demand: a deterministic
+feedback controller (:class:`AdaptiveController`) watches the demand
+table and per-cycle observations and emits :class:`CyclePlan` deltas --
+grow/shrink the data-channel count K, switch the allocation policy via
+an exact counterfactual policy-regret estimator, promote hot documents
+onto a fast-repeat channel, and shed cold queries under overload.
+
+Off by default: without ``--adaptive`` no controller is constructed and
+static runs stay byte-identical (pinned by ``program_signature``
+differential tests).
+"""
+
+from repro.control.controller import AdaptiveController, Observation
+from repro.control.plan import ControlConfig, CyclePlan
+
+__all__ = [
+    "AdaptiveController",
+    "ControlConfig",
+    "CyclePlan",
+    "Observation",
+]

@@ -53,6 +53,7 @@ from repro import obs
 from repro.broadcast.server import BuildBudget
 from repro.obs.telemetry import EventLog, FlightRecorder, NullEventLog
 from repro.client.lossy import LossyTwoTierClient
+from repro.client.multichannel import MultiChannelTwoTierClient
 from repro.client.protocol import FirstTierRead
 from repro.faults.plan import FaultPlan, UplinkOutcome
 from repro.sim.config import SimulationConfig
@@ -182,6 +183,17 @@ class ChaosSimulation(Simulation):
                 dropped_attempts=0,
                 lost_acks=0,
             )
+        if self._queue.now > outcome.deliveries[0]:
+            # Governor-deferred re-admission: the retry reaches the
+            # uplink *now*, not at the original arrival stamp (the
+            # engine rejects scheduling in the past).  Shift the whole
+            # replayed schedule forward, preserving the fault pattern.
+            delta = self._queue.now - outcome.deliveries[0]
+            outcome = replace(
+                outcome,
+                deliveries=tuple(t + delta for t in outcome.deliveries),
+                ack_time=outcome.ack_time + delta,
+            )
         stats = self.fault_stats
         stats["uplink_attempts"] += outcome.attempts
         stats["uplink_dropped"] += outcome.dropped_attempts
@@ -209,7 +221,14 @@ class ChaosSimulation(Simulation):
         # The client exists from the start but can only listen once its
         # admission is acknowledged -- before the ACK it does not know the
         # server heard it, so it keeps retrying instead of tuning in.
-        client = LossyTwoTierClient(
+        # Adaptive chaos runs use the loss-aware single-tuner multichannel
+        # client: the controller may re-plan K mid-run and the monitors
+        # must hold across the transition (conflict deferrals included);
+        # at K=1 it behaves exactly like the lossy two-tier client.
+        client_cls = (
+            MultiChannelTwoTierClient if self.config.adaptive else LossyTwoTierClient
+        )
+        client = client_cls(
             plan.query,
             outcome.ack_time,
             client_key=client_key,
@@ -265,7 +284,8 @@ class ChaosSimulation(Simulation):
     def _cycle_event(self) -> None:
         mode = self.plan.mutation(self.server.cycle_number)
         if mode == "add":
-            self._inject_add()
+            if not self._admission_window_open():
+                self._inject_add()
         elif mode == "remove":
             self._inject_remove(self.server.cycle_number)
         built_before = self.server.cycle_number
@@ -295,6 +315,29 @@ class ChaosSimulation(Simulation):
                 if self.flight is not None and self.flight_dir is not None:
                     self.flight.dump(self.flight_dir, "chaos-invariant")
                 raise
+
+    def _admission_window_open(self) -> bool:
+        """True while some admitted query's client has not yet locked
+        its expected set.
+
+        The server resolves a query at admission; the client locks its
+        expected set from the first index it decodes -- the *next*
+        cycle's.  A document added inside that window appears in the
+        client's snapshot but not the server's, so the client would
+        wait forever for a document the server never owed it.  The
+        protocol leaves mid-admission mutations undefined, so the
+        harness holds the add for a cycle (mirroring how
+        :meth:`_inject_remove` protects documents pending sessions
+        still need)."""
+        return any(
+            session.pending is not None
+            and not session.satisfied
+            and any(
+                client.expected_doc_ids is None
+                for client in session.clients
+            )
+            for session in self.sessions
+        )
 
     def _inject_add(self) -> None:
         document = self._doc_generator.generate(self._next_doc_id)

@@ -100,6 +100,9 @@ class ClientReport:
     resumes: int = 0
     #: restarted-worker detections (ShardIdentity epoch bumps observed)
     epoch_bumps: int = 0
+    #: mid-session channel-count changes observed in CYCLE_BEGIN plan
+    #: headers (adaptive daemon only; the protocol re-tunes in place)
+    k_retunes: int = 0
 
     @property
     def access_bytes(self) -> int:
@@ -183,6 +186,12 @@ class AsyncTwoTierClient:
         self.query_id: Optional[int] = None
         self.num_channels = 1
         self.ack_required = False
+        #: the daemon advertised an adaptive control plane in its TUNED
+        #: banner: channel count may change mid-session, so the session
+        #: always runs the multi-channel protocol and follows the
+        #: ``plan`` key of each CYCLE_BEGIN header
+        self.adaptive = False
+        self.k_retunes = 0
         self._checksum = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -224,6 +233,7 @@ class AsyncTwoTierClient:
         info = json.loads(rest)
         self.num_channels = int(info.get("num_channels", 1))
         self.ack_required = bool(info.get("ack_required", False))
+        self.adaptive = bool(info.get("adaptive", False))
         self._checksum = int(info.get("checksum_bytes", 0))
         cluster = info.get("cluster")
         if cluster is not None:
@@ -314,6 +324,15 @@ class AsyncTwoTierClient:
                 continue
             assert decoder.last_header is not None
             signatures.append(decoder.last_header["signature"])
+            plan = decoder.last_header.get("plan")
+            if plan is not None:
+                new_k = int(plan.get("k", self.num_channels))
+                if new_k != self.num_channels:
+                    # Mid-session K change: the multi-channel protocol
+                    # replans from each cycle's own layout, so following
+                    # the plan is just bookkeeping -- no protocol reset.
+                    self.k_retunes += 1
+                    self.num_channels = new_k
             cluster = decoder.last_header.get("cluster")
             if cluster is not None:
                 self._check_cluster(cluster)
@@ -360,6 +379,7 @@ class AsyncTwoTierClient:
             dropped=dropped and not satisfied,
             resumes=self.resumes,
             epoch_bumps=self.epoch_bumps,
+            k_retunes=self.k_retunes,
         )
 
     async def run(self) -> ClientReport:
@@ -446,7 +466,7 @@ class AsyncTwoTierClient:
         if self.protocol is not None:
             return self.protocol
         assert self.arrival_time is not None
-        if self.num_channels > 1:
+        if self.num_channels > 1 or self.adaptive:
             self.protocol = MultiChannelTwoTierClient(
                 self.query,
                 self.arrival_time,

@@ -80,8 +80,9 @@ from repro.obs.telemetry import (
     render_openmetrics,
 )
 from repro.obs.telemetry.tracing import TRACE_TOKEN
+from repro.control import Observation
 from repro.sim.config import SimulationConfig
-from repro.sim.simulation import make_server
+from repro.sim.simulation import make_controller, make_server
 from repro.tools.persist import QueryJournal
 from repro.xpath.parser import parse_query
 
@@ -149,6 +150,8 @@ class DaemonStats:
     admitted_total: int = 0
     rejected_overload: int = 0
     rejected_closed: int = 0
+    #: cold queries deferred by the adaptive admission governor
+    rejected_shed: int = 0
     cycles_streamed: int = 0
     frames_sent: int = 0
     #: frames serialised via :func:`~repro.net.framing.encode_frame`;
@@ -166,7 +169,7 @@ class DaemonStats:
 
     @property
     def rejected_total(self) -> int:
-        return self.rejected_overload + self.rejected_closed
+        return self.rejected_overload + self.rejected_closed + self.rejected_shed
 
 
 @dataclass
@@ -233,6 +236,15 @@ class BroadcastDaemon:
 
         #: operational counters; STATUS and /metrics both read from here
         self.stats = DaemonStats()
+
+        #: adaptive control plane (``None`` without ``--adaptive``: the
+        #: static daemon stays byte-identical, headers included)
+        self.controller = make_controller(self.config, store)
+        self._active_plan = (
+            self.controller.current_plan(self.server.cycle_number)
+            if self.controller is not None
+            else None
+        )
 
         #: trace_id -> the connection that submitted it: finished
         #: timelines ride only that connection's CYCLE_END trailer, so
@@ -602,6 +614,19 @@ class BroadcastDaemon:
             query = parse_query(" ".join(tokens))
         except ValueError as exc:
             return _reject(f"ERR {exc}")
+        if (
+            self.controller is not None
+            and self.controller.shedding
+            and self.controller.is_cold(self.server.resolve(query))
+        ):
+            # Admission governor: under overload, cold queries (no
+            # overlap with the hot set) are deferred, not queued -- the
+            # hint is the controller's configured backoff in cycles.
+            self.controller.record_shed()
+            self.stats.rejected_shed += 1
+            self.events.info("shed", query=str(query))
+            hint = self.controller.control.retry_after_cycles
+            return _reject(f"RETRY_AFTER {hint}" + suffix)
         if arrival is None:
             arrival = self._arrival_now()
         dedup_before = self.server.uplink_dedup_hits
@@ -676,6 +701,9 @@ class BroadcastDaemon:
         }
         if self._cluster_header is not None:
             info["cluster"] = self._cluster_header
+        if self.controller is not None:
+            info["adaptive"] = True
+            info["num_channels"] = self.controller.num_channels
         return info
 
     def _record_ack(self, rest: str) -> None:
@@ -714,6 +742,13 @@ class BroadcastDaemon:
             "num_channels": self.config.num_data_channels or 1,
             "bandwidth": self.net.bandwidth,
         }
+        if self.controller is not None:
+            status["adaptive"] = True
+            status["num_channels"] = self.controller.num_channels
+            status["allocation"] = self.controller.allocation
+            status["shedding"] = self.controller.shedding
+            status["shed_queries"] = self.controller.shed_queries
+            status["plan_changes"] = self.controller.plan_changes
         if self.net.shard is not None:
             status["shard"] = self.net.shard.index
             status["num_shards"] = self.net.shard.partition.num_shards
@@ -745,7 +780,7 @@ class BroadcastDaemon:
         rejected = Family("net.queries_rejected", "counter")
         rejected.add(stats.rejected_overload, reason="overload", **labels)
         rejected.add(stats.rejected_closed, reason="closed", **labels)
-        return [
+        families = [
             Family("net.connections", "counter").add(
                 stats.connections_total, **labels
             ),
@@ -782,6 +817,32 @@ class BroadcastDaemon:
             Family("net.clock_bytes", "gauge").add(self.server.clock, **labels),
             Family("net.draining", "gauge").add(int(self._draining), **labels),
         ]
+        if self.controller is not None:
+            # num_channels / hot_set_size / shedding are NOT mirrored
+            # here: the controller writes those gauges straight into the
+            # process-wide obs registry (which /metrics always installs),
+            # and OpenMetrics forbids declaring a family twice.
+            ctl = self.controller
+            families.extend(
+                [
+                    Family("control.allocation", "gauge").add(
+                        1, policy=ctl.allocation, **labels
+                    ),
+                    Family("control.shed_queries", "counter").add(
+                        ctl.shed_queries, **labels
+                    ),
+                    Family("control.plan_changes", "counter").add(
+                        ctl.plan_changes, **labels
+                    ),
+                    Family("control.k_changes", "counter").add(
+                        ctl.k_changes, **labels
+                    ),
+                    Family("control.policy_switches", "counter").add(
+                        ctl.policy_switches, **labels
+                    ),
+                ]
+            )
+        return families
 
     def _metrics_text(self) -> str:
         """Render the registry snapshot + daemon stats (synchronously:
@@ -841,6 +902,7 @@ class BroadcastDaemon:
                 await self._stream_cycle(cycle)
                 if self.server.acknowledged_delivery:
                     await self._collect_acks(cycle)
+                self._observe_cycle(cycle)
                 self._journal_mark_done()
         finally:
             await self._shutdown()
@@ -880,6 +942,29 @@ class BroadcastDaemon:
                 }
             )
 
+    def _observe_cycle(self, cycle: BroadcastCycle) -> None:
+        """Adaptive feedback step: runs after the ack barrier so the
+        controller sees post-delivery demand, exactly like the
+        simulator's cycle hook.  The plan it emits shapes the *next*
+        build; a shape change lands in the event log (and thus trace
+        v3 / the flight recorder)."""
+        if self.controller is None:
+            return
+        previous = self._active_plan
+        plan = self.controller.observe(Observation.from_server(self.server, cycle))
+        self.server.apply_plan(plan)
+        self._active_plan = plan
+        if previous is None or not plan.same_shape(previous):
+            self.events.info(
+                "plan_change",
+                cycle=cycle.cycle_number,
+                k=plan.num_channels,
+                policy=plan.allocation,
+                hot=list(plan.hot_doc_ids),
+                shed=plan.shed,
+                reason=plan.reason,
+            )
+
     async def _wait_for_work(self) -> bool:
         """Block until a cycle should build; False means shut down."""
         while True:
@@ -916,6 +1001,11 @@ class BroadcastDaemon:
             self.store,
             ack_required=ack_required,
             cluster=self._cluster_header,
+            plan=(
+                self._active_plan.header()
+                if self._active_plan is not None
+                else None
+            ),
         )
         # Share-once assembly: every frame is serialised exactly once
         # per cycle, and the *same* bytes objects fan out to all

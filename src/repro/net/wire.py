@@ -97,6 +97,7 @@ def cycle_header(
     cycle: BroadcastCycle,
     ack_required: bool = False,
     cluster: Optional[Dict] = None,
+    plan: Optional[Dict] = None,
 ) -> Dict:
     """The CYCLE_BEGIN header describing everything but the bytes.
 
@@ -105,6 +106,10 @@ def cycle_header(
     embedded only when given, so an unsharded daemon's headers stay
     byte-identical to before the cluster tier existed (and the decoder
     ignores unknown keys, so old clients keep working against shards).
+    ``plan`` is an adaptive daemon's active control-plane plan
+    (:meth:`~repro.control.plan.CyclePlan.header`), embedded under the
+    same opt-in contract: static daemons never carry the key, so their
+    headers stay byte-identical to before the control plane existed.
     """
     model = cycle.pci.size_model
     header: Dict = {
@@ -138,6 +143,8 @@ def cycle_header(
         header["multichannel"] = False
     if cluster is not None:
         header["cluster"] = cluster
+    if plan is not None:
+        header["plan"] = plan
     return header
 
 
@@ -167,6 +174,7 @@ def encode_cycle(
     store,
     ack_required: bool = False,
     cluster: Optional[Dict] = None,
+    plan: Optional[Dict] = None,
 ) -> List[WireFrame]:
     """Serialise one cycle into its downlink frames, in streaming order."""
     label_table = LabelTable.from_index(cycle.pci)
@@ -183,7 +191,9 @@ def encode_cycle(
     frames = [
         WireFrame(
             FrameKind.CYCLE_BEGIN,
-            _json_payload(cycle_header(cycle, ack_required, cluster=cluster)),
+            _json_payload(
+                cycle_header(cycle, ack_required, cluster=cluster, plan=plan)
+            ),
             air_bytes=0,
             end_offset=0,
         ),

@@ -19,11 +19,17 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 from repro.broadcast.multichannel import ALLOCATION_POLICIES
 from repro.broadcast.partition import PartitionMap, ShardIdentity
 from repro.broadcast.program import IndexScheme
+from repro.control.plan import ControlConfig
 from repro.index.packing import PackingStrategy
 from repro.index.sizes import SizeModel, PAPER_SIZE_MODEL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> sim)
     from repro.faults.plan import FaultPlan
+
+#: scenario workload shapes understood by
+#: :class:`~repro.sim.workload.WorkloadBuilder` (``None`` = the paper's
+#: constant N_Q arrival rate)
+SCENARIOS: tuple = ("flash", "diurnal", "drift")
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,32 @@ class SimulationConfig:
     #: "balanced" (greedy balanced-air-bytes) or "demand"
     #: (demand-weighted via the server's DemandTable).
     channel_allocation: str = "balanced"
+
+    #: Adaptive control plane (:mod:`repro.control`): a feedback
+    #: controller re-plans the broadcast each cycle -- grow/shrink the
+    #: channel count within the configured band, switch allocation
+    #: policy by counterfactual regret, promote hot documents onto a
+    #: fast-repeat channel and shed cold queries under overload.  Off by
+    #: default; static runs build no controller and stay byte-identical
+    #: (differentially tested).  Adaptive runs route through the
+    #: multi-channel builder (starting at ``num_data_channels or 1``)
+    #: and use acknowledged delivery throughout: the controller may grow
+    #: K mid-run, and a grown K must never strand a conflict-deferred
+    #: document behind a server that assumed broadcast == received.
+    adaptive: bool = False
+
+    #: Controller knobs; ``None`` uses :class:`ControlConfig` defaults.
+    control: Optional[ControlConfig] = None
+
+    #: Scenario workload shape (``None``, "flash", "diurnal" or "drift");
+    #: see :class:`~repro.sim.workload.WorkloadBuilder`.  Scenarios
+    #: modulate the per-cycle arrival quota (flash/diurnal) or the query
+    #: popularity focus (drift) and are deterministic per ``query_seed``.
+    scenario: Optional[str] = None
+    #: peak arrival multiplier (flash burst height, diurnal peak)
+    scenario_intensity: float = 3.0
+    #: scenario period in cycles (diurnal wave length, drift dwell time)
+    scenario_period: int = 8
 
     #: Per-packet erasure probability of the error-prone-channel
     #: extension; 0.0 is the paper's reliable channel.  Positive values
@@ -165,6 +197,34 @@ class SimulationConfig:
                     "fault injection runs on the single-channel program; "
                     "combine with multi/dual channel in separate runs"
                 )
+        if self.adaptive:
+            if self.scheme is not IndexScheme.TWO_TIER:
+                raise ValueError(
+                    "the adaptive control plane requires the two-tier "
+                    "scheme (it re-plans the multi-channel program)"
+                )
+            if self.dual_channel:
+                raise ValueError(
+                    "adaptive runs own the index channel already; "
+                    "dual_channel models a repeating index channel over "
+                    "the single-channel program"
+                )
+            control = self.control or ControlConfig()
+            if (self.num_data_channels or 1) > control.k_max:
+                raise ValueError(
+                    f"num_data_channels {self.num_data_channels} exceeds "
+                    f"the control band's k_max {control.k_max}"
+                )
+        elif self.control is not None:
+            raise ValueError("control knobs require adaptive=True")
+        if self.scenario is not None and self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"scenario must be one of {SCENARIOS} (or None)"
+            )
+        if self.scenario_intensity < 1.0:
+            raise ValueError("scenario_intensity must be at least 1.0")
+        if self.scenario_period < 2:
+            raise ValueError("scenario_period must be at least 2 cycles")
         if (self.num_shards is None) != (self.shard_index is None):
             raise ValueError(
                 "num_shards and shard_index must be set together"
@@ -187,12 +247,40 @@ class SimulationConfig:
     def needs_acknowledged_delivery(self) -> bool:
         """Whether the server must wait for client delivery confirmations.
 
-        True on an error-prone channel (lost frames must be rebroadcast)
-        and with K >= 2 data channels (a single tuner can miss
-        conflict-deferred documents).  Shared by the simulator and the
-        live daemon so both construct identically-behaving servers.
+        True on an error-prone channel (lost frames must be rebroadcast),
+        with K >= 2 data channels (a single tuner can miss
+        conflict-deferred documents), and on adaptive runs whose control
+        band can reach K=2: the controller may grow K past 1 mid-run,
+        and a deferral under the grown K must not be stranded by a
+        server that already assumed broadcast == received
+        (regression-tested).  An adaptive band clamped to K=1 can never
+        defer, so it keeps the assume-received path -- and with it byte
+        identity to the static single-channel run.  Shared by the
+        simulator and the live daemon so both construct
+        identically-behaving servers.
         """
-        return self.loss_prob > 0.0 or (self.num_data_channels or 1) >= 2
+        return (
+            self.loss_prob > 0.0
+            or (self.num_data_channels or 1) >= 2
+            or (self.adaptive and self.control_config.k_max >= 2)
+        )
+
+    @property
+    def control_config(self) -> ControlConfig:
+        """The controller knobs (defaults when ``control`` is unset)."""
+        return self.control or ControlConfig()
+
+    @property
+    def builder_channels(self) -> Optional[int]:
+        """``num_data_channels`` the server is constructed with.
+
+        Adaptive runs always take the multi-channel builder (K=1 joins
+        it byte-identically), so the controller can re-plan K without
+        switching program layouts mid-run.
+        """
+        if self.adaptive:
+            return self.num_data_channels or 1
+        return self.num_data_channels
 
     @property
     def partition_map(self) -> Optional[PartitionMap]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.broadcast.program import BroadcastCycle
@@ -50,6 +50,9 @@ from repro.xmlkit.generator import (
 )
 from repro.xmlkit.model import XMLDocument
 from repro.xpath.ast import XPathQuery
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (control is opt-in)
+    from repro.control import AdaptiveController
 
 
 def build_collection(config: SimulationConfig) -> List[XMLDocument]:
@@ -88,8 +91,31 @@ def make_server(config: SimulationConfig, store: DocumentStore) -> BroadcastServ
         packing=config.packing,
         acknowledged_delivery=config.needs_acknowledged_delivery,
         enable_caches=config.server_caches,
-        num_data_channels=config.num_data_channels,
+        num_data_channels=config.builder_channels,
         channel_allocation=config.channel_allocation,
+    )
+
+
+def make_controller(
+    config: SimulationConfig, store: DocumentStore
+) -> Optional["AdaptiveController"]:
+    """The adaptive controller a configuration describes, or ``None``.
+
+    Like :func:`make_server`, one construction path shared by the
+    simulator and the live daemon: both drive controllers with identical
+    knobs, base configuration and capacity, so the same observation
+    stream yields the same plan stream.
+    """
+    if not config.adaptive:
+        return None
+    from repro.control import AdaptiveController
+
+    return AdaptiveController(
+        config.control_config,
+        store,
+        cycle_data_capacity=config.cycle_data_capacity,
+        base_channels=config.num_data_channels or 1,
+        base_allocation=config.channel_allocation,
     )
 
 
@@ -125,8 +151,16 @@ class Simulation:
         self.lossy = config.loss_prob > 0.0
         #: K >= 2 data channels: a single tuner can miss conflicting
         #: documents, so the server must not assume broadcast == received.
-        self.multichannel_deferral = (config.num_data_channels or 1) >= 2
+        #: Adaptive runs qualify whenever the control band can reach K=2:
+        #: a mid-run K growth must find the deferral machinery already on.
+        self.multichannel_deferral = (config.num_data_channels or 1) >= 2 or (
+            config.adaptive and config.control_config.k_max >= 2
+        )
         self.server = make_server(config, self.store)
+        #: adaptive control plane; ``None`` for static runs
+        self.controller = make_controller(config, self.store)
+        #: arrivals deferred by the admission governor, by retry count
+        self.shed_deferrals = 0
         if self.lossy:
             from repro.broadcast.loss import PacketLossModel
 
@@ -212,7 +246,7 @@ class Simulation:
                     and self._current_cycle.end_time > plan.arrival_time
                 ):
                     dual.on_cycle(self._current_cycle)
-            if self.config.num_data_channels is not None:
+            if self.config.num_data_channels is not None or self.config.adaptive:
                 multi = MultiChannelTwoTierClient(
                     plan.query, plan.arrival_time, lookup_fn=self._cached_lookup
                 )
@@ -228,12 +262,52 @@ class Simulation:
         )
         obs.counter("sim.arrivals_total").inc()
 
-    def _admit_batch(self, plans: Sequence[ArrivalPlan]) -> None:
+    def _admit_batch(self, plans: Sequence[ArrivalPlan], retries: int = 0) -> None:
         # One shared-NFA walk resolves the whole batch; the per-query
         # submits inside _admit then hit the server's resolution cache.
         self.server.resolve_batch([plan.query for plan in plans])
         for plan in plans:
+            if self._shed(plan, retries):
+                continue
             self._admit(plan)
+
+    #: deferral cap of the admission governor: a thrice-shed query is
+    #: admitted regardless, so overload never starves anyone forever
+    _MAX_SHED_RETRIES = 3
+
+    def _shed(self, plan: ArrivalPlan, retries: int) -> bool:
+        """Admission governor: defer a cold arrival under overload.
+
+        The simulator's analogue of the daemon's ``RETRY_AFTER`` answer:
+        instead of being admitted now, the arrival is rescheduled
+        ``retry_after_cycles`` cycle spans later (the client keeps its
+        true ``arrival_time``, so the deferral is fully charged to its
+        access time).  Returns True when the plan was deferred.
+        """
+        controller = self.controller
+        if (
+            controller is None
+            or not controller.shedding
+            or retries >= self._MAX_SHED_RETRIES
+            or self._current_cycle is None
+        ):
+            return False
+        if not controller.is_cold(self.server.resolve(plan.query)):
+            return False
+        span = self._current_cycle.end_time - self._current_cycle.start_time
+        retry_time = (
+            max(self.server.clock, plan.arrival_time)
+            + span * controller.control.retry_after_cycles
+        )
+        controller.record_shed()
+        self.shed_deferrals += 1
+        self._queue.schedule(
+            retry_time,
+            lambda p=plan, r=retries + 1: self._admit_batch([p], retries=r),
+            priority=0,
+            label="arrival",
+        )
+        return True
 
     def _schedule_arrivals(self, plans: Sequence[ArrivalPlan]) -> None:
         # Same-time arrivals are admitted as one batch so the server can
@@ -282,6 +356,17 @@ class Simulation:
         self._schedule_arrivals(
             self.workload.arrivals_during(cycle.start_time, cycle.end_time)
         )
+        if self.controller is not None:
+            # Close the control loop: observe the cycle that just aired,
+            # apply the resulting plan before the next build.  Runs after
+            # delivery/acknowledgement so the observation sees the
+            # post-ACK demand table (what is genuinely still missing).
+            from repro.control import Observation
+
+            plan = self.controller.observe(
+                Observation.from_server(self.server, cycle)
+            )
+            self.server.apply_plan(plan)
         if self.server.cycle_number < self.config.max_cycles:
             self._queue.schedule(
                 cycle.end_time, self._cycle_event, priority=1, label="cycle"

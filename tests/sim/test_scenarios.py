@@ -1,0 +1,143 @@
+"""Scenario workloads: seeded determinism + rate-envelope invariants.
+
+The adaptive control plane is judged on these streams, so they must be
+exactly reproducible (same seed, same arrival schedule) and their load
+envelopes must match the advertised shape: flash bursts only inside the
+middle third, diurnal stays within [N_Q, intensity x N_Q] and repeats
+with its period, drift keeps the constant paper rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SCENARIOS, small_setup
+from repro.sim.workload import DRIFT_SLICES, WorkloadBuilder
+
+SPAN = 10_000  #: synthetic cycle span for arrivals_during
+
+
+def scenario_config(scenario, **overrides):
+    base = dict(
+        scenario=scenario,
+        scenario_intensity=3.0,
+        scenario_period=6,
+        n_q=10,
+        arrival_cycles=9,
+        adaptive=True,
+    )
+    base.update(overrides)
+    return small_setup(**base)
+
+
+def full_schedule(builder):
+    """Every arrival the builder will ever issue, in issue order."""
+    plans = list(builder.initial_batch())
+    start = 0
+    while not builder.exhausted:
+        plans.extend(builder.arrivals_during(start, start + SPAN))
+        start += SPAN
+    return [(plan.arrival_time, str(plan.query)) for plan in plans]
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("scenario", (None,) + SCENARIOS)
+    def test_same_seed_same_schedule(self, nitf_docs, scenario):
+        config = scenario_config(scenario, query_seed=123)
+        a = full_schedule(WorkloadBuilder(nitf_docs, config))
+        b = full_schedule(WorkloadBuilder(nitf_docs, config))
+        assert a == b
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_different_seed_different_schedule(self, nitf_docs, scenario):
+        a = full_schedule(
+            WorkloadBuilder(nitf_docs, scenario_config(scenario, query_seed=1))
+        )
+        b = full_schedule(
+            WorkloadBuilder(nitf_docs, scenario_config(scenario, query_seed=2))
+        )
+        assert a != b
+
+    def test_drift_concentrates_demand(self, nitf_docs):
+        """The drift stream is not the constant-rate stream: arrival
+        counts match N_Q, but the query mix shifts with the hot slice."""
+        config = scenario_config("drift", query_seed=5)
+        builder = WorkloadBuilder(nitf_docs, config)
+        assert len(builder._slice_generators) == min(
+            DRIFT_SLICES, len(nitf_docs)
+        )
+        drifted = full_schedule(builder)
+        flat = full_schedule(
+            WorkloadBuilder(
+                nitf_docs, scenario_config(None, query_seed=5)
+            )
+        )
+        assert len(drifted) == len(flat)  # same rate...
+        assert [q for _, q in drifted] != [q for _, q in flat]  # ...new mix
+
+
+class TestRateEnvelopes:
+    @given(
+        n_q=st.integers(1, 50),
+        intensity=st.floats(1.0, 10.0, allow_nan=False),
+        period=st.integers(2, 20),
+        cycles=st.integers(3, 40),
+        cycle=st.integers(0, 39),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quota_envelope(self, nitf_docs, n_q, intensity, period, cycles, cycle):
+        config = scenario_config(
+            None,
+            n_q=n_q,
+            scenario_intensity=intensity,
+            scenario_period=period,
+            arrival_cycles=cycles,
+        )
+        peak = max(n_q, int(n_q * intensity))
+        for scenario in SCENARIOS:
+            quota = WorkloadBuilder(
+                nitf_docs, config.with_(scenario=scenario)
+            ).cycle_quota(cycle)
+            assert n_q <= quota <= peak
+            if scenario == "drift":
+                assert quota == n_q
+
+    @given(
+        n_q=st.integers(1, 30),
+        period=st.integers(2, 12),
+        cycle=st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diurnal_is_periodic(self, nitf_docs, n_q, period, cycle):
+        builder = WorkloadBuilder(
+            nitf_docs,
+            scenario_config("diurnal", n_q=n_q, scenario_period=period),
+        )
+        assert builder.cycle_quota(cycle) == builder.cycle_quota(cycle + period)
+
+    def test_diurnal_valley_and_peak(self, nitf_docs):
+        builder = WorkloadBuilder(
+            nitf_docs,
+            scenario_config("diurnal", n_q=10, scenario_period=6),
+        )
+        assert builder.cycle_quota(0) == 10  # valley at phase 0
+        assert builder.cycle_quota(3) == 30  # peak at period//2
+
+    def test_flash_bursts_only_in_middle_third(self, nitf_docs):
+        config = scenario_config("flash", n_q=10, arrival_cycles=9)
+        builder = WorkloadBuilder(nitf_docs, config)
+        quotas = [builder.cycle_quota(i) for i in range(9)]
+        assert quotas == [10, 10, 10, 30, 30, 30, 10, 10, 10]
+
+    def test_issue_respects_quota(self, nitf_docs):
+        """_issue draws exactly cycle_quota arrivals per cycle."""
+        config = scenario_config("flash", n_q=4, arrival_cycles=6)
+        builder = WorkloadBuilder(nitf_docs, config)
+        counts = [len(builder.initial_batch())]
+        start = 0
+        while not builder.exhausted:
+            counts.append(len(builder.arrivals_during(start, start + SPAN)))
+            start += SPAN
+        assert counts == [builder.cycle_quota(i) for i in range(6)]

@@ -32,6 +32,7 @@ DETERMINISTIC_PACKAGES = [
     "broadcast",
     "client",
     "sim",
+    "control",
     "faults",
     "baselines",
     "analysis",
